@@ -1,0 +1,37 @@
+"""Shared ASCII rendering for the figure benchmarks.
+
+Output goes both to stdout (visible with ``pytest -s``) and, because pytest
+captures stdout by default, to ``benchmarks/results/<slug>.txt`` so every
+figure's series survives a normal ``pytest benchmarks/ --benchmark-only``
+run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def print_series(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Uniform ASCII rendering for all figure benchmarks (no matplotlib in
+    this environment; EXPERIMENTS.md captures the same numbers)."""
+    lines = [f"=== {title} ==="]
+    widths = [max(len(h), 12) for h in headers]
+    lines.append("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}".rjust(w))
+            else:
+                cells.append(str(value).rjust(w))
+        lines.append("  " + "  ".join(cells))
+    text = "\n".join(lines)
+    print("\n" + text)
+    if title:
+        slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / f"{slug}.txt", "w") as fh:
+            fh.write(text + "\n")

@@ -1,0 +1,68 @@
+"""Ablation: the plan's T̃_max parameter (paper Section V-A).
+
+"We might additionally require that T̃ <= T̃_max ... to limit the maximal
+number of time steps that are associated with a single subgrid.  Such an
+approach keeps the amount of computation to be performed for each subgrid
+comparable, and the memory required for that computation limited."
+
+The sweep shows the trade: small T̃_max multiplies the subgrid count (more
+FFT/adder work and more per-pixel phasor evaluations per visibility),
+large T̃_max amortises subgrids better but widens the spread of work-item
+sizes (load imbalance) and each item's memory footprint.
+"""
+
+import numpy as np
+from _util import print_series
+
+from repro.core.plan import Plan
+from repro.perfmodel.architectures import PASCAL
+from repro.perfmodel.opcount import gridder_counts, subgrid_fft_counts
+from repro.perfmodel.runtime import kernel_runtime
+
+TIME_MAX = [8, 32, 128, 512]
+
+
+def test_ablation_time_max(benchmark, bench_obs, bench_gridspec, bench_schedule):
+    baselines = bench_obs.array.baselines()
+
+    def sweep():
+        plans = {}
+        for tmax in TIME_MAX:
+            plans[tmax] = Plan.create(
+                bench_obs.uvw_m, bench_obs.frequencies_hz, baselines,
+                bench_gridspec, subgrid_size=24, kernel_support=8,
+                time_max=tmax, aterm_schedule=bench_schedule,
+            )
+        return plans
+
+    plans = benchmark(sweep)
+    rows = []
+    for tmax, plan in plans.items():
+        st = plan.statistics
+        sizes = np.array([item.n_visibilities for item in plan], dtype=float)
+        imbalance = sizes.max() / sizes.mean() if sizes.size else 0.0
+        gridder_s = kernel_runtime(PASCAL, gridder_counts(plan)).seconds
+        fft_s = kernel_runtime(PASCAL, subgrid_fft_counts(plan)).seconds
+        rows.append(
+            (tmax, st.n_subgrids, st.mean_visibilities_per_subgrid,
+             imbalance, gridder_s * 1e3, fft_s * 1e3)
+        )
+    print_series(
+        "Ablation: plan T_max (subgrid count vs balance vs kernel time)",
+        ["T_max", "subgrids", "vis/subgrid", "max/mean item size",
+         "gridder ms (PASCAL)", "fft ms"],
+        rows,
+    )
+
+    stats = {tmax: plan.statistics for tmax, plan in plans.items()}
+    # smaller T_max -> strictly more subgrids
+    counts = [stats[t].n_subgrids for t in TIME_MAX]
+    assert counts == sorted(counts, reverse=True)
+    # more subgrids -> more per-visibility gridder work (lower occupancy)
+    occ = [stats[t].mean_visibilities_per_subgrid for t in TIME_MAX]
+    assert occ == sorted(occ)
+    # all plans cover the same visibilities
+    covered = {stats[t].n_visibilities_gridded for t in TIME_MAX}
+    assert len(covered) == 1
+    # the A-term cadence caps the useful T_max: 512 cannot beat 256-limited
+    assert all(item.n_times <= 256 for item in plans[512])

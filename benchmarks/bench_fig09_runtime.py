@@ -1,0 +1,43 @@
+"""Fig 9: runtime distribution of one full imaging cycle per architecture.
+
+Feeds the benchmark plan's exact op/byte counts through the performance
+model and prints the per-kernel runtime split for HASWELL, FIJI and PASCAL.
+The paper's claims pinned here: the gridder and degridder dominate (>93%),
+and both GPUs finish almost an order of magnitude faster than the CPU.
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES
+from repro.perfmodel.runtime import imaging_cycle_runtime
+
+
+def test_fig09_runtime_distribution(benchmark, bench_plan):
+    cycles = benchmark(
+        lambda: {a.name: imaging_cycle_runtime(a, bench_plan)
+                 for a in ALL_ARCHITECTURES}
+    )
+
+    rows = []
+    for name, cycle in cycles.items():
+        rows.append(
+            (
+                name,
+                cycle.total_seconds,
+                cycle.fraction("gridder"),
+                cycle.fraction("degridder"),
+                cycle.fraction("subgrid-fft"),
+                cycle.fraction("adder") + cycle.fraction("splitter"),
+            )
+        )
+    print_series(
+        "Fig 9: one imaging cycle, modelled runtime split",
+        ["arch", "total s", "gridder", "degridder", "subgrid FFTs", "adder+splitter"],
+        rows,
+    )
+
+    t = {name: c.total_seconds for name, c in cycles.items()}
+    for cycle in cycles.values():
+        assert cycle.gridding_degridding_fraction() > 0.93  # Section VI-B
+    assert t["HASWELL"] / t["PASCAL"] > 8  # "almost an order of magnitude"
+    assert t["HASWELL"] / t["FIJI"] > 5

@@ -1,0 +1,56 @@
+"""Fig 11: roofline analysis with sine/cosine as first-class operations.
+
+Prints, per architecture, the gridder and degridder roofline points —
+operational intensity against device memory, the attainable performance,
+the binding ceiling, and the fraction of peak — plus each architecture's
+dashed rho = 17 sincos bound.  Pinned shapes: both kernels compute-bound
+everywhere; PASCAL near peak (74% / 55%); HASWELL and FIJI at their sincos
+ceilings.
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES, PASCAL
+from repro.perfmodel.opcount import degridder_counts, gridder_counts
+from repro.perfmodel.roofline import attainable_ops, device_roofline_point
+from repro.perfmodel.sincos import sincos_bound_ops
+
+
+def test_fig11_roofline(benchmark, bench_plan):
+    gc = gridder_counts(bench_plan)
+    dc = degridder_counts(bench_plan)
+
+    def build():
+        return [
+            (arch, counts, device_roofline_point(arch, counts))
+            for arch in ALL_ARCHITECTURES
+            for counts in (gc, dc)
+        ]
+
+    points = benchmark(build)
+    rows = []
+    for arch, counts, pt in points:
+        rows.append(
+            (
+                arch.name,
+                pt.kernel,
+                pt.intensity,
+                pt.performance_ops / 1e12,
+                100 * pt.performance_ops / arch.peak_ops,
+                pt.bound,
+                sincos_bound_ops(arch) / 1e12,
+            )
+        )
+    print_series(
+        "Fig 11: device-memory roofline (op = +,-,*,sin,cos)",
+        ["arch", "kernel", "ops/byte", "TOps/s", "% of peak", "bound",
+         "rho=17 ceiling TOps/s"],
+        rows,
+    )
+
+    for arch, counts, pt in points:
+        assert pt.bound != "memory"  # compute bound on all architectures
+    perf_g, _ = attainable_ops(PASCAL, gc)
+    perf_d, _ = attainable_ops(PASCAL, dc)
+    assert abs(perf_g / PASCAL.peak_ops - 0.74) < 0.06  # paper: 74%
+    assert abs(perf_d / PASCAL.peak_ops - 0.55) < 0.06  # paper: 55%

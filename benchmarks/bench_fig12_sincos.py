@@ -1,0 +1,74 @@
+"""Fig 12: operation throughput for mixes of FMA and sine/cosine work.
+
+Two layers again:
+
+* the *model* sweep over rho = FMAs/sincos for the three paper
+  architectures (shape pinned: PASCAL flat and high thanks to SFUs; FIJI and
+  HASWELL degrade as rho shrinks, HASWELL worst);
+* a *measured* microbenchmark of the same mix on this host's NumPy — the
+  Python analogue of the paper's Fig 12 experiment: fused multiply-adds
+  (vectorised a*b+c) against ``np.exp(1j * phi)`` evaluations.
+"""
+
+import numpy as np
+from _util import print_series
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES
+from repro.perfmodel.sincos import sweep_rho
+
+RHOS = np.array([0.0, 1.0, 2.0, 4.0, 8.0, 17.0, 32.0, 64.0])
+
+
+def test_fig12_model_sweep(benchmark):
+    curves = benchmark(
+        lambda: {a.name: sweep_rho(a, RHOS)[1] for a in ALL_ARCHITECTURES}
+    )
+    rows = []
+    for k, rho in enumerate(RHOS):
+        rows.append((rho,) + tuple(curves[a.name][k] / 1e12 for a in ALL_ARCHITECTURES))
+    print_series(
+        "Fig 12: modelled throughput vs rho (TOps/s)",
+        ["rho"] + [a.name for a in ALL_ARCHITECTURES],
+        rows,
+    )
+    for a in ALL_ARCHITECTURES:
+        curve = curves[a.name]
+        assert np.all(np.diff(curve) >= -1e-3)  # monotone
+    # PASCAL stays high at small rho; others do not (Section VI-C-1)
+    assert curves["PASCAL"][2] / 9.22e12 > 0.5
+    assert curves["FIJI"][2] / 8.60e12 < 0.4
+    assert curves["HASWELL"][2] / 2.78e12 < 0.2
+
+
+def _measured_mix(rho: int, n: int = 1 << 18) -> float:
+    """Measured host op/s for a mix of rho FMA array passes per exp pass."""
+    import time
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(n).astype(np.float32)
+    b = rng.standard_normal(n).astype(np.float32)
+    c = rng.standard_normal(n).astype(np.float32)
+    phi = rng.standard_normal(n).astype(np.float32)
+    t0 = time.perf_counter()
+    reps = 3
+    for _ in range(reps):
+        for _ in range(rho):
+            c = a * b + c  # one FMA per element
+        _ = np.exp(1j * phi)  # one sincos per element
+    elapsed = time.perf_counter() - t0
+    ops = reps * n * (2 * rho + 2)
+    return ops / elapsed
+
+
+def test_fig12_measured_host_mix(benchmark):
+    """The host shows the same qualitative degradation as software-sincos
+    architectures: throughput falls as rho -> 0."""
+    rhos = [0, 2, 8, 17]
+    rates = benchmark(lambda: [_measured_mix(r) for r in rhos])
+    print_series(
+        "Fig 12 (measured on this host via NumPy)",
+        ["rho", "GOps/s"],
+        [(r, rate / 1e9) for r, rate in zip(rhos, rates)],
+    )
+    # ops/s at the kernel mix beats the pure-sincos end (software sincos)
+    assert rates[3] > rates[0]

@@ -1,0 +1,54 @@
+"""Fig 13: roofline against *shared memory* traffic.
+
+The second roofline of the paper's analysis: with operational intensity
+computed against bytes moved through GPU shared memory, the gridder and
+degridder sit at (PASCAL) or near (FIJI) the shared-memory bandwidth bound —
+which is what limits PASCAL below its op-mix ceiling in Fig 11.
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import FIJI, PASCAL
+from repro.perfmodel.opcount import degridder_counts, gridder_counts
+from repro.perfmodel.roofline import shared_roofline_point
+
+
+def test_fig13_shared_memory_roofline(benchmark, bench_plan):
+    gc = gridder_counts(bench_plan)
+    dc = degridder_counts(bench_plan)
+
+    points = benchmark(
+        lambda: [
+            shared_roofline_point(arch, counts)
+            for arch in (FIJI, PASCAL)
+            for counts in (gc, dc)
+        ]
+    )
+    rows = [
+        (
+            pt.architecture,
+            pt.kernel,
+            pt.intensity,
+            pt.performance_ops / 1e12,
+            pt.ceiling_ops / 1e12,
+            pt.performance_ops / pt.ceiling_ops,
+        )
+        for pt in points
+    ]
+    print_series(
+        "Fig 13: shared-memory roofline",
+        ["arch", "kernel", "ops/shared-byte", "TOps/s", "shared ceiling",
+         "fraction of shared bound"],
+        rows,
+    )
+
+    by_key = {(p.architecture, p.kernel): p for p in points}
+    # PASCAL kernels ride the shared-memory bound (the Fig 13 finding)
+    for kernel in ("gridder", "degridder"):
+        pt = by_key[("PASCAL", kernel)]
+        assert pt.bound == "shared"
+        assert pt.performance_ops / pt.ceiling_ops > 0.99
+    # FIJI is sincos-bound but "relatively close" to the shared bound
+    for kernel in ("gridder", "degridder"):
+        pt = by_key[("FIJI", kernel)]
+        assert pt.performance_ops / pt.ceiling_ops > 0.4

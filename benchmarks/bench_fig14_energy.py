@@ -1,0 +1,44 @@
+"""Fig 14: energy distribution of one imaging cycle.
+
+Modelled energy per kernel (runtime x measured-equivalent power, host
+package+DRAM added for the GPUs as in the paper's measurement setup).
+Pinned shapes: most energy in the gridder/degridder; GPUs an order of
+magnitude more energy-frugal than the CPU even counting the host.
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES
+from repro.perfmodel.energy import imaging_cycle_energy
+
+
+def test_fig14_energy_distribution(benchmark, bench_plan):
+    cycles = benchmark(
+        lambda: {a.name: imaging_cycle_energy(a, bench_plan)
+                 for a in ALL_ARCHITECTURES}
+    )
+    rows = []
+    for name, cycle in cycles.items():
+        rows.append(
+            (
+                name,
+                cycle.total_joules,
+                cycle.fraction("gridder"),
+                cycle.fraction("degridder"),
+                cycle.fraction("subgrid-fft"),
+                cycle.host_joules,
+            )
+        )
+    print_series(
+        "Fig 14: one imaging cycle, modelled energy split",
+        ["arch", "total J", "gridder", "degridder", "subgrid FFTs", "host J"],
+        rows,
+    )
+
+    e = {name: c.total_joules for name, c in cycles.items()}
+    assert e["HASWELL"] / e["PASCAL"] > 8
+    assert e["HASWELL"] / e["FIJI"] > 5
+    for cycle in cycles.values():
+        assert cycle.fraction("gridder") + cycle.fraction("degridder") > 0.9
+    assert cycles["HASWELL"].host_joules == 0
+    assert cycles["PASCAL"].host_joules > 0

@@ -1,0 +1,41 @@
+"""Fig 15: energy efficiency of the gridder and degridder kernels.
+
+The paper's numbers: PASCAL 32 / 23 GFlops/W (gridder / degridder), FIJI
+about 13, HASWELL about 1.5.  The model reproduces all four within ~15%.
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES, FIJI, HASWELL, PASCAL
+from repro.perfmodel.energy import energy_efficiency_gflops_per_watt
+from repro.perfmodel.opcount import degridder_counts, gridder_counts
+
+
+def test_fig15_energy_efficiency(benchmark, bench_plan):
+    gc = gridder_counts(bench_plan)
+    dc = degridder_counts(bench_plan)
+    result = benchmark(
+        lambda: {
+            a.name: (
+                energy_efficiency_gflops_per_watt(a, gc),
+                energy_efficiency_gflops_per_watt(a, dc),
+            )
+            for a in ALL_ARCHITECTURES
+        }
+    )
+    print_series(
+        "Fig 15: modelled energy efficiency (GFlops/W)",
+        ["arch", "gridder", "degridder", "paper gridder", "paper degridder"],
+        [
+            ("HASWELL", *result["HASWELL"], 1.5, 1.5),
+            ("FIJI", *result["FIJI"], 13.0, 13.0),
+            ("PASCAL", *result["PASCAL"], 32.0, 23.0),
+        ],
+    )
+
+    assert abs(result["PASCAL"][0] - 32) / 32 < 0.15
+    assert abs(result["PASCAL"][1] - 23) / 23 < 0.15
+    assert abs(result["FIJI"][0] - 13) / 13 < 0.15
+    assert abs(result["HASWELL"][0] - 1.5) / 1.5 < 0.25
+    # GPUs an order of magnitude more efficient than the CPU
+    assert result["PASCAL"][0] / result["HASWELL"][0] > 10

@@ -1,0 +1,57 @@
+"""Extension bench: end-to-end pipeline predictions (Section V ablations).
+
+Combines the Fig 9 runtime model with the Fig 7 stream scheduler into
+end-to-end predictions the paper implies but does not plot:
+
+* the GPU imaging cycle *including PCIe transfers*, with 1-4 device buffer
+  sets — quantifying what triple buffering buys end to end;
+* the CPU gridder's core scaling under OpenMP-style work-item parallelism
+  (Amdahl with a small serial fraction).
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import HASWELL, PASCAL
+from repro.perfmodel.pipeline_model import cpu_core_scaling, gpu_cycle_with_transfers
+
+
+def test_gpu_end_to_end_with_transfers(benchmark, bench_plan):
+    predictions = benchmark(
+        lambda: {
+            buffers: gpu_cycle_with_transfers(PASCAL, bench_plan, n_buffers=buffers)
+            for buffers in (1, 2, 3, 4)
+        }
+    )
+    rows = []
+    for buffers, pred in predictions.items():
+        rows.append(
+            (
+                buffers,
+                pred.overlapped_seconds * 1e3,
+                pred.overlap_speedup,
+                100 * pred.transfer_hidden_fraction,
+            )
+        )
+    print_series(
+        "GPU cycle incl. PCIe (PASCAL): buffering ablation",
+        ["buffers", "makespan ms", "speedup vs serial", "transfer hidden %"],
+        rows,
+    )
+    triple = predictions[3]
+    # transfers almost fully hidden with triple buffering (the Fig 7 design)
+    assert triple.transfer_hidden_fraction > 0.8
+    assert triple.overlapped_seconds < predictions[1].overlapped_seconds
+    # and the end-to-end time stays close to pure compute
+    assert triple.overlapped_seconds < 1.2 * triple.compute_seconds
+
+
+def test_cpu_core_scaling(benchmark, bench_plan):
+    points = benchmark(lambda: cpu_core_scaling(HASWELL, bench_plan))
+    print_series(
+        "CPU gridder core scaling (HASWELL, Amdahl serial fraction 2%)",
+        ["cores", "speedup", "efficiency", "seconds"],
+        [(p.n_cores, p.speedup, p.efficiency, p.seconds) for p in points],
+    )
+    by_cores = {p.n_cores: p for p in points}
+    assert by_cores[28].speedup > 14  # the dual-socket node still scales well
+    assert by_cores[28].efficiency < by_cores[1].efficiency  # but not ideally

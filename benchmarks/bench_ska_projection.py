@@ -1,0 +1,52 @@
+"""Extension: project the model to the paper's FULL Section VI-A data set.
+
+The paper's motivation is whether IDG on GPUs can "meet the computational
+and energy-efficiency constraints of future telescopes" (the SKA).  This
+bench scales the measured per-visibility costs of the benchmark plan to the
+full published data set — 11 175 baselines x 8 192 timesteps x 16 channels
+(~1.47e9 visibilities) — and prints the projected runtime and energy of one
+imaging cycle per architecture, plus how many GPUs one real-time SKA-1 low
+subband would need.
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES
+from repro.perfmodel.energy import imaging_cycle_energy
+from repro.perfmodel.opcount import gridder_counts
+from repro.perfmodel.runtime import imaging_cycle_runtime
+
+#: The published full-size data set.
+FULL_VISIBILITIES = 11_175 * 8_192 * 16
+#: Observation wall-clock of the full set (8192 x 1 s integrations).
+OBSERVATION_SECONDS = 8_192.0
+
+
+def test_ska_scale_projection(benchmark, bench_plan):
+    counts = gridder_counts(bench_plan)
+    scale = FULL_VISIBILITIES / counts.visibilities
+
+    def project():
+        rows = []
+        for arch in ALL_ARCHITECTURES:
+            cycle_s = imaging_cycle_runtime(arch, bench_plan).total_seconds * scale
+            cycle_j = imaging_cycle_energy(arch, bench_plan).total_joules * scale
+            realtime = cycle_s / OBSERVATION_SECONDS  # devices per subband
+            rows.append((arch.name, cycle_s, cycle_j / 1e3, realtime))
+        return rows
+
+    rows = benchmark(project)
+    print_series(
+        "Projection: one FULL Section VI-A imaging cycle (1.47e9 visibilities)",
+        ["arch", "cycle seconds", "cycle kJ", "devices for real-time"],
+        rows,
+    )
+
+    by_arch = {name: (s, kj, rt) for name, s, kj, rt in rows}
+    # the paper's conclusion in numbers: a single PASCAL processes the full
+    # cycle in minutes and keeps up with real time on its own ...
+    assert by_arch["PASCAL"][0] < 600
+    assert by_arch["PASCAL"][2] < 1.0
+    # ... while the CPU node needs an order of magnitude more time and energy
+    assert by_arch["HASWELL"][0] > 8 * by_arch["PASCAL"][0]
+    assert by_arch["HASWELL"][1] > 8 * by_arch["PASCAL"][1]

@@ -1,0 +1,31 @@
+"""Table I: the three architectures used in the comparison.
+
+Regenerates the paper's hardware table from the architecture database (the
+database *is* the table — this bench pins the published values and prints
+them in the paper's layout).
+"""
+
+from _util import print_series
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES, table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    print_series(
+        "Table I: architectures",
+        ["model", "type", "arch", "clock GHz", "#FPUs", "peak TFlops",
+         "mem GB", "mem GB/s", "TDP W"],
+        [
+            (r["model"], r["type"], r["architecture"], r["clock (GHz)"],
+             r["#FPUs"], r["peak (TFlops)"], r["mem size (GB)"],
+             r["mem bw (GB/s)"], r["TDP (W)"])
+            for r in rows
+        ],
+    )
+    assert [r["model"] for r in rows] == [
+        "Intel Xeon E5-2697v3", "AMD R9 Fury X", "NVIDIA GTX 1080",
+    ]
+    # core-config footnote consistency
+    for arch in ALL_ARCHITECTURES:
+        assert arch.n_fpus > 0

@@ -1,0 +1,76 @@
+"""Shared benchmark workload: the Section VI-A data set, scaled.
+
+The paper's set (150 stations, T = 8192, C = 16, 2048^2 grid, 24^2 subgrids)
+holds ~1.5e9 visibilities; the scaled default (~1e6 visibilities) keeps one
+full benchmark run under a few minutes while preserving the quantities the
+figures depend on: channel count, subgrid size/occupancy, A-term cadence and
+uv-coverage shape.  Per-visibility metrics converge long before full size
+(DESIGN.md, substitutions).
+
+Scale up with ``REPRO_BENCH_SCALE`` (1 = default, 2 = ~4x more data, ...).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.aterms.schedule import ATermSchedule
+from repro.core.pipeline import IDG, IDGConfig
+from repro.sky.sources import random_sky
+from repro.sky.simulate import predict_visibilities
+from repro.telescope.observation import ska1_low_observation
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+@pytest.fixture(scope="session")
+def bench_obs():
+    """Scaled Section VI-A observation (same structure, fewer samples)."""
+    return ska1_low_observation(
+        n_stations=20 * min(SCALE, 4),
+        n_times=128 * SCALE,
+        n_channels=16,
+        integration_time_s=max(4.0 // SCALE, 1.0),
+        max_radius_m=10_000.0,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_gridspec(bench_obs):
+    # the paper uses a 2048^2 grid
+    return bench_obs.fitting_gridspec(2048)
+
+
+@pytest.fixture(scope="session")
+def bench_idg(bench_gridspec):
+    # paper parameters: 24x24 subgrids; A-terms updated every 256 timesteps
+    return IDG(bench_gridspec, IDGConfig(subgrid_size=24, kernel_support=8,
+                                         time_max=128))
+
+
+@pytest.fixture(scope="session")
+def bench_schedule():
+    return ATermSchedule(256)
+
+
+@pytest.fixture(scope="session")
+def bench_plan(bench_idg, bench_obs, bench_schedule):
+    return bench_idg.make_plan(
+        bench_obs.uvw_m, bench_obs.frequencies_hz, bench_obs.array.baselines(),
+        aterm_schedule=bench_schedule,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_vis(bench_obs, bench_gridspec):
+    """Simulated visibilities of a small random field (oracle-predicted)."""
+    sky = random_sky(3, bench_gridspec.image_size, fill_factor=0.4,
+                     flux_range=(1.0, 5.0), seed=1)
+    return predict_visibilities(
+        bench_obs.uvw_m, bench_obs.frequencies_hz, sky,
+        baselines=bench_obs.array.baselines(),
+    )

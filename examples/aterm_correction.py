@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Direction-dependent effects: what IDG's A-term correction buys.
+
+The paper's headline functional claim is that IDG applies A-term (DDE)
+corrections "at negligible additional cost" (Section VI-E) — something
+traditional W-projection cannot do without exploding its kernel storage.
+This example demonstrates the *accuracy* side of that claim with per-station
+pointing errors (drifting primary beams, a classic DDE):
+
+1. imaging: the A-term-corrected dirty image, normalised by the average
+   beam response (the standard primary-beam normalisation, as in WSClean),
+   recovers the intrinsic source flux; the uncorrected image is biased by
+   the mean beam gain.
+2. prediction: degridding a model through the same A-terms reproduces the
+   corrupted visibilities almost exactly — the model-subtraction step of a
+   DD-calibration loop — while prediction without A-terms leaves a large
+   residual.
+3. cost: gridding with and without A-terms takes nearly the same time.
+
+Run:  python examples/aterm_correction.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.imaging.image import model_image_to_grid
+
+
+def average_beam_squared(beam, schedule, plan, baselines, gridspec, n_times):
+    """Mean squared beam response on the image raster.
+
+    The adjoint-corrected dirty image of a source of flux F reads
+    ``F * mean((g_p g_q)^2)``; dividing by this image (the 'average primary
+    beam' normalisation) restores intrinsic flux.  Averages over the
+    (baseline, A-term interval) pairs weighted by their visibility counts.
+    """
+    g = gridspec.grid_size
+    n_intervals = schedule.n_intervals(n_times)
+    # per-station scalar gain fields on the fine raster
+    gains = {}
+    for station in np.unique(baselines):
+        for itv in range(n_intervals):
+            field = beam.evaluate_raster(int(station), itv, g, gridspec.image_size)
+            gains[(int(station), itv)] = field[..., 0, 0].real
+    acc = np.zeros((g, g))
+    count = 0
+    for p, q in baselines:
+        for itv in range(n_intervals):
+            acc += (gains[(int(p), itv)] * gains[(int(q), itv)]) ** 2
+            count += 1
+    return acc / count
+
+
+def main() -> None:
+    obs = repro.ska1_low_observation(
+        n_stations=14, n_times=64, n_channels=6,
+        integration_time_s=120.0, max_radius_m=2_500.0, seed=5,
+    )
+    baselines = obs.array.baselines()
+    gridspec = obs.fitting_gridspec(grid_size=384)
+    dl = gridspec.pixel_scale
+    g = gridspec.grid_size
+
+    # one bright source well off-centre, where beam errors bite hardest
+    l0 = round(0.25 * gridspec.image_size / dl) * dl
+    m0 = round(0.18 * gridspec.image_size / dl) * dl
+    flux = 4.0
+    sky = repro.SkyModel.single(l0, m0, flux=flux)
+
+    beam = repro.PointingErrorATerm(
+        fwhm=0.9 * gridspec.image_size, pointing_rms=0.03 * gridspec.image_size,
+        seed=21,
+    )
+    schedule = repro.ATermSchedule(16)
+    visibilities = repro.predict_visibilities(
+        obs.uvw_m, obs.frequencies_hz, sky,
+        baselines=baselines, aterms=beam, schedule=schedule,
+    )
+
+    idg = repro.IDG(gridspec)
+    plan = idg.make_plan(obs.uvw_m, obs.frequencies_hz, baselines,
+                         aterm_schedule=schedule)
+    weight = plan.statistics.n_visibilities_gridded
+    row, col = round(m0 / dl) + g // 2, round(l0 / dl) + g // 2
+
+    def image_with(aterms):
+        grid = idg.grid(plan, obs.uvw_m, visibilities, aterms=aterms)
+        return repro.stokes_i_image(
+            repro.dirty_image_from_grid(grid, gridspec, weight_sum=weight)
+        )
+
+    # --- 1. imaging with beam normalisation
+    image_with(None)  # warm-up (BLAS/FFT initialisation), keeps timings fair
+    t0 = time.perf_counter()
+    uncorrected = image_with(None)
+    t_plain = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    corrected = image_with(beam)
+    t_aterm = time.perf_counter() - t0
+
+    beam_sq = average_beam_squared(beam, schedule, plan, baselines, gridspec,
+                                   obs.n_times)
+    normalised = corrected / np.maximum(beam_sq, 1e-3)
+
+    print(f"true flux at ({row}, {col}): {flux:.2f}")
+    print(f"  uncorrected image:               {uncorrected[row, col]:.3f} "
+          f"({100 * (uncorrected[row, col] / flux - 1):+.1f}% bias)")
+    print(f"  A-term corrected + beam-normed:  {normalised[row, col]:.3f} "
+          f"({100 * (normalised[row, col] / flux - 1):+.1f}% bias)")
+
+    # --- 2. prediction: the DD-calibration model-subtraction test
+    model = np.zeros((4, g, g), dtype=np.complex128)
+    model[0, row, col] = flux
+    model[3, row, col] = flux
+    mgrid = model_image_to_grid(model, gridspec)
+    mask = ~plan.flagged
+    scale = np.sqrt((np.abs(visibilities[mask]) ** 2).mean())
+
+    pred_plain = idg.degrid(plan, obs.uvw_m, mgrid)
+    resid_plain = np.sqrt((np.abs(pred_plain[mask] - visibilities[mask]) ** 2).mean())
+    pred_aterm = idg.degrid(plan, obs.uvw_m, mgrid, aterms=beam)
+    resid_aterm = np.sqrt((np.abs(pred_aterm[mask] - visibilities[mask]) ** 2).mean())
+    print(f"\nmodel-subtraction residual (relative rms):")
+    print(f"  predicted without A-terms: {resid_plain / scale:.3f}")
+    print(f"  predicted with A-terms:    {resid_aterm / scale:.5f}")
+
+    # --- 3. cost
+    print(f"\ngridding time: {t_plain:.2f} s plain, {t_aterm:.2f} s with "
+          f"A-terms ({100 * (t_aterm / t_plain - 1):+.0f}% — the paper's "
+          f"'negligible additional cost')")
+
+    assert abs(normalised[row, col] - flux) < abs(uncorrected[row, col] - flux)
+    assert resid_aterm < 0.1 * resid_plain
+    print("\nA-term correction recovers flux and nulls the model residual — OK")
+
+
+if __name__ == "__main__":
+    main()

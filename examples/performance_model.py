@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Drive the hardware performance & energy model over the paper's workload.
+
+Builds a scaled Section VI-A execution plan, counts the exact operations and
+bytes each kernel moves, and prints the model's predictions for the three
+Table I architectures: the roofline position, the runtime split of one
+imaging cycle, visibility throughput, and energy efficiency — i.e. the
+numbers behind Figs 9-15 (see EXPERIMENTS.md for paper-vs-model values).
+
+Run:  python examples/performance_model.py
+"""
+
+import numpy as np
+
+import repro
+from repro.perfmodel import (
+    ALL_ARCHITECTURES,
+    attainable_ops,
+    degridder_counts,
+    energy_efficiency_gflops_per_watt,
+    gridder_counts,
+    imaging_cycle_energy,
+    imaging_cycle_runtime,
+    sweep_rho,
+    throughput_mvis,
+)
+
+
+def main() -> None:
+    obs = repro.ska1_low_observation(
+        n_stations=24, n_times=256, n_channels=16,
+        integration_time_s=4.0, max_radius_m=10_000.0, seed=0,
+    )
+    idg = repro.IDG(obs.fitting_gridspec(2048))
+    plan = idg.make_plan(obs.uvw_m, obs.frequencies_hz, obs.array.baselines())
+    st = plan.statistics
+    print(f"workload: {st.n_visibilities_gridded:,} visibilities on "
+          f"{st.n_subgrids:,} subgrids "
+          f"({st.mean_visibilities_per_subgrid:.0f} vis/subgrid)\n")
+
+    gc = gridder_counts(plan)
+    dc = degridder_counts(plan)
+    print(f"gridder:   {gc.ops / 1e12:.2f} Tops, rho = {gc.rho:.1f}, "
+          f"{gc.operational_intensity:.0f} ops/device-byte, "
+          f"{gc.shared_intensity:.2f} ops/shared-byte")
+    print(f"degridder: {dc.ops / 1e12:.2f} Tops (same mix)\n")
+
+    print(f"{'arch':<8} {'gridder':>22} {'degridder':>22}")
+    for arch in ALL_ARCHITECTURES:
+        pg, bg = attainable_ops(arch, gc)
+        pd, bd = attainable_ops(arch, dc)
+        print(f"{arch.name:<8} "
+              f"{pg / 1e12:6.2f} Tops ({100 * pg / arch.peak_ops:3.0f}%, {bg:<6}) "
+              f"{pd / 1e12:6.2f} Tops ({100 * pd / arch.peak_ops:3.0f}%, {bd:<6})")
+
+    print("\nimaging-cycle runtime split (Fig 9) and throughput (Fig 10):")
+    print(f"{'arch':<8} {'total':>9} {'grid+degrid':>12} "
+          f"{'gridding MVis/s':>16} {'degridding':>11}")
+    for arch in ALL_ARCHITECTURES:
+        cycle = imaging_cycle_runtime(arch, plan)
+        print(f"{arch.name:<8} {cycle.total_seconds:8.3f}s "
+              f"{100 * cycle.gridding_degridding_fraction():11.1f}% "
+              f"{throughput_mvis(arch, gc):16.0f} {throughput_mvis(arch, dc):11.0f}")
+
+    print("\nenergy (Figs 14-15):")
+    print(f"{'arch':<8} {'cycle energy':>13} {'gridder GF/W':>13} "
+          f"{'degridder GF/W':>15}")
+    for arch in ALL_ARCHITECTURES:
+        energy = imaging_cycle_energy(arch, plan)
+        print(f"{arch.name:<8} {energy.total_joules:11.1f} J "
+              f"{energy_efficiency_gflops_per_watt(arch, gc):13.1f} "
+              f"{energy_efficiency_gflops_per_watt(arch, dc):15.1f}")
+
+    print("\noperation mix sweep (Fig 12), fraction of peak at selected rho:")
+    rhos = np.array([0.0, 2.0, 8.0, 17.0, 32.0, 128.0])
+    header = "  rho:    " + "".join(f"{r:8.0f}" for r in rhos)
+    print(header)
+    for arch in ALL_ARCHITECTURES:
+        _, ops = sweep_rho(arch, rhos)
+        print(f"  {arch.name:<8}" + "".join(f"{o / arch.peak_ops:8.2f}" for o in ops))
+
+
+if __name__ == "__main__":
+    main()

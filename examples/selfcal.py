@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Self-calibration with IDG in the loop (the paper's Fig 1/2 pipeline).
+
+The full chain of the paper's introduction: corrupted data -> calibration ->
+imaging, with IDG performing both the gridding (imaging) and degridding
+(model prediction) steps:
+
+1. corrupt simulated visibilities with random per-station complex gains and
+   thermal noise,
+2. image the raw data: the source is smeared and its flux is wrong,
+3. predict model visibilities for the known calibrator source with IDG
+   degridding (initial calibration against a catalogue model, as real
+   pipelines do with bright calibrators),
+4. solve the gains with StEFCal against that model, apply,
+5. re-image: the source flux and the image dynamic range recover.
+
+Run:  python examples/selfcal.py
+"""
+
+import numpy as np
+
+import repro
+from repro.calibration import apply_gains, corrupt_with_gains, random_gains, stefcal
+from repro.data.dataset import VisibilityDataset
+from repro.data.noise import add_thermal_noise
+from repro.imaging.cycle import ImagingCycle
+from repro.imaging.metrics import dynamic_range
+from repro.imaging.image import find_peak
+
+
+def main() -> None:
+    obs = repro.ska1_low_observation(
+        n_stations=14, n_times=64, n_channels=6,
+        integration_time_s=120.0, max_radius_m=2_500.0, seed=8,
+    )
+    baselines = obs.array.baselines()
+    gridspec = obs.fitting_gridspec(grid_size=384)
+    dl, g = gridspec.pixel_scale, gridspec.grid_size
+
+    l0 = round(0.15 * gridspec.image_size / dl) * dl
+    m0 = round(-0.10 * gridspec.image_size / dl) * dl
+    flux = 5.0
+    sky = repro.SkyModel.single(l0, m0, flux=flux)
+    row, col = round(m0 / dl) + g // 2, round(l0 / dl) + g // 2
+
+    # --- corrupt: station gains + thermal noise
+    truth_gains = random_gains(obs.array.n_stations, amplitude_rms=0.25,
+                               phase_rms_rad=1.0, seed=17)
+    dataset = VisibilityDataset.simulate(obs, sky)
+    corrupted = dataset.with_visibilities(
+        corrupt_with_gains(dataset.visibilities, truth_gains, baselines)
+    )
+    corrupted = add_thermal_noise(corrupted, sefd_jy=2_000.0,
+                                  channel_width_hz=200e3,
+                                  integration_time_s=120.0, seed=18)
+
+    idg = repro.IDG(gridspec)
+    cycle = ImagingCycle(idg, obs.uvw_m, obs.frequencies_hz, baselines)
+
+    raw_image = cycle.make_dirty_image(corrupted.visibilities)
+    print(f"true source: {flux:.1f} Jy at ({row}, {col})")
+    print(f"raw (uncalibrated) image: peak {raw_image[row, col]:.2f} Jy at the "
+          f"source pixel, dynamic range {dynamic_range(raw_image):.0f}")
+
+    # --- step 1: predict the calibrator model through IDG degridding
+    model_image = np.zeros((g, g))
+    model_image[row, col] = flux
+    model_vis = cycle.predict(model_image)
+
+    # --- step 2: StEFCal against the catalogue model
+    solution = stefcal(
+        corrupted.visibilities, model_vis, baselines,
+        n_stations=obs.array.n_stations, solution_interval=0,
+    )
+    gain_err = np.abs(
+        solution.gains[0] * np.exp(-1j * np.angle(
+            np.vdot(truth_gains, solution.gains[0]))) - truth_gains
+    ).max()
+    print(f"\nStEFCal: converged={bool(solution.converged.all())} in "
+          f"{int(solution.n_iterations[0])} iterations; "
+          f"max gain error {gain_err:.3f}")
+
+    # --- step 3: apply and re-image
+    calibrated = apply_gains(corrupted.visibilities, solution.gains[0], baselines)
+    cal_image = cycle.make_dirty_image(calibrated)
+    print(f"calibrated image: peak {cal_image[row, col]:.2f} Jy at the source "
+          f"pixel, dynamic range {dynamic_range(cal_image):.0f}")
+
+    peak_row, peak_col, _ = find_peak(cal_image)
+    assert (peak_row, peak_col) == (row, col)
+    assert abs(cal_image[row, col] - flux) < abs(raw_image[row, col] - flux)
+    print("\nself-calibration restored the source flux — OK")
+
+
+if __name__ == "__main__":
+    main()

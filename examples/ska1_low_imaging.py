@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Full imaging pipeline on an SKA1-low-like synthesis observation.
+
+Reproduces the workload of the paper's Fig 2 end to end: simulate a random
+point-source field, run the CLEAN major cycle (grid -> image -> CLEAN ->
+predict -> subtract, iterated), and compare the recovered catalogue against
+the truth.  The observation is a scaled version of the Section VI-A
+benchmark set (the full 150-station / 8192-timestep set holds ~10^9
+visibilities; per-visibility behaviour is identical — see DESIGN.md).
+
+Run:  python examples/ska1_low_imaging.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.imaging.image import find_peak
+
+
+def main() -> None:
+    obs = repro.ska1_low_observation(
+        n_stations=20, n_times=96, n_channels=8,
+        integration_time_s=90.0, max_radius_m=4_000.0, seed=11,
+    )
+    baselines = obs.array.baselines()
+    gridspec = obs.fitting_gridspec(grid_size=512)
+    print(f"observation: {obs.n_visibilities:,} visibilities; "
+          f"field of view {np.degrees(gridspec.image_size):.2f} deg")
+
+    # --- truth: a random field of 6 sources, snapped to image pixels
+    raw_sky = repro.random_sky(
+        6, gridspec.image_size, fill_factor=0.5, flux_range=(1.0, 8.0), seed=3
+    )
+    dl = gridspec.pixel_scale
+    sky = repro.SkyModel(
+        l=np.round(raw_sky.l / dl) * dl,
+        m=np.round(raw_sky.m / dl) * dl,
+        brightness=raw_sky.brightness,
+    )
+    visibilities = repro.predict_visibilities(
+        obs.uvw_m, obs.frequencies_hz, sky, baselines=baselines
+    )
+
+    # --- CLEAN major cycle driven by IDG
+    idg = repro.IDG(gridspec)
+    cycle = repro.ImagingCycle(idg, obs.uvw_m, obs.frequencies_hz, baselines)
+    print(f"plan: {cycle.plan.n_subgrids} subgrids")
+
+    t0 = time.perf_counter()
+    result = cycle.run(visibilities, n_major=5, minor_iterations=400,
+                       threshold_factor=2.0)
+    elapsed = time.perf_counter() - t0
+    print(f"\n{result.n_major_cycles} major cycles in {elapsed:.1f} s; "
+          f"residual rms history: "
+          + " -> ".join(f"{r:.4f}" for r in result.residual_rms_history))
+
+    # --- compare recovered model against the truth
+    g = gridspec.grid_size
+    print(f"\n{'true flux':>10} {'recovered':>10} {'pixel':>12}")
+    total_err = 0.0
+    for k in range(sky.n_sources):
+        row = round(float(sky.m[k]) / dl) + g // 2
+        col = round(float(sky.l[k]) / dl) + g // 2
+        # integrate the model in a small box (CLEAN may split flux over
+        # neighbouring pixels)
+        recovered = result.model_image[row - 2 : row + 3, col - 2 : col + 3].sum()
+        true_flux = float(sky.brightness[k, 0, 0].real)
+        total_err += abs(recovered - true_flux)
+        print(f"{true_flux:10.2f} {recovered:10.2f} {(row, col)!s:>12}")
+    print(f"\ntotal CLEANed flux {result.total_clean_flux():.2f} "
+          f"(truth {sky.total_flux_xx():.2f}); "
+          f"sum |flux error| = {total_err:.2f}")
+
+    peak_row, peak_col, _ = find_peak(result.model_image)
+    brightest = int(np.argmax(sky.brightness[:, 0, 0].real))
+    expected = (round(float(sky.m[brightest]) / dl) + g // 2,
+                round(float(sky.l[brightest]) / dl) + g // 2)
+    status = "OK" if (peak_row, peak_col) == expected else "MISMATCH"
+    print(f"brightest recovered component at ({peak_row}, {peak_col}), "
+          f"expected {expected} — {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Wide-band imaging: the outer loop of the paper's Fig 2, across subbands.
+
+The imaging step runs "for a single subband"; a real wide-band observation
+iterates it.  This example images three 30-MHz subbands of a source with a
+synchrotron-like spectrum (I ~ nu^-0.8) through IDG, combines them into a
+multi-frequency-synthesis (MFS) image, and fits the per-pixel spectral
+index back out of the subband images.
+
+Run:  python examples/spectral_mfs.py
+"""
+
+import numpy as np
+
+import repro
+from repro.imaging.image import find_peak
+from repro.imaging.spectral import SpectralImager, fit_spectral_index, make_subbands
+
+
+def main() -> None:
+    base = repro.ska1_low_observation(
+        n_stations=14, n_times=48, n_channels=6,
+        integration_time_s=240.0, max_radius_m=2_500.0,
+        start_frequency_hz=120e6, seed=12,
+    )
+    subbands = make_subbands(base, n_subbands=3, subband_width_hz=30e6)
+    # size the shared grid to the highest subband (largest uv extent)
+    gridspec = subbands[-1].fitting_gridspec(grid_size=384)
+    idg = repro.IDG(gridspec)
+    imager = SpectralImager(idg)
+
+    dl, g = gridspec.pixel_scale, gridspec.grid_size
+    l0 = round(0.12 * gridspec.image_size / dl) * dl
+    m0 = round(0.08 * gridspec.image_size / dl) * dl
+    alpha_true = -0.8
+    flux0 = 5.0
+    nu0 = subbands[0].frequencies_hz.mean()
+
+    print(f"{'subband':>8} {'centre MHz':>11} {'true flux':>10} "
+          f"{'image peak':>11}")
+    subband_images = []
+    for k, sb in enumerate(subbands):
+        nu = sb.frequencies_hz.mean()
+        flux = flux0 * (nu / nu0) ** alpha_true
+        sky = repro.SkyModel.single(l0, m0, flux=flux)
+        vis = repro.predict_visibilities(sb.uvw_m, sb.frequencies_hz, sky,
+                                         baselines=sb.array.baselines())
+        sub = imager.image_subband(sb, vis)
+        subband_images.append(sub)
+        row, col, peak = find_peak(sub.image)
+        print(f"{k:>8} {nu / 1e6:>11.1f} {flux:>10.3f} {peak:>11.3f}")
+
+    mfs = imager.mfs_image(subband_images)
+    row, col, peak = find_peak(mfs)
+    expected = (round(m0 / dl) + g // 2, round(l0 / dl) + g // 2)
+    print(f"\nMFS image: peak {peak:.3f} at {(row, col)} "
+          f"(expected {expected})")
+
+    alpha_map = fit_spectral_index(subband_images, threshold=0.3)
+    alpha_fit = alpha_map[row, col]
+    print(f"fitted spectral index at the source: {alpha_fit:+.3f} "
+          f"(truth {alpha_true:+.1f})")
+
+    assert (row, col) == expected
+    assert abs(alpha_fit - alpha_true) < 0.1
+    print("\nwide-band imaging and spectral-index recovery — OK")
+
+
+if __name__ == "__main__":
+    main()

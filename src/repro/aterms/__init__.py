@@ -1,0 +1,43 @@
+"""Direction-dependent effects: 2x2 Jones matrices ("A-terms").
+
+The A-terms of the measurement equation (paper Eq. 1) are per-station,
+time-variable 2x2 matrix fields over the sky.  IDG applies them as image-
+domain multiplications on each subgrid at negligible cost — the paper's core
+argument against AW-projection, which must bake them into per-baseline
+convolution kernels.
+
+``jones`` provides vectorised 2x2 algebra, ``generators`` a family of A-term
+models (identity, Gaussian primary beam, pointing errors, ionospheric phase
+screens), and ``schedule`` the update cadence (the benchmark updates A-terms
+every 256 timesteps).
+"""
+
+from repro.aterms.jones import (
+    apply_sandwich,
+    hermitian,
+    identity_jones,
+    jones_multiply,
+)
+from repro.aterms.generators import (
+    ATermGenerator,
+    GaussianBeamATerm,
+    IdentityATerm,
+    IonosphereATerm,
+    LeakageATerm,
+    PointingErrorATerm,
+)
+from repro.aterms.schedule import ATermSchedule
+
+__all__ = [
+    "apply_sandwich",
+    "hermitian",
+    "identity_jones",
+    "jones_multiply",
+    "ATermGenerator",
+    "GaussianBeamATerm",
+    "IdentityATerm",
+    "IonosphereATerm",
+    "LeakageATerm",
+    "PointingErrorATerm",
+    "ATermSchedule",
+]

@@ -1,0 +1,194 @@
+"""A-term generators.
+
+Every generator is a deterministic function of ``(station, interval)`` — two
+calls with the same arguments return identical Jones fields, which is what
+lets the direct measurement-equation oracle and the gridders agree on the
+corruption.  ``interval`` is the A-term update interval index produced by
+:class:`repro.aterms.schedule.ATermSchedule` (the paper's benchmark updates
+A-terms every 256 timesteps).
+
+Generators evaluate either at arbitrary sky directions (``evaluate`` — used
+by the direct predictor at point-source positions) or on a centered image
+raster (``evaluate_raster`` — used by IDG on subgrids and by AW-projection
+when baking kernels).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.kernels.fft import image_coordinates
+from repro.aterms.jones import identity_jones
+
+
+class ATermGenerator(abc.ABC):
+    """Interface: per-station, per-interval 2x2 Jones fields over the sky."""
+
+    @abc.abstractmethod
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        """Jones matrices at directions ``(l, m)``; returns ``l.shape + (2, 2)``."""
+
+    def evaluate_raster(
+        self, station: int, interval: int, n_pixels: int, image_size: float
+    ) -> np.ndarray:
+        """Jones field on a centered ``n_pixels`` raster: ``(n, n, 2, 2)``."""
+        coords = image_coordinates(n_pixels, image_size)
+        ll = np.broadcast_to(coords[np.newaxis, :], (n_pixels, n_pixels))
+        mm = np.broadcast_to(coords[:, np.newaxis], (n_pixels, n_pixels))
+        return self.evaluate(station, interval, ll, mm)
+
+    @property
+    def is_identity(self) -> bool:
+        """True if the generator always returns the identity (fast paths)."""
+        return False
+
+    def _rng(self, seed: int, station: int, interval: int) -> np.random.Generator:
+        """Deterministic per-(station, interval) generator."""
+        return np.random.default_rng(np.random.SeedSequence([seed, station, interval]))
+
+
+class IdentityATerm(ATermGenerator):
+    """No direction-dependent effects (the paper's benchmark setting:
+    "the A-terms (for simplicity, all set to identity)")."""
+
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        l = np.asarray(l)
+        return identity_jones(l.shape)
+
+    @property
+    def is_identity(self) -> bool:
+        return True
+
+
+class GaussianBeamATerm(ATermGenerator):
+    """Scalar Gaussian primary beam, optionally drifting in gain per interval.
+
+    ``A = g(l, m) * eye`` with
+    ``g = exp(-4 ln 2 ((l**2 + m**2) / fwhm**2))``; per-interval gain drift
+    models slow beam-gain variation.
+    """
+
+    def __init__(self, fwhm: float, gain_drift_rms: float = 0.0, seed: int = 1):
+        if fwhm <= 0:
+            raise ValueError("fwhm must be positive")
+        self.fwhm = float(fwhm)
+        self.gain_drift_rms = float(gain_drift_rms)
+        self.seed = int(seed)
+
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        l = np.asarray(l, dtype=np.float64)
+        m = np.asarray(m, dtype=np.float64)
+        gain = np.exp(-4.0 * np.log(2.0) * (l * l + m * m) / (self.fwhm**2))
+        if self.gain_drift_rms:
+            rng = self._rng(self.seed, station, interval)
+            gain = gain * (1.0 + self.gain_drift_rms * rng.standard_normal())
+        out = identity_jones(l.shape)
+        return out * gain[..., np.newaxis, np.newaxis]
+
+
+class PointingErrorATerm(ATermGenerator):
+    """Gaussian beam whose centre wanders per station and interval.
+
+    The pointing offset performs a deterministic pseudo-random walk with rms
+    step ``pointing_rms`` (direction cosines).  This is the classic DDE that
+    motivates A-projection (Bhatnagar et al. 2008).
+    """
+
+    def __init__(self, fwhm: float, pointing_rms: float, seed: int = 2):
+        if fwhm <= 0:
+            raise ValueError("fwhm must be positive")
+        self.fwhm = float(fwhm)
+        self.pointing_rms = float(pointing_rms)
+        self.seed = int(seed)
+
+    def _offset(self, station: int, interval: int) -> tuple[float, float]:
+        rng = self._rng(self.seed, station, interval)
+        dl, dm = rng.standard_normal(2) * self.pointing_rms
+        return float(dl), float(dm)
+
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        l = np.asarray(l, dtype=np.float64)
+        m = np.asarray(m, dtype=np.float64)
+        dl, dm = self._offset(station, interval)
+        r2 = (l - dl) ** 2 + (m - dm) ** 2
+        gain = np.exp(-4.0 * np.log(2.0) * r2 / (self.fwhm**2))
+        out = identity_jones(l.shape)
+        return out * gain[..., np.newaxis, np.newaxis]
+
+
+class LeakageATerm(ATermGenerator):
+    """Polarisation leakage: a full 2x2 Jones field with off-diagonal terms.
+
+    Models instrumental cross-polarisation: each station and interval gets a
+    random, direction-*linear* leakage field
+
+    ``A = [[1, d_xy(l, m)], [d_yx(l, m), 1]]``
+
+    with ``d = d0 + d1 * l + d2 * m`` and coefficients of rms
+    ``leakage_rms``.  Unlike the scalar beam/ionosphere generators, this
+    exercises the full Jones sandwich in the gridder/degridder (and is
+    rejected by the scalar-only AW-projection baseline — exactly the IDG
+    selling point).
+    """
+
+    def __init__(self, leakage_rms: float, field_of_view: float, seed: int = 4):
+        if field_of_view <= 0:
+            raise ValueError("field_of_view must be positive")
+        if leakage_rms < 0:
+            raise ValueError("leakage_rms must be >= 0")
+        self.leakage_rms = float(leakage_rms)
+        self.field_of_view = float(field_of_view)
+        self.seed = int(seed)
+
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        l = np.asarray(l, dtype=np.float64)
+        m = np.asarray(m, dtype=np.float64)
+        rng = self._rng(self.seed, station, interval)
+        coeff = self.leakage_rms * (
+            rng.standard_normal(6) + 1j * rng.standard_normal(6)
+        ) / np.sqrt(2.0)
+        scale = 2.0 / self.field_of_view
+        ln, mn = l * scale, m * scale
+        d_xy = coeff[0] + coeff[1] * ln + coeff[2] * mn
+        d_yx = coeff[3] + coeff[4] * ln + coeff[5] * mn
+        out = identity_jones(l.shape)
+        out[..., 0, 1] = d_xy
+        out[..., 1, 0] = d_yx
+        return out
+
+
+class IonosphereATerm(ATermGenerator):
+    """Differential ionospheric phase: ``A = exp(i phi(l, m)) * eye``.
+
+    ``phi`` is a low-order polynomial phase screen with random coefficients
+    per (station, interval), rms-normalised to ``rms_rad`` at the field edge
+    — a compact stand-in for a Kolmogorov screen that keeps the A-term
+    spatially smooth (as IDG's subgrid resolution requires).
+    """
+
+    def __init__(self, rms_rad: float, field_of_view: float, seed: int = 3):
+        if field_of_view <= 0:
+            raise ValueError("field_of_view must be positive")
+        self.rms_rad = float(rms_rad)
+        self.field_of_view = float(field_of_view)
+        self.seed = int(seed)
+
+    def phase(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        """The scalar phase screen in radians (exposed for tests)."""
+        rng = self._rng(self.seed, station, interval)
+        c = rng.standard_normal(5)
+        scale = 2.0 / self.field_of_view  # normalise coordinates to ~[-1, 1]
+        ln = np.asarray(l, dtype=np.float64) * scale
+        mn = np.asarray(m, dtype=np.float64) * scale
+        raw = c[0] * ln + c[1] * mn + c[2] * ln * mn + c[3] * (ln * ln - mn * mn) + c[4] * (
+            ln * ln + mn * mn
+        )
+        # rms of the raw polynomial over the unit square is O(1); scale to rms_rad.
+        return self.rms_rad * raw / np.sqrt(5.0 / 3.0)
+
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        phi = self.phase(station, interval, l, m)
+        out = identity_jones(np.asarray(l).shape)
+        return out * np.exp(1j * phi)[..., np.newaxis, np.newaxis]

@@ -1,0 +1,63 @@
+"""Vectorised 2x2 Jones-matrix algebra.
+
+All functions operate on arrays of shape ``(..., 2, 2)`` and broadcast over
+the leading axes, so a Jones *field* over an ``(n, n)`` image raster is simply
+an ``(n, n, 2, 2)`` array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def identity_jones(shape: tuple[int, ...] = (), dtype=np.complex128) -> np.ndarray:
+    """Identity Jones field of shape ``shape + (2, 2)``."""
+    out = np.zeros(shape + (2, 2), dtype=dtype)
+    out[..., 0, 0] = 1.0
+    out[..., 1, 1] = 1.0
+    return out
+
+
+def jones_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product ``a @ b`` over the trailing 2x2 axes (broadcasting)."""
+    return np.einsum("...ij,...jk->...ik", a, b)
+
+
+def hermitian(a: np.ndarray) -> np.ndarray:
+    """Conjugate transpose over the trailing 2x2 axes."""
+    return np.conj(np.swapaxes(a, -1, -2))
+
+
+def apply_sandwich(a_p: np.ndarray, b: np.ndarray, a_q: np.ndarray) -> np.ndarray:
+    """``A_p @ B @ A_q^H`` — the measurement-equation corruption of brightness.
+
+    This is the forward direction (degridding / prediction).  The adjoint used
+    in gridding is ``A_p^H @ S @ A_q`` (see :mod:`repro.core.gridder`).
+    """
+    return jones_multiply(jones_multiply(a_p, b), hermitian(a_q))
+
+
+def apply_adjoint_sandwich(a_p: np.ndarray, s: np.ndarray, a_q: np.ndarray) -> np.ndarray:
+    """``A_p^H @ S @ A_q`` — the adjoint correction applied by the gridder."""
+    return jones_multiply(jones_multiply(hermitian(a_p), s), a_q)
+
+
+def jones_inverse(a: np.ndarray) -> np.ndarray:
+    """Inverse of each 2x2 matrix (closed form, broadcasting).
+
+    Raises ``LinAlgError`` if any matrix is singular (determinant 0).
+    """
+    det = a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+    if np.any(det == 0):
+        raise np.linalg.LinAlgError("singular Jones matrix")
+    out = np.empty_like(a)
+    out[..., 0, 0] = a[..., 1, 1]
+    out[..., 1, 1] = a[..., 0, 0]
+    out[..., 0, 1] = -a[..., 0, 1]
+    out[..., 1, 0] = -a[..., 1, 0]
+    return out / det[..., np.newaxis, np.newaxis]
+
+
+def frobenius_norm(a: np.ndarray) -> np.ndarray:
+    """Frobenius norm over the trailing 2x2 axes."""
+    return np.sqrt((np.abs(a) ** 2).sum(axis=(-2, -1)))

@@ -1,0 +1,56 @@
+"""A-term update schedule.
+
+A-terms change slowly compared to the integration time; the paper's benchmark
+"updates [them] every 256 time steps".  The schedule maps a timestep index to
+its A-term interval and tells the execution plan where it must cut subgrids
+(a subgrid may only span timesteps sharing one A-term interval, because the
+correction is applied once per subgrid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ATermSchedule:
+    """Uniform A-term update cadence.
+
+    Attributes
+    ----------
+    update_interval:
+        Number of timesteps sharing one A-term evaluation (paper: 256).
+        ``0`` (with ``n_times`` arbitrary) means a single interval for the
+        whole observation.
+    """
+
+    update_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.update_interval < 0:
+            raise ValueError("update_interval must be >= 0")
+
+    def interval_of(self, time_index: int | np.ndarray):
+        """A-term interval index for timestep(s)."""
+        if self.update_interval == 0:
+            return np.zeros_like(np.asarray(time_index)) if np.ndim(time_index) else 0
+        return np.asarray(time_index) // self.update_interval if np.ndim(time_index) else int(
+            time_index
+        ) // self.update_interval
+
+    def n_intervals(self, n_times: int) -> int:
+        if self.update_interval == 0:
+            return 1
+        return (n_times + self.update_interval - 1) // self.update_interval
+
+    def boundaries(self, n_times: int) -> np.ndarray:
+        """Timestep indices at which a new interval starts (excluding 0)."""
+        if self.update_interval == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(self.update_interval, n_times, self.update_interval, dtype=np.int64)
+
+    def same_interval(self, t0: int, t1: int) -> bool:
+        """True if timesteps ``t0`` and ``t1`` share an A-term evaluation."""
+        return int(self.interval_of(t0)) == int(self.interval_of(t1))

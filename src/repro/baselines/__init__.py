@@ -1,0 +1,21 @@
+"""Traditional gridding baselines: W-projection, W-stacking, AW-projection.
+
+These are the algorithms IDG is evaluated against (paper Sections III and
+VI-E).  ``wprojection`` implements the classic per-visibility convolutional
+gridder with oversampled w kernels (the algorithm behind WPG [19]);
+``wstacking`` caps the kernel support by splitting the w range into planes
+(grid copies); ``awprojection`` bakes A-terms into per-(station-pair,
+interval) kernels — demonstrating the storage/compute blow-up IDG avoids.
+"""
+
+from repro.baselines.wprojection import WProjectionGridder
+from repro.baselines.wstacking import WStackingGridder
+from repro.baselines.awprojection import AWProjectionGridder
+from repro.baselines.adapter import WProjectionImager
+
+__all__ = [
+    "WProjectionGridder",
+    "WStackingGridder",
+    "AWProjectionGridder",
+    "WProjectionImager",
+]

@@ -1,0 +1,210 @@
+"""AW-projection gridding (Bhatnagar et al. 2008; LOFAR's AWImager).
+
+Extends W-projection by baking the direction-dependent A-terms into the
+convolution kernels.  Because A-terms are per *station* and per *update
+interval*, the kernel for a visibility depends on (station p, station q,
+interval, w plane, fractional offset) — the combinatorial kernel-count
+explosion quoted in the paper's Section VI-E ("requires significantly more
+instructions and bandwidth for loading the [convolution kernels], because
+they are dependent on time, frequency, polarization and possibly baseline").
+IDG sidesteps all of it by applying the same A-terms as cheap image-domain
+multiplications.
+
+Scope: this implementation supports *scalar* A-terms (``A = a(l, m) * eye``,
+which covers the beam/pointing/ionosphere generators in
+:mod:`repro.aterms.generators`); full 2x2 Mueller kernels would multiply the
+kernel count by another factor of 16 without changing the scaling story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aterms.generators import ATermGenerator
+from repro.aterms.schedule import ATermSchedule
+from repro.baselines.wprojection import WProjectionGridder, _FlatVisibilities
+from repro.constants import COMPLEX_DTYPE
+from repro.gridspec import GridSpec
+from repro.kernels.convolution import _oversample_image_function
+from repro.kernels.fft import image_coordinates
+from repro.kernels.wkernel import w_kernel_image
+
+
+class AWProjectionGridder(WProjectionGridder):
+    """W-projection with per-(baseline, interval) A-term kernels.
+
+    Parameters as :class:`WProjectionGridder`, plus the A-term generator and
+    its update schedule.  Kernels are cached per
+    ``(w plane, interval, station_p, station_q, sign)`` — inspect
+    :meth:`kernel_count` / :meth:`kernel_storage_bytes` to see the blow-up.
+    """
+
+    def __init__(
+        self,
+        gridspec: GridSpec,
+        aterms: ATermGenerator,
+        schedule: ATermSchedule | None = None,
+        **kwargs,
+    ):
+        super().__init__(gridspec, **kwargs)
+        self.aterms = aterms
+        self.schedule = schedule or ATermSchedule(0)
+        self._aw_tables: dict[tuple[int, int, int, int, int], np.ndarray] = {}
+        self._scalar_cache: dict[tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------- kernels
+
+    def _scalar_aterm(self, station: int, interval: int) -> np.ndarray:
+        """Scalar A-term field a(l, m) on the kernel raster.
+
+        Raises if the generator is not scalar (off-diagonal Jones terms).
+        """
+        key = (station, interval)
+        if key not in self._scalar_cache:
+            field = self.aterms.evaluate_raster(
+                station, interval, self.kernel_raster, self.gridspec.image_size
+            )
+            off_diag = max(
+                float(np.abs(field[..., 0, 1]).max()), float(np.abs(field[..., 1, 0]).max())
+            )
+            diag_diff = float(np.abs(field[..., 0, 0] - field[..., 1, 1]).max())
+            if off_diag > 1e-9 or diag_diff > 1e-9:
+                raise NotImplementedError(
+                    "AW-projection here supports scalar A-terms only "
+                    "(A = a(l, m) * eye); use IDG for full 2x2 Jones fields"
+                )
+            self._scalar_cache[key] = field[..., 0, 0]
+        return self._scalar_cache[key]
+
+    def _aw_kernel_table(
+        self, plane: int, interval: int, station_p: int, station_q: int, sign: int
+    ) -> np.ndarray:
+        key = (plane, interval, station_p, station_q, sign)
+        if key not in self._aw_tables:
+            if sign < 0:
+                # Degridding evaluates the prediction kernel at the mirrored
+                # argument; by the reflection identity this is the conjugate
+                # of the gridding table (see WProjectionGridder._kernel_table).
+                self._aw_tables[key] = np.conj(
+                    self._aw_kernel_table(plane, interval, station_p, station_q, +1)
+                )
+            else:
+                w = float(self._plane_centres[plane])
+                screen = w_kernel_image(
+                    w, self.kernel_raster, self.gridspec.image_size, sign=+1.0
+                )
+                a_p = self._scalar_aterm(station_p, interval)
+                a_q = self._scalar_aterm(station_q, interval)
+                # gridding (adjoint) direction uses conj(a_p) * a_q, the
+                # scalar counterpart of IDG's A_p^H S A_q sandwich
+                aw = np.conj(a_p) * a_q
+                table = _oversample_image_function(
+                    screen * self._taper * aw, self.support, self.oversample
+                )
+                self._aw_tables[key] = table.astype(np.complex64)
+        return self._aw_tables[key]
+
+    def kernel_count(self) -> int:
+        """Number of distinct AW kernel tables built so far."""
+        return len(self._aw_tables)
+
+    def kernel_storage_bytes(self) -> int:
+        return sum(t.nbytes for t in self._aw_tables.values())
+
+    # ------------------------------------------------------------- gridding
+
+    def grid_aw(
+        self,
+        uvw_m: np.ndarray,
+        frequencies_hz: np.ndarray,
+        visibilities: np.ndarray,
+        baselines: np.ndarray,
+        grid: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Grid with A-term corrected kernels (adjoint direction)."""
+        return self._run_aw(
+            uvw_m, frequencies_hz, visibilities, baselines, sign=+1, grid=grid
+        )
+
+    def degrid_aw(
+        self,
+        uvw_m: np.ndarray,
+        frequencies_hz: np.ndarray,
+        grid: np.ndarray,
+        baselines: np.ndarray,
+    ) -> np.ndarray:
+        """Predict visibilities with A-term corrupted kernels."""
+        return self._run_aw(uvw_m, frequencies_hz, None, baselines, sign=-1, grid=grid)
+
+    # -------------------------------------------------------------- driver
+
+    def _run_aw(self, uvw_m, frequencies_hz, visibilities, baselines, sign, grid):
+        gs = self.gridspec
+        g = gs.grid_size
+        n_bl, n_times, _ = uvw_m.shape
+        n_chan = np.atleast_1d(np.asarray(frequencies_hz)).size
+        flat, _ = self._flatten(uvw_m, frequencies_hz)
+        s = self.support
+        half = s // 2
+        offsets = np.arange(s) - half
+
+        gridding = sign > 0
+        if gridding:
+            if grid is None:
+                grid = gs.allocate_grid(dtype=COMPLEX_DTYPE)
+            vis_flat = np.asarray(visibilities).reshape(-1, 4)
+            out = None
+        else:
+            out = np.zeros((n_bl * n_times * n_chan, 4), dtype=np.complex64)
+        grid_flat = grid.reshape(4, g * g)
+
+        # per-visibility interval and baseline indices (flattened order)
+        t_index = np.broadcast_to(
+            np.arange(n_times)[np.newaxis, :, np.newaxis], (n_bl, n_times, n_chan)
+        ).ravel()
+        bl_index = np.broadcast_to(
+            np.arange(n_bl)[:, np.newaxis, np.newaxis], (n_bl, n_times, n_chan)
+        ).ravel()
+        interval = np.asarray(self.schedule.interval_of(t_index))
+
+        idx_all = np.flatnonzero(flat.inside)
+        # group by (baseline, interval, plane): each group shares one kernel
+        group_key = (
+            bl_index[idx_all] * 10_000_000
+            + interval[idx_all] * 1_000
+            + flat.plane[idx_all]
+        )
+        order = np.argsort(group_key, kind="stable")
+        idx_sorted = idx_all[order]
+        key_sorted = group_key[order]
+        boundaries = np.flatnonzero(np.diff(key_sorted)) + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [idx_sorted.size]])
+
+        for a, b in zip(starts, stops):
+            sel = idx_sorted[a:b]
+            bl = int(bl_index[sel[0]])
+            itv = int(interval[sel[0]])
+            plane = int(flat.plane[sel[0]])
+            p_st, q_st = int(baselines[bl, 0]), int(baselines[bl, 1])
+            table = self._aw_kernel_table(plane, itv, p_st, q_st, sign)
+            kernels = table[flat.sub_v[sel], flat.sub_u[sel]].reshape(sel.size, -1)
+            rows = flat.cell_v[sel, np.newaxis] + offsets[np.newaxis, :]
+            cols = flat.cell_u[sel, np.newaxis] + offsets[np.newaxis, :]
+            cell_idx = (rows[:, :, np.newaxis] * g + cols[:, np.newaxis, :]).reshape(
+                sel.size, -1
+            )
+            if gridding:
+                for pol in range(4):
+                    np.add.at(
+                        grid_flat[pol],
+                        cell_idx.ravel(),
+                        (kernels * vis_flat[sel, pol, np.newaxis]).ravel(),
+                    )
+            else:
+                for pol in range(4):
+                    patches = grid_flat[pol][cell_idx]
+                    out[sel, pol] = (patches * kernels).sum(axis=1)
+        if gridding:
+            return grid
+        return out.reshape(n_bl, n_times, n_chan, 2, 2)

@@ -1,0 +1,168 @@
+"""W-stacking (Offringa et al. 2014, WSClean's approach).
+
+The w range is split into ``n_planes`` planes; each plane gets its own grid
+copy.  Visibilities are gridded onto their nearest plane with a *small*
+residual-w kernel (delegated to :class:`WProjectionGridder` with the residual
+range), each plane's grid is inverse-FFT'd, multiplied by the plane's exact
+image-domain w screen ``exp(+2*pi*i*w_p*n(l, m))``, and the corrected images
+are summed.  Prediction runs the same pipeline in reverse.
+
+This is the memory/compute trade the paper discusses: more planes → smaller
+kernels (cheaper gridding) but one full grid per plane; IDG with large
+subgrids "dramatically limit[s] the number of required W-planes"
+(Section IV) — the ablation benchmark sweeps both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.wprojection import WProjectionGridder
+from repro.constants import COMPLEX_DTYPE, SPEED_OF_LIGHT
+from repro.gridspec import GridSpec
+from repro.kernels.fft import centered_fft2, centered_ifft2
+from repro.kernels.spheroidal import grid_correction
+from repro.kernels.wkernel import w_kernel_image
+
+
+class WStackingGridder:
+    """W-stacking imaging/prediction built on per-plane W-projection.
+
+    Parameters
+    ----------
+    gridspec:
+        Master grid geometry.
+    n_planes:
+        Number of w planes (grid copies).
+    support:
+        Residual-w kernel support per plane.
+    inner_w_planes:
+        w quantisation steps *within* a plane's residual range.
+    """
+
+    def __init__(
+        self,
+        gridspec: GridSpec,
+        n_planes: int = 8,
+        support: int = 8,
+        oversample: int = 8,
+        inner_w_planes: int = 8,
+        kernel_raster: int = 64,
+    ):
+        if n_planes <= 0:
+            raise ValueError("n_planes must be positive")
+        self.gridspec = gridspec
+        self.n_planes = n_planes
+        self.support = support
+        self.oversample = oversample
+        self.inner_w_planes = inner_w_planes
+        self.kernel_raster = kernel_raster
+
+    # ------------------------------------------------------------- helpers
+
+    def _plane_assignment(
+        self, uvw_m: np.ndarray, frequencies_hz: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(plane_centres, per-visibility plane index) over the w range."""
+        frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
+        scale = frequencies_hz / SPEED_OF_LIGHT
+        w_wl = (uvw_m[:, :, 2, np.newaxis] * scale)  # (n_bl, T, C)
+        w_min, w_max = float(w_wl.min()), float(w_wl.max())
+        if self.n_planes == 1:
+            centres = np.array([0.5 * (w_min + w_max)])
+            idx = np.zeros_like(w_wl, dtype=np.int64)
+        else:
+            centres = np.linspace(w_min, w_max, self.n_planes)
+            step = centres[1] - centres[0]
+            idx = np.clip(
+                np.rint((w_wl - centres[0]) / step).astype(np.int64), 0, self.n_planes - 1
+            )
+        return centres, idx
+
+    def _inner_gridder(self) -> WProjectionGridder:
+        return WProjectionGridder(
+            self.gridspec,
+            support=self.support,
+            oversample=self.oversample,
+            n_w_planes=self.inner_w_planes,
+            kernel_raster=self.kernel_raster,
+        )
+
+    def _w_screen(self, w: float, sign: float) -> np.ndarray:
+        return w_kernel_image(w, self.gridspec.grid_size, self.gridspec.image_size, sign=sign)
+
+    # -------------------------------------------------------------- imaging
+
+    def image(
+        self,
+        uvw_m: np.ndarray,
+        frequencies_hz: np.ndarray,
+        visibilities: np.ndarray,
+        weight_sum: float | None = None,
+    ) -> np.ndarray:
+        """Dirty image (4, G, G, complex) of a visibility set.
+
+        Grid correction and weight normalisation are applied; reduce with
+        :func:`repro.imaging.image.stokes_i_image` for a real Stokes-I map.
+        """
+        centres, plane_idx = self._plane_assignment(uvw_m, frequencies_hz)
+        g = self.gridspec.grid_size
+        accum = np.zeros((4, g, g), dtype=np.complex128)
+        total_gridded = 0
+        for p, w_p in enumerate(centres):
+            mask = plane_idx == p
+            if not mask.any():
+                continue
+            # zero out visibilities not in this plane; the gridder skips
+            # nothing but adds zeros, keeping uvw/vis shapes aligned.
+            vis_plane = np.where(
+                mask[..., np.newaxis, np.newaxis], visibilities, 0
+            ).astype(COMPLEX_DTYPE)
+            gridder = self._inner_gridder()
+            grid = gridder.grid(uvw_m, frequencies_hz, vis_plane, w_offset=float(w_p))
+            flagged = gridder.flagged_mask(uvw_m, frequencies_hz)
+            total_gridded += int((mask & ~flagged).sum())
+            image_p = centered_ifft2(grid, axes=(-2, -1)) * (g * g)
+            accum += image_p * self._w_screen(float(w_p), sign=+1.0)
+        if weight_sum is None:
+            weight_sum = max(total_gridded, 1)
+        corr = grid_correction(g)
+        return accum / weight_sum / corr
+
+    # ------------------------------------------------------------ predicting
+
+    def predict(
+        self,
+        model_image: np.ndarray,
+        uvw_m: np.ndarray,
+        frequencies_hz: np.ndarray,
+    ) -> np.ndarray:
+        """Predict visibilities of a (4, G, G) model image."""
+        g = self.gridspec.grid_size
+        if model_image.shape != (4, g, g):
+            raise ValueError(f"model image must be (4, {g}, {g}), got {model_image.shape}")
+        centres, plane_idx = self._plane_assignment(uvw_m, frequencies_hz)
+        corr = grid_correction(g)
+        pre = model_image / corr
+        n_bl, n_times, _ = uvw_m.shape
+        n_chan = np.atleast_1d(np.asarray(frequencies_hz)).size
+        out = np.zeros((n_bl, n_times, n_chan, 2, 2), dtype=COMPLEX_DTYPE)
+        for p, w_p in enumerate(centres):
+            mask = plane_idx == p
+            if not mask.any():
+                continue
+            screened = pre * self._w_screen(float(w_p), sign=-1.0)
+            grid = centered_fft2(screened, axes=(-2, -1)).astype(COMPLEX_DTYPE)
+            gridder = self._inner_gridder()
+            pred = gridder.degrid(uvw_m, frequencies_hz, grid, w_offset=float(w_p))
+            out[mask] = pred[mask]
+        return out
+
+    # -------------------------------------------------------------- metrics
+
+    def memory_bytes(self) -> int:
+        """Grid-copy memory: the W-stacking cost the paper contrasts with
+        IDG's subgrids ("prohibitively memory consuming for high-resolution
+        images")."""
+        g = self.gridspec.grid_size
+        return self.n_planes * 4 * g * g * np.dtype(COMPLEX_DTYPE).itemsize

@@ -1,0 +1,25 @@
+"""Calibration substrate (paper Fig 1, step 2).
+
+The paper's pipeline corrects "instrument parameters and environmental
+effects" before imaging; this package provides the standard
+direction-independent piece: per-station complex gains estimated with the
+alternating-direction implicit solver of Salvini & Wijnholds (2014),
+universally known as **StEFCal** — the algorithm LOFAR and SKA pipelines
+use.  ``gains`` applies/corrupts with gain solutions; ``stefcal`` estimates
+them from (data, model) visibility pairs.
+"""
+
+from repro.calibration.gains import (
+    apply_gains,
+    corrupt_with_gains,
+    random_gains,
+)
+from repro.calibration.stefcal import StefcalResult, stefcal
+
+__all__ = [
+    "apply_gains",
+    "corrupt_with_gains",
+    "random_gains",
+    "StefcalResult",
+    "stefcal",
+]

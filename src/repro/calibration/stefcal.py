@@ -1,0 +1,163 @@
+"""StEFCal: alternating-direction per-station gain estimation.
+
+Salvini & Wijnholds (2014).  Given data ``V_pq`` and model ``M_pq`` with the
+corruption model ``V_pq = g_p M_pq conj(g_q)``, each iteration solves every
+station's gain in closed form with all other gains held fixed:
+
+``g_p = sum_q g_q A[p, q] / sum_q |g_q|^2 B[p, q]``
+
+where ``A[p, q] = sum_samples V_pq conj(M_pq)`` and
+``B[p, q] = sum_samples |M_pq|^2`` accumulate over all (time, channel,
+polarisation) samples of the solution interval — so the per-iteration cost
+is O(n_stations^2) regardless of data volume.  Every second iteration
+averages with the previous solution, the damping that gives StEFCal its
+guaranteed convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StefcalResult:
+    """Gain solutions per solution interval.
+
+    Attributes
+    ----------
+    gains:
+        ``(n_intervals, n_stations)`` complex gains (reference station's
+        phase zeroed).
+    n_iterations:
+        Iterations used per interval.
+    converged:
+        Convergence flag per interval.
+    """
+
+    gains: np.ndarray
+    n_iterations: np.ndarray
+    converged: np.ndarray
+
+    @property
+    def n_intervals(self) -> int:
+        return self.gains.shape[0]
+
+
+def _accumulate_normal_matrices(
+    data: np.ndarray, model: np.ndarray, baselines: np.ndarray, n_stations: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build A (correlation) and B (model power) station matrices.
+
+    ``data``/``model``: ``(n_baselines, n_samples)`` complex (samples =
+    flattened time x channel x polarisation within one solution interval).
+    """
+    a = np.zeros((n_stations, n_stations), dtype=np.complex128)
+    b = np.zeros((n_stations, n_stations), dtype=np.float64)
+    corr = (data * np.conj(model)).sum(axis=1)
+    power = (np.abs(model) ** 2).sum(axis=1)
+    p_idx = baselines[:, 0]
+    q_idx = baselines[:, 1]
+    a[p_idx, q_idx] = corr
+    a[q_idx, p_idx] = np.conj(corr)
+    b[p_idx, q_idx] = power
+    b[q_idx, p_idx] = power
+    return a, b
+
+
+def _solve_interval(
+    a: np.ndarray,
+    b: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+    reference_station: int,
+) -> tuple[np.ndarray, int, bool]:
+    n_stations = a.shape[0]
+    gains = np.ones(n_stations, dtype=np.complex128)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        previous = gains.copy()
+        numerator = a @ gains
+        denominator = b @ (np.abs(gains) ** 2)
+        # stations with no model power keep their current gain
+        valid = denominator > 0
+        new = gains.copy()
+        new[valid] = numerator[valid] / denominator[valid]
+        if iteration % 2 == 0:
+            new = 0.5 * (new + previous)
+        gains = new
+        change = np.linalg.norm(gains - previous) / max(np.linalg.norm(gains), 1e-30)
+        if change < tolerance:
+            converged = True
+            break
+    gains = gains * np.exp(-1j * np.angle(gains[reference_station]))
+    return gains, iteration, converged
+
+
+def stefcal(
+    data: np.ndarray,
+    model: np.ndarray,
+    baselines: np.ndarray,
+    n_stations: int,
+    solution_interval: int = 0,
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+    reference_station: int = 0,
+) -> StefcalResult:
+    """Estimate per-station scalar gains from (data, model) visibilities.
+
+    Parameters
+    ----------
+    data, model:
+        ``(n_baselines, n_times, n_channels, 2, 2)`` visibility sets; the
+        diagonal (XX, YY) correlations feed the scalar solver.
+    baselines:
+        ``(n_baselines, 2)`` station pairs.
+    n_stations:
+        Number of stations (gain solutions).
+    solution_interval:
+        Timesteps per solution (0 = one solution for the whole set).
+    max_iterations, tolerance:
+        StEFCal stopping rule (relative gain change).
+    reference_station:
+        Station whose phase is fixed to zero.
+
+    Returns
+    -------
+    :class:`StefcalResult`.
+    """
+    data = np.asarray(data)
+    model = np.asarray(model)
+    baselines = np.asarray(baselines)
+    if data.shape != model.shape:
+        raise ValueError(f"data shape {data.shape} != model shape {model.shape}")
+    if data.ndim != 5 or data.shape[3:] != (2, 2):
+        raise ValueError("expected (n_bl, n_times, n_channels, 2, 2) visibilities")
+    n_bl, n_times = data.shape[:2]
+    if baselines.shape != (n_bl, 2):
+        raise ValueError(f"baselines must be ({n_bl}, 2)")
+    if not (0 <= reference_station < n_stations):
+        raise ValueError("reference_station out of range")
+    if solution_interval < 0:
+        raise ValueError("solution_interval must be >= 0")
+    interval = solution_interval or n_times
+    n_intervals = (n_times + interval - 1) // interval
+
+    # scalar solver uses the parallel-hand correlations XX and YY
+    diag_data = np.stack([data[..., 0, 0], data[..., 1, 1]], axis=-1)
+    diag_model = np.stack([model[..., 0, 0], model[..., 1, 1]], axis=-1)
+
+    gains = np.empty((n_intervals, n_stations), dtype=np.complex128)
+    iterations = np.empty(n_intervals, dtype=np.int64)
+    converged = np.empty(n_intervals, dtype=bool)
+    for k in range(n_intervals):
+        t0, t1 = k * interval, min((k + 1) * interval, n_times)
+        d = diag_data[:, t0:t1].reshape(n_bl, -1).astype(np.complex128)
+        m = diag_model[:, t0:t1].reshape(n_bl, -1).astype(np.complex128)
+        a, b = _accumulate_normal_matrices(d, m, baselines, n_stations)
+        gains[k], iterations[k], converged[k] = _solve_interval(
+            a, b, max_iterations, tolerance, reference_station
+        )
+    return StefcalResult(gains=gains, n_iterations=iterations, converged=converged)

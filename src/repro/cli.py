@@ -1,0 +1,354 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The commands cover the full simulate → flag → calibrate → image →
+deconvolve → predict loop plus the performance model, all operating on
+``.npz`` artefacts:
+
+* ``simulate``  — synthesise a dataset (layout, uvw, sky, optional noise);
+* ``info``      — summarise a dataset;
+* ``image``     — dirty image (IDG gridding + FFT + grid correction);
+* ``clean``     — CLEAN major cycle; writes model + residual images;
+* ``predict``   — degrid a model image back to visibilities;
+* ``flag``      — sigma-clip RFI flagging;
+* ``calibrate`` — StEFCal gain calibration against a point-source model;
+* ``perfmodel`` — print the hardware-model predictions for a dataset's plan;
+* ``report``    — render the paper's full Section VI evaluation for a
+  dataset (all figures, formatted text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Image-Domain Gridding (IDG) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="synthesise a visibility dataset")
+    sim.add_argument("output", help="output dataset (.npz)")
+    sim.add_argument("--stations", type=int, default=16)
+    sim.add_argument("--times", type=int, default=64)
+    sim.add_argument("--channels", type=int, default=8)
+    sim.add_argument("--integration", type=float, default=120.0,
+                     help="integration time per step [s]")
+    sim.add_argument("--radius", type=float, default=3000.0,
+                     help="array radius [m]")
+    sim.add_argument("--sources", type=int, default=4)
+    sim.add_argument("--grid-size", type=int, default=512,
+                     help="grid used to size the field of view")
+    sim.add_argument("--noise-sefd", type=float, default=0.0,
+                     help="SEFD [Jy]; 0 disables thermal noise")
+    sim.add_argument("--seed", type=int, default=0)
+
+    info = sub.add_parser("info", help="summarise a dataset")
+    info.add_argument("dataset", help="dataset (.npz)")
+
+    img = sub.add_parser("image", help="make a dirty image")
+    img.add_argument("dataset")
+    img.add_argument("output", help="output image (.npz)")
+    img.add_argument("--grid-size", type=int, default=512)
+    img.add_argument("--subgrid-size", type=int, default=24)
+    img.add_argument("--weighting", choices=["natural", "uniform"],
+                     default="natural")
+
+    clean = sub.add_parser("clean", help="run the CLEAN major cycle")
+    clean.add_argument("dataset")
+    clean.add_argument("output", help="output images (.npz: model, residual, psf)")
+    clean.add_argument("--grid-size", type=int, default=512)
+    clean.add_argument("--subgrid-size", type=int, default=24)
+    clean.add_argument("--major-cycles", type=int, default=3)
+    clean.add_argument("--minor-iterations", type=int, default=200)
+    clean.add_argument("--gain", type=float, default=0.1)
+
+    pred = sub.add_parser("predict", help="degrid a model image to visibilities")
+    pred.add_argument("dataset", help="dataset supplying uvw/frequencies")
+    pred.add_argument("model", help="model image (.npz with 'model' of shape (G, G))")
+    pred.add_argument("output", help="output dataset (.npz)")
+    pred.add_argument("--subgrid-size", type=int, default=24)
+
+    flag = sub.add_parser("flag", help="sigma-clip RFI flagging")
+    flag.add_argument("dataset")
+    flag.add_argument("output", help="flagged dataset (.npz)")
+    flag.add_argument("--threshold", type=float, default=5.0)
+
+    cal = sub.add_parser("calibrate",
+                         help="StEFCal gains against a point-source model")
+    cal.add_argument("dataset")
+    cal.add_argument("output", help="calibrated dataset (.npz)")
+    cal.add_argument("--model-l", type=float, required=True,
+                     help="calibrator direction cosine l")
+    cal.add_argument("--model-m", type=float, required=True)
+    cal.add_argument("--model-flux", type=float, required=True)
+    cal.add_argument("--solution-interval", type=int, default=0)
+
+    perf = sub.add_parser("perfmodel", help="hardware-model predictions")
+    perf.add_argument("dataset")
+    perf.add_argument("--grid-size", type=int, default=2048)
+    perf.add_argument("--subgrid-size", type=int, default=24)
+
+    rep = sub.add_parser("report", help="full Section VI evaluation report")
+    rep.add_argument("dataset")
+    rep.add_argument("--grid-size", type=int, default=2048)
+    rep.add_argument("--subgrid-size", type=int, default=24)
+    rep.add_argument("--output", default=None,
+                     help="also write the report to this file")
+
+    return parser
+
+
+# --------------------------------------------------------------- commands
+
+
+def _cmd_simulate(args) -> int:
+    from repro.data.dataset import VisibilityDataset
+    from repro.data.io import save_dataset
+    from repro.data.noise import add_thermal_noise
+    from repro.sky.sources import random_sky
+    from repro.telescope.observation import ska1_low_observation
+
+    obs = ska1_low_observation(
+        n_stations=args.stations, n_times=args.times, n_channels=args.channels,
+        integration_time_s=args.integration, max_radius_m=args.radius,
+        seed=args.seed,
+    )
+    gridspec = obs.fitting_gridspec(args.grid_size)
+    sky = random_sky(args.sources, gridspec.image_size, seed=args.seed)
+    dataset = VisibilityDataset.simulate(obs, sky)
+    if args.noise_sefd > 0:
+        channel_width = float(np.diff(obs.frequencies_hz).mean()) if obs.n_channels > 1 else 200e3
+        dataset = add_thermal_noise(
+            dataset, args.noise_sefd, channel_width, args.integration,
+            seed=args.seed,
+        )
+    save_dataset(dataset, args.output)
+    print(f"wrote {dataset.n_visibilities:,} visibilities "
+          f"({dataset.n_baselines} baselines x {dataset.n_times} x "
+          f"{dataset.n_channels}) to {args.output}")
+    print(f"sky: {sky.n_sources} sources, {sky.total_flux_xx():.2f} Jy total; "
+          f"field of view {np.degrees(gridspec.image_size):.2f} deg")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.data.io import load_dataset
+
+    ds = load_dataset(args.dataset)
+    uv_max = float(np.linalg.norm(ds.uvw_m[:, :, :2], axis=2).max())
+    print(f"dataset: {args.dataset}")
+    print(f"  baselines: {ds.n_baselines}  times: {ds.n_times}  "
+          f"channels: {ds.n_channels}")
+    print(f"  visibilities: {ds.n_visibilities:,}  "
+          f"flagged: {100 * ds.flag_fraction():.2f}%")
+    print(f"  frequencies: {ds.frequencies_hz.min() / 1e6:.2f} - "
+          f"{ds.frequencies_hz.max() / 1e6:.2f} MHz")
+    print(f"  max |uv|: {uv_max:.1f} m   max |w|: "
+          f"{np.abs(ds.uvw_m[:, :, 2]).max():.1f} m")
+    print(f"  mean |V|: {np.abs(ds.visibilities).mean():.4f}")
+    return 0
+
+
+def _make_idg(dataset, grid_size, subgrid_size):
+    from repro.constants import SPEED_OF_LIGHT
+    from repro.core.pipeline import IDG, IDGConfig
+    from repro.gridspec import GridSpec
+
+    max_uv_m = float(np.linalg.norm(dataset.uvw_m[:, :, :2], axis=2).max())
+    max_uv = max_uv_m * dataset.frequencies_hz.max() / SPEED_OF_LIGHT
+    image_size = min(0.9 * grid_size / (2.0 * max_uv), 1.0)
+    gridspec = GridSpec(grid_size=grid_size, image_size=image_size)
+    idg = IDG(gridspec, IDGConfig(subgrid_size=subgrid_size))
+    return idg, gridspec
+
+
+def _cmd_image(args) -> int:
+    from repro.data.io import load_dataset
+    from repro.imaging.image import dirty_image_from_grid, stokes_i_image
+    from repro.imaging.weighting import apply_weights, uniform_weights
+
+    ds = load_dataset(args.dataset)
+    idg, gridspec = _make_idg(ds, args.grid_size, args.subgrid_size)
+    plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
+
+    vis = ds.visibilities
+    weight_sum = float(plan.statistics.n_visibilities_gridded)
+    if args.weighting == "uniform":
+        weights = uniform_weights(ds.uvw_m, ds.frequencies_hz, gridspec)
+        weights[plan.flagged] = 0.0
+        vis = apply_weights(vis, weights)
+        weight_sum = float(weights.sum())
+
+    grid = idg.grid(plan, ds.uvw_m, vis)
+    image = stokes_i_image(
+        dirty_image_from_grid(grid, gridspec, weight_sum=weight_sum)
+    )
+    np.savez_compressed(args.output, image=image, image_size=gridspec.image_size)
+    peak = float(np.abs(image).max())
+    print(f"wrote {args.grid_size}x{args.grid_size} dirty image to "
+          f"{args.output} (peak {peak:.4f}, rms {image.std():.5f})")
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    from repro.data.io import load_dataset
+    from repro.imaging.cycle import ImagingCycle
+
+    ds = load_dataset(args.dataset)
+    idg, gridspec = _make_idg(ds, args.grid_size, args.subgrid_size)
+    cycle = ImagingCycle(idg, ds.uvw_m, ds.frequencies_hz, ds.baselines)
+    result = cycle.run(
+        ds.visibilities, n_major=args.major_cycles,
+        minor_iterations=args.minor_iterations, gain=args.gain,
+    )
+    np.savez_compressed(
+        args.output,
+        model=result.model_image, residual=result.residual_image,
+        psf=result.psf, image_size=gridspec.image_size,
+    )
+    print(f"{result.n_major_cycles} major cycles; CLEANed flux "
+          f"{result.total_clean_flux():.3f}; residual rms "
+          + " -> ".join(f"{r:.5f}" for r in result.residual_rms_history))
+    print(f"wrote model/residual/psf to {args.output}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.data.io import load_dataset, save_dataset
+    from repro.imaging.image import model_image_to_grid
+
+    ds = load_dataset(args.dataset)
+    with np.load(args.model) as archive:
+        model = archive["model"]
+    g = model.shape[-1]
+    idg, gridspec = _make_idg(ds, g, args.subgrid_size)
+    model4 = np.zeros((4, g, g), dtype=np.complex128)
+    model4[0] = model
+    model4[3] = model
+    plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
+    grid = model_image_to_grid(model4, gridspec)
+    predicted = idg.degrid(plan, ds.uvw_m, grid)
+    save_dataset(ds.with_visibilities(predicted), args.output)
+    print(f"wrote predicted visibilities to {args.output}")
+    return 0
+
+
+def _cmd_perfmodel(args) -> int:
+    from repro.data.io import load_dataset
+    from repro.perfmodel import (
+        ALL_ARCHITECTURES,
+        attainable_ops,
+        energy_efficiency_gflops_per_watt,
+        gridder_counts,
+        imaging_cycle_runtime,
+        throughput_mvis,
+    )
+
+    ds = load_dataset(args.dataset)
+    idg, _ = _make_idg(ds, args.grid_size, args.subgrid_size)
+    plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
+    counts = gridder_counts(plan)
+    print(f"plan: {plan.n_subgrids} subgrids, "
+          f"{counts.ops / 1e9:.2f} GOps gridding, rho = {counts.rho:.1f}")
+    print(f"{'arch':<8} {'gridder':>20} {'MVis/s':>8} {'cycle s':>9} "
+          f"{'GFlops/W':>9}")
+    for arch in ALL_ARCHITECTURES:
+        perf, bound = attainable_ops(arch, counts)
+        cycle = imaging_cycle_runtime(arch, plan)
+        print(f"{arch.name:<8} "
+              f"{perf / 1e12:6.2f} TOps ({bound:<6}) "
+              f"{throughput_mvis(arch, counts):8.1f} "
+              f"{cycle.total_seconds:9.4f} "
+              f"{energy_efficiency_gflops_per_watt(arch, counts):9.1f}")
+    return 0
+
+
+def _cmd_flag(args) -> int:
+    from repro.data.io import load_dataset, save_dataset
+    from repro.data.rfi import flag_rfi
+
+    ds = load_dataset(args.dataset)
+    before = ds.flags.sum()
+    flagged = flag_rfi(ds, threshold=args.threshold)
+    save_dataset(flagged, args.output)
+    new = int(flagged.flags.sum() - before)
+    print(f"flagged {new} new samples "
+          f"({100 * flagged.flag_fraction():.2f}% total); wrote {args.output}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.calibration import apply_gains, stefcal
+    from repro.data.io import load_dataset, save_dataset
+    from repro.sky.model import SkyModel
+    from repro.sky.simulate import predict_visibilities
+
+    ds = load_dataset(args.dataset)
+    n_stations = int(ds.baselines.max()) + 1
+    sky = SkyModel.single(args.model_l, args.model_m, flux=args.model_flux)
+    model_vis = predict_visibilities(
+        ds.uvw_m, ds.frequencies_hz, sky, baselines=ds.baselines
+    )
+    solution = stefcal(
+        ds.visibilities, model_vis, ds.baselines, n_stations=n_stations,
+        solution_interval=args.solution_interval,
+    )
+    if not solution.converged.all():
+        print("warning: StEFCal did not converge in every interval")
+    # apply the per-interval solutions
+    calibrated = ds.visibilities.copy()
+    interval = args.solution_interval or ds.n_times
+    for k in range(solution.n_intervals):
+        t0, t1 = k * interval, min((k + 1) * interval, ds.n_times)
+        calibrated[:, t0:t1] = apply_gains(
+            calibrated[:, t0:t1], solution.gains[k], ds.baselines
+        )
+    save_dataset(ds.with_visibilities(calibrated), args.output)
+    amp = np.abs(solution.gains)
+    print(f"solved {solution.n_intervals} interval(s) for {n_stations} stations; "
+          f"gain amplitudes {amp.min():.3f} - {amp.max():.3f}; wrote {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.data.io import load_dataset
+    from repro.perfmodel.report import evaluation_report
+
+    ds = load_dataset(args.dataset)
+    idg, _ = _make_idg(ds, args.grid_size, args.subgrid_size)
+    plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
+    report = evaluation_report(plan)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "report": _cmd_report,
+    "flag": _cmd_flag,
+    "calibrate": _cmd_calibrate,
+    "info": _cmd_info,
+    "image": _cmd_image,
+    "clean": _cmd_clean,
+    "predict": _cmd_predict,
+    "perfmodel": _cmd_perfmodel,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Visibility data containers, I/O and noise.
+
+A lightweight MeasurementSet analogue: :class:`VisibilityDataset` bundles
+everything one subband observation produces — uvw tracks, visibilities,
+flags, frequencies, station pairs — with selection, averaging and
+(de)serialisation, plus a radiometer-equation thermal-noise model for
+realistic simulations.  All gridders in the package consume the same arrays
+the dataset carries.
+"""
+
+from repro.data.dataset import VisibilityDataset
+from repro.data.io import load_dataset, save_dataset
+from repro.data.noise import add_thermal_noise, thermal_noise_sigma
+
+__all__ = [
+    "VisibilityDataset",
+    "load_dataset",
+    "save_dataset",
+    "add_thermal_noise",
+    "thermal_noise_sigma",
+]

@@ -1,0 +1,227 @@
+"""The :class:`VisibilityDataset` container.
+
+Shapes follow the package-wide convention:
+
+* ``uvw_m``        — ``(n_baselines, n_times, 3)`` metres,
+* ``visibilities`` — ``(n_baselines, n_times, n_channels, 2, 2)`` complex64,
+* ``flags``        — ``(n_baselines, n_times, n_channels)`` bool
+  (True = do not use),
+* ``frequencies_hz`` — ``(n_channels,)``,
+* ``baselines``    — ``(n_baselines, 2)`` station indices.
+
+Selections return *views* wherever NumPy slicing allows it (time and channel
+ranges); baseline subsets copy.  Channel/time averaging produce new datasets
+with correctly propagated uvw (time averaging) and frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.constants import COMPLEX_DTYPE
+
+
+@dataclass
+class VisibilityDataset:
+    """One subband of visibility data plus its metadata."""
+
+    uvw_m: np.ndarray
+    visibilities: np.ndarray
+    frequencies_hz: np.ndarray
+    baselines: np.ndarray
+    flags: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.uvw_m = np.asarray(self.uvw_m, dtype=np.float64)
+        self.visibilities = np.asarray(self.visibilities)
+        self.frequencies_hz = np.atleast_1d(np.asarray(self.frequencies_hz, dtype=np.float64))
+        self.baselines = np.asarray(self.baselines)
+        if self.uvw_m.ndim != 3 or self.uvw_m.shape[2] != 3:
+            raise ValueError(f"uvw_m must be (n_bl, n_times, 3), got {self.uvw_m.shape}")
+        n_bl, n_times = self.uvw_m.shape[:2]
+        expected_vis = (n_bl, n_times, self.n_channels, 2, 2)
+        if self.visibilities.shape != expected_vis:
+            raise ValueError(
+                f"visibilities shape {self.visibilities.shape} != {expected_vis}"
+            )
+        if self.baselines.shape != (n_bl, 2):
+            raise ValueError(f"baselines must be ({n_bl}, 2), got {self.baselines.shape}")
+        if self.flags is None:
+            self.flags = np.zeros((n_bl, n_times, self.n_channels), dtype=bool)
+        else:
+            self.flags = np.asarray(self.flags, dtype=bool)
+            if self.flags.shape != (n_bl, n_times, self.n_channels):
+                raise ValueError(
+                    f"flags shape {self.flags.shape} != {(n_bl, n_times, self.n_channels)}"
+                )
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def simulate(
+        cls,
+        observation,
+        sky,
+        aterms=None,
+        schedule=None,
+    ) -> "VisibilityDataset":
+        """Simulate a dataset from an observation and a sky model.
+
+        Thin convenience over
+        :func:`repro.sky.simulate.predict_visibilities`; accepts the same
+        A-term generator/schedule pair.
+        """
+        from repro.sky.simulate import predict_visibilities
+
+        baselines = observation.array.baselines()
+        vis = predict_visibilities(
+            observation.uvw_m, observation.frequencies_hz, sky,
+            baselines=baselines, aterms=aterms, schedule=schedule,
+        )
+        return cls(
+            uvw_m=observation.uvw_m,
+            visibilities=vis,
+            frequencies_hz=observation.frequencies_hz,
+            baselines=baselines,
+        )
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def n_baselines(self) -> int:
+        return self.uvw_m.shape[0]
+
+    @property
+    def n_times(self) -> int:
+        return self.uvw_m.shape[1]
+
+    @property
+    def n_channels(self) -> int:
+        return self.frequencies_hz.size
+
+    @property
+    def n_visibilities(self) -> int:
+        return self.n_baselines * self.n_times * self.n_channels
+
+    @property
+    def n_unflagged(self) -> int:
+        return int((~self.flags).sum())
+
+    # ------------------------------------------------------------ selection
+
+    def select_times(self, start: int, stop: int) -> "VisibilityDataset":
+        """Timestep range ``[start, stop)`` (views where possible)."""
+        if not (0 <= start < stop <= self.n_times):
+            raise ValueError(f"invalid time range [{start}, {stop})")
+        return VisibilityDataset(
+            uvw_m=self.uvw_m[:, start:stop],
+            visibilities=self.visibilities[:, start:stop],
+            frequencies_hz=self.frequencies_hz,
+            baselines=self.baselines,
+            flags=self.flags[:, start:stop],
+        )
+
+    def select_channels(self, start: int, stop: int) -> "VisibilityDataset":
+        """Channel range ``[start, stop)``."""
+        if not (0 <= start < stop <= self.n_channels):
+            raise ValueError(f"invalid channel range [{start}, {stop})")
+        return VisibilityDataset(
+            uvw_m=self.uvw_m,
+            visibilities=self.visibilities[:, :, start:stop],
+            frequencies_hz=self.frequencies_hz[start:stop],
+            baselines=self.baselines,
+            flags=self.flags[:, :, start:stop],
+        )
+
+    def select_baselines(self, indices: np.ndarray) -> "VisibilityDataset":
+        """Arbitrary baseline subset (copies)."""
+        indices = np.asarray(indices)
+        return VisibilityDataset(
+            uvw_m=self.uvw_m[indices],
+            visibilities=self.visibilities[indices],
+            frequencies_hz=self.frequencies_hz,
+            baselines=self.baselines[indices],
+            flags=self.flags[indices],
+        )
+
+    def select_max_baseline(self, max_length_m: float) -> "VisibilityDataset":
+        """Keep baselines whose mean |uvw| is below ``max_length_m`` —
+        the classic short-baseline selection for wide, low-resolution maps."""
+        lengths = np.linalg.norm(self.uvw_m, axis=2).mean(axis=1)
+        return self.select_baselines(np.flatnonzero(lengths <= max_length_m))
+
+    # ------------------------------------------------------------ averaging
+
+    def average_channels(self, factor: int) -> "VisibilityDataset":
+        """Average groups of ``factor`` adjacent channels.
+
+        Flagged samples are excluded from each average; an output sample is
+        flagged only if *all* its inputs were.  ``n_channels`` must be
+        divisible by ``factor``.
+        """
+        if factor <= 0 or self.n_channels % factor:
+            raise ValueError(
+                f"factor {factor} must divide n_channels {self.n_channels}"
+            )
+        c_out = self.n_channels // factor
+        vis = self.visibilities.reshape(
+            self.n_baselines, self.n_times, c_out, factor, 2, 2
+        )
+        flags = self.flags.reshape(self.n_baselines, self.n_times, c_out, factor)
+        weight = (~flags).astype(np.float32)[..., np.newaxis, np.newaxis]
+        summed = (vis * weight).sum(axis=3)
+        counts = weight.sum(axis=3)
+        out = np.zeros_like(summed)
+        np.divide(summed, counts, out=out, where=counts > 0)
+        return VisibilityDataset(
+            uvw_m=self.uvw_m,
+            visibilities=out.astype(COMPLEX_DTYPE),
+            frequencies_hz=self.frequencies_hz.reshape(c_out, factor).mean(axis=1),
+            baselines=self.baselines,
+            flags=flags.all(axis=3),
+        )
+
+    def average_times(self, factor: int) -> "VisibilityDataset":
+        """Average groups of ``factor`` adjacent timesteps (and their uvw)."""
+        if factor <= 0 or self.n_times % factor:
+            raise ValueError(f"factor {factor} must divide n_times {self.n_times}")
+        t_out = self.n_times // factor
+        vis = self.visibilities.reshape(
+            self.n_baselines, t_out, factor, self.n_channels, 2, 2
+        )
+        flags = self.flags.reshape(self.n_baselines, t_out, factor, self.n_channels)
+        weight = (~flags).astype(np.float32)[..., np.newaxis, np.newaxis]
+        summed = (vis * weight).sum(axis=2)
+        counts = weight.sum(axis=2)
+        out = np.zeros_like(summed)
+        np.divide(summed, counts, out=out, where=counts > 0)
+        return VisibilityDataset(
+            uvw_m=self.uvw_m.reshape(self.n_baselines, t_out, factor, 3).mean(axis=2),
+            visibilities=out.astype(COMPLEX_DTYPE),
+            frequencies_hz=self.frequencies_hz,
+            baselines=self.baselines,
+            flags=flags.all(axis=2),
+        )
+
+    # -------------------------------------------------------------- utility
+
+    def with_visibilities(self, visibilities: np.ndarray) -> "VisibilityDataset":
+        """Same metadata, different data (e.g. residuals after subtraction)."""
+        return VisibilityDataset(
+            uvw_m=self.uvw_m,
+            visibilities=visibilities,
+            frequencies_hz=self.frequencies_hz,
+            baselines=self.baselines,
+            flags=self.flags,
+        )
+
+    def flag_fraction(self) -> float:
+        return float(self.flags.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VisibilityDataset({self.n_baselines} baselines x {self.n_times} times "
+            f"x {self.n_channels} channels, {100 * self.flag_fraction():.1f}% flagged)"
+        )

@@ -1,0 +1,50 @@
+"""Dataset (de)serialisation.
+
+A single compressed ``.npz`` per dataset — the pragmatic stand-in for a
+MeasurementSet when the workload is synthetic.  The on-disk schema is
+versioned so future layouts can migrate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.data.dataset import VisibilityDataset
+
+#: Current on-disk schema version.
+SCHEMA_VERSION = 1
+
+
+def save_dataset(dataset: VisibilityDataset, path: str | pathlib.Path) -> None:
+    """Write a dataset to ``path`` (``.npz``, compressed)."""
+    path = pathlib.Path(path)
+    np.savez_compressed(
+        path,
+        schema_version=np.int64(SCHEMA_VERSION),
+        uvw_m=dataset.uvw_m,
+        visibilities=dataset.visibilities,
+        frequencies_hz=dataset.frequencies_hz,
+        baselines=dataset.baselines,
+        flags=dataset.flags,
+    )
+
+
+def load_dataset(path: str | pathlib.Path) -> VisibilityDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        version = int(archive["schema_version"])
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported dataset schema version {version} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        return VisibilityDataset(
+            uvw_m=archive["uvw_m"],
+            visibilities=archive["visibilities"],
+            frequencies_hz=archive["frequencies_hz"],
+            baselines=archive["baselines"],
+            flags=archive["flags"],
+        )

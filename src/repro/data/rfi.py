@@ -1,0 +1,105 @@
+"""Simple RFI detection (sigma-clipping flagger).
+
+Radio-frequency interference appears as visibility amplitudes far above the
+astronomical signal.  This module implements the classic iterative
+sigma-clipping flagger — per baseline and channel, samples whose amplitude
+deviates from the (robust) running statistics by more than ``threshold``
+sigmas are flagged, and the statistics re-estimated without them until no
+new flags appear.  It is deliberately simple (production systems use
+AOFlagger's SumThreshold), but exercises the flag-propagation paths of the
+dataset container and the gridders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import VisibilityDataset
+
+
+def sigma_clip_flags(
+    visibilities: np.ndarray,
+    threshold: float = 5.0,
+    max_iterations: int = 5,
+) -> np.ndarray:
+    """Boolean flags for amplitude outliers.
+
+    Parameters
+    ----------
+    visibilities:
+        ``(n_baselines, n_times, n_channels, 2, 2)`` complex data.
+    threshold:
+        Clip level in robust standard deviations (1.4826 * MAD).
+    max_iterations:
+        Re-estimation rounds.
+
+    Returns
+    -------
+    ``(n_baselines, n_times, n_channels)`` bool, True = flagged.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    # Stokes-I-like amplitude per sample
+    amplitude = 0.5 * (
+        np.abs(visibilities[..., 0, 0]) + np.abs(visibilities[..., 1, 1])
+    )
+    flags = np.zeros(amplitude.shape, dtype=bool)
+    for _ in range(max_iterations):
+        valid = ~flags
+        if not valid.any():
+            break
+        # per-(baseline, channel) robust statistics over time
+        data = np.where(valid, amplitude, np.nan)
+        median = np.nanmedian(data, axis=1, keepdims=True)
+        mad = np.nanmedian(np.abs(data - median), axis=1, keepdims=True)
+        sigma = 1.4826 * mad
+        # a channel whose samples are all identical has sigma 0: nothing to clip
+        with np.errstate(invalid="ignore"):
+            new_flags = np.abs(amplitude - median) > threshold * np.maximum(
+                sigma, 1e-30
+            )
+        new_flags &= sigma[:, 0, :][:, np.newaxis, :] > 0
+        new_flags &= ~flags
+        if not new_flags.any():
+            break
+        flags |= new_flags
+    return flags
+
+
+def flag_rfi(
+    dataset: VisibilityDataset, threshold: float = 5.0, max_iterations: int = 5
+) -> VisibilityDataset:
+    """Dataset copy with sigma-clip flags OR-ed into the existing flags."""
+    new_flags = sigma_clip_flags(
+        dataset.visibilities, threshold=threshold, max_iterations=max_iterations
+    )
+    return VisibilityDataset(
+        uvw_m=dataset.uvw_m,
+        visibilities=dataset.visibilities,
+        frequencies_hz=dataset.frequencies_hz,
+        baselines=dataset.baselines,
+        flags=dataset.flags | new_flags,
+    )
+
+
+def inject_rfi(
+    dataset: VisibilityDataset,
+    fraction: float = 0.001,
+    amplitude_factor: float = 50.0,
+    seed: int = 0,
+) -> tuple[VisibilityDataset, np.ndarray]:
+    """Corrupt a random sample fraction with strong interference.
+
+    Returns the corrupted dataset and the ground-truth RFI mask (for
+    flagger evaluation).
+    """
+    if not (0 <= fraction <= 1):
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    shape = dataset.visibilities.shape[:3]
+    mask = rng.uniform(size=shape) < fraction
+    scale = amplitude_factor * max(float(np.abs(dataset.visibilities).mean()), 1e-12)
+    rfi = scale * np.exp(2j * np.pi * rng.uniform(size=shape))
+    vis = dataset.visibilities.copy()
+    vis[mask] += rfi[mask, np.newaxis, np.newaxis] * np.eye(2, dtype=vis.dtype)
+    return dataset.with_visibilities(vis), mask

@@ -1,0 +1,97 @@
+"""Visibility weighting schemes.
+
+Imaging weights trade sensitivity against PSF shape: *natural* weighting
+(unit weight per visibility) maximises sensitivity but gives the dense core
+of the uv distribution (paper Fig 8) a heavy PSF; *uniform* weighting divides
+by the local uv sample density to flatten the PSF.  Weights multiply the
+visibilities before gridding and their sum normalises the dirty image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.gridspec import GridSpec
+
+
+def natural_weights(uvw_m: np.ndarray, n_channels: int) -> np.ndarray:
+    """Unit weight per (baseline, time, channel) visibility."""
+    n_bl, n_times, _ = uvw_m.shape
+    return np.ones((n_bl, n_times, n_channels), dtype=np.float64)
+
+
+def uniform_weights(
+    uvw_m: np.ndarray,
+    frequencies_hz: np.ndarray,
+    gridspec: GridSpec,
+) -> np.ndarray:
+    """Uniform (density-inverse) weights.
+
+    Counts visibilities per uv cell (nearest-cell binning over all baselines,
+    times and channels) and assigns each visibility the reciprocal of its
+    cell's count.  Off-grid samples get weight zero.
+    """
+    frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
+    scale = frequencies_hz / SPEED_OF_LIGHT
+    g = gridspec.grid_size
+    # (n_bl, T, C) pixel coordinates
+    pu = uvw_m[:, :, 0, np.newaxis] * scale * gridspec.image_size + g // 2
+    pv = uvw_m[:, :, 1, np.newaxis] * scale * gridspec.image_size + g // 2
+    iu = np.rint(pu).astype(np.int64)
+    iv = np.rint(pv).astype(np.int64)
+    inside = (iu >= 0) & (iu < g) & (iv >= 0) & (iv < g)
+
+    counts = np.zeros((g, g), dtype=np.int64)
+    np.add.at(counts, (iv[inside], iu[inside]), 1)
+
+    weights = np.zeros(pu.shape, dtype=np.float64)
+    weights[inside] = 1.0 / counts[iv[inside], iu[inside]]
+    return weights
+
+
+def briggs_weights(
+    uvw_m: np.ndarray,
+    frequencies_hz: np.ndarray,
+    gridspec: GridSpec,
+    robust: float = 0.0,
+) -> np.ndarray:
+    """Briggs (robust) weighting: the natural/uniform continuum.
+
+    Implements the standard robust formula: with per-cell counts ``N_k`` and
+    mean cell occupancy ``<N>``, each visibility in cell k gets
+
+    ``w = 1 / (1 + N_k * f^2)``,  ``f^2 = (5 * 10^-robust)^2 / <N>``
+
+    so ``robust = +2`` approaches natural weighting and ``robust = -2``
+    approaches uniform.  Off-grid samples get weight zero.
+    """
+    frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
+    scale = frequencies_hz / SPEED_OF_LIGHT
+    g = gridspec.grid_size
+    pu = uvw_m[:, :, 0, np.newaxis] * scale * gridspec.image_size + g // 2
+    pv = uvw_m[:, :, 1, np.newaxis] * scale * gridspec.image_size + g // 2
+    iu = np.rint(pu).astype(np.int64)
+    iv = np.rint(pv).astype(np.int64)
+    inside = (iu >= 0) & (iu < g) & (iv >= 0) & (iv < g)
+
+    counts = np.zeros((g, g), dtype=np.float64)
+    np.add.at(counts, (iv[inside], iu[inside]), 1.0)
+    occupied = counts[counts > 0]
+    # mean weighted cell occupancy: sum(N^2) / sum(N), the Briggs definition
+    mean_occupancy = float((occupied**2).sum() / occupied.sum())
+    f2 = (5.0 * 10.0 ** (-robust)) ** 2 / mean_occupancy
+
+    weights = np.zeros(pu.shape, dtype=np.float64)
+    weights[inside] = 1.0 / (1.0 + counts[iv[inside], iu[inside]] * f2)
+    return weights
+
+
+def apply_weights(visibilities: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Multiply a ``(..., 2, 2)`` visibility set by per-visibility weights."""
+    if weights.shape != visibilities.shape[:-2]:
+        raise ValueError(
+            f"weights shape {weights.shape} does not match visibilities "
+            f"{visibilities.shape[:-2]}"
+        )
+    return visibilities * weights[..., np.newaxis, np.newaxis].astype(visibilities.real.dtype)

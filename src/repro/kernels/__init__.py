@@ -1,0 +1,61 @@
+"""Mathematical building blocks shared by IDG and the traditional gridders.
+
+Submodules
+----------
+``fft``
+    Centered 2-D FFT helpers (``fftshift . fft2 . ifftshift``) so image-domain
+    and uv-domain arrays are always indexed with the origin in the middle.
+``spheroidal``
+    Prolate-spheroidal anti-aliasing taper and its grid-correction function.
+``wkernel``
+    Image-domain w-phase terms and Fourier-domain w-kernels.
+``convolution``
+    Oversampled convolution-kernel construction used by the W-projection and
+    AW-projection baselines.
+"""
+
+from repro.kernels.fft import (
+    centered_fft2,
+    centered_ifft2,
+    fft_grid_to_image,
+    fft_image_to_grid,
+    fourier_coordinates,
+    image_coordinates,
+)
+from repro.kernels.spheroidal import (
+    evaluate_prolate_spheroidal,
+    grid_correction,
+    kaiser_bessel_taper,
+    spheroidal_taper,
+)
+from repro.kernels.wkernel import (
+    n_term,
+    w_kernel_fourier,
+    w_kernel_image,
+    w_kernel_support,
+)
+from repro.kernels.convolution import (
+    OversampledKernel,
+    build_aw_kernel,
+    build_w_projection_kernel,
+)
+
+__all__ = [
+    "centered_fft2",
+    "centered_ifft2",
+    "fft_grid_to_image",
+    "fft_image_to_grid",
+    "fourier_coordinates",
+    "image_coordinates",
+    "evaluate_prolate_spheroidal",
+    "grid_correction",
+    "kaiser_bessel_taper",
+    "spheroidal_taper",
+    "n_term",
+    "w_kernel_fourier",
+    "w_kernel_image",
+    "w_kernel_support",
+    "OversampledKernel",
+    "build_aw_kernel",
+    "build_w_projection_kernel",
+]

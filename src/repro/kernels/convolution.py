@@ -1,0 +1,179 @@
+"""Oversampled convolution kernels for the traditional gridding baselines.
+
+W-projection (and AW-projection) gridding convolves each visibility with the
+Fourier transform of ``taper(l, m) * w_screen(l, m) [* A-terms]``.  Because
+visibilities fall *between* uv cells, the kernel is tabulated at
+``oversample``-times finer uv spacing and the sub-kernel nearest to the
+fractional cell offset is selected per visibility — this is the potentially
+huge data structure the paper's Section III calls out ("scales quadratically
+in size with both the number of pixels ... and an oversampling factor"), and
+exactly the storage cost IDG eliminates.
+
+Construction follows the standard zero-padding recipe: an image-domain
+function sampled on ``n`` pixels over the full field of view is embedded in an
+``n * oversample`` raster (zero outside the field of view), FFT'd — giving uv
+samples at ``du / oversample`` spacing — and the central ``support *
+oversample`` square is reshuffled into ``oversample**2`` sub-kernels of
+``support x support`` cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.fft import centered_fft2
+from repro.kernels.spheroidal import spheroidal_taper
+from repro.kernels.wkernel import w_kernel_image
+
+
+@dataclass(frozen=True)
+class OversampledKernel:
+    """A convolution kernel tabulated on an oversampled uv raster.
+
+    Attributes
+    ----------
+    data:
+        Complex array of shape ``(oversample, oversample, support, support)``;
+        ``data[rv, ru]`` is the sub-kernel for fractional cell offsets
+        ``(fu, fv)`` with ``round(f * oversample) == r`` (negative fractions
+        wrap modulo ``oversample``).
+    support:
+        Kernel width in uv cells (``N_W`` in the paper's Fig 16).
+    oversample:
+        Number of tabulated fractional positions per cell and axis.
+    w:
+        The w value (wavelengths) this kernel corrects, 0 for a pure
+        anti-aliasing kernel.
+    """
+
+    data: np.ndarray
+    support: int
+    oversample: int
+    w: float = 0.0
+
+    def __post_init__(self) -> None:
+        expected = (self.oversample, self.oversample, self.support, self.support)
+        if self.data.shape != expected:
+            raise ValueError(f"kernel data shape {self.data.shape} != {expected}")
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint — the quantity Fig 16's discussion is about."""
+        return self.data.nbytes
+
+    def lookup(self, frac_u: float, frac_v: float) -> np.ndarray:
+        """Sub-kernel for a visibility at fractional cell offset (frac_u, frac_v).
+
+        ``frac`` must lie in ``[-0.5, 0.5]``; the nearest tabulated offset is
+        returned (nearest-neighbour interpolation in the oversampled table,
+        as in production gridders).
+        """
+        ru = int(np.rint(frac_u * self.oversample)) % self.oversample
+        rv = int(np.rint(frac_v * self.oversample)) % self.oversample
+        return self.data[rv, ru]
+
+
+def _oversample_image_function(
+    image_func: np.ndarray, support: int, oversample: int
+) -> np.ndarray:
+    """Tabulate the uv transform of ``image_func`` on an oversampled raster.
+
+    ``image_func`` is an ``(n, n)`` complex image spanning the full field of
+    view.  Returns the ``(oversample, oversample, support, support)`` table
+    described in :class:`OversampledKernel`, normalised so that the
+    zero-offset sub-kernel sums to 1 (flux preservation at cell centres).
+    """
+    n = image_func.shape[0]
+    if image_func.shape != (n, n):
+        raise ValueError("image_func must be square")
+    if support > n:
+        raise ValueError(f"support {support} exceeds image raster {n}")
+    big = n * oversample
+    padded = np.zeros((big, big), dtype=np.complex128)
+    lo = big // 2 - n // 2
+    padded[lo : lo + n, lo : lo + n] = image_func
+    uv_fine = centered_fft2(padded)
+
+    centre = big // 2
+    table = np.empty((oversample, oversample, support, support), dtype=np.complex128)
+    cells = np.arange(support) - support // 2
+    for rv in range(oversample):
+        # map table index back to signed sub-cell shift in [-O/2, O/2)
+        sv = rv if rv < oversample // 2 + 1 else rv - oversample
+        rows = (cells * oversample - sv + centre)[:, np.newaxis]
+        for ru in range(oversample):
+            su = ru if ru < oversample // 2 + 1 else ru - oversample
+            cols = (cells * oversample - su + centre)[np.newaxis, :]
+            table[rv, ru] = uv_fine[rows, cols]
+
+    norm = table[0, 0].sum()
+    if norm != 0:
+        table /= norm
+    return table
+
+
+def build_w_projection_kernel(
+    w: float,
+    support: int,
+    image_size: float,
+    oversample: int = 8,
+    taper: np.ndarray | None = None,
+    raster: int | None = None,
+) -> OversampledKernel:
+    """Build the W-projection kernel ``FFT(taper * exp(-2*pi*i*w*n))``.
+
+    Parameters
+    ----------
+    w:
+        Baseline w coordinate in wavelengths (the kernel corrects ``+w`` when
+        used in gridding with the package's sign conventions).
+    support:
+        Kernel width ``N_W`` in uv cells.
+    image_size:
+        Full field of view in direction cosines.
+    oversample:
+        Fractional-offset resolution (the paper's WPG comparison uses 8).
+    taper:
+        Optional ``(raster, raster)`` anti-aliasing taper; defaults to the
+        prolate spheroidal on the raster.
+    raster:
+        Image raster used for tabulation; defaults to
+        ``max(support, 32)`` rounded up to even.
+    """
+    if raster is None:
+        raster = max(support, 32)
+        raster += raster % 2
+    if taper is None:
+        taper = spheroidal_taper(raster)
+    screen = w_kernel_image(w, raster, image_size, sign=-1.0) * taper
+    table = _oversample_image_function(screen, support, oversample)
+    return OversampledKernel(data=table, support=support, oversample=oversample, w=w)
+
+
+def build_aw_kernel(
+    w: float,
+    aterm_product: np.ndarray,
+    support: int,
+    image_size: float,
+    oversample: int = 8,
+    taper: np.ndarray | None = None,
+) -> OversampledKernel:
+    """Build an AW-projection kernel for one scalar A-term product.
+
+    ``aterm_product`` is the image-domain product of the two stations'
+    direction-dependent gains for one polarisation pair (shape
+    ``(raster, raster)``, complex).  AW-projection needs one such kernel per
+    (w plane, A-term interval, station pair, polarisation product) — the
+    combinatorial storage explosion quoted in Section VI-E; IDG's image-domain
+    application avoids tabulating any of them.
+    """
+    raster = aterm_product.shape[0]
+    if aterm_product.shape != (raster, raster):
+        raise ValueError("aterm_product must be square")
+    if taper is None:
+        taper = spheroidal_taper(raster)
+    screen = w_kernel_image(w, raster, image_size, sign=-1.0) * taper * aterm_product
+    table = _oversample_image_function(screen, support, oversample)
+    return OversampledKernel(data=table, support=support, oversample=oversample, w=w)

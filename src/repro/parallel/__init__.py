@@ -1,0 +1,21 @@
+"""Parallel execution of the IDG pipeline on the host.
+
+The paper's CPU implementation distributes work items over cores with OpenMP
+and parallelises the adder over grid *rows* (subgrids overlap, so per-subgrid
+parallel adds would race — Section V-B-d).  The Python analogue uses a thread
+pool: the heavy lifting inside each work item is BLAS/FFT calls that release
+the GIL, so threads scale, and the row-partitioned adder gives each worker a
+disjoint horizontal band of the grid.
+"""
+
+from repro.parallel.batching import chunk_ranges, interleaved_ranges
+from repro.parallel.partition import RowPartition, add_subgrids_row_parallel
+from repro.parallel.executor import ParallelIDG
+
+__all__ = [
+    "chunk_ranges",
+    "interleaved_ranges",
+    "RowPartition",
+    "add_subgrids_row_parallel",
+    "ParallelIDG",
+]

@@ -1,0 +1,38 @@
+"""Index-range helpers for splitting work across workers."""
+
+from __future__ import annotations
+
+
+def chunk_ranges(total: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into up to ``n_chunks`` contiguous ranges whose
+    sizes differ by at most one.  Empty ranges are omitted.
+    """
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    if n_chunks <= 0:
+        raise ValueError("n_chunks must be positive")
+    base, extra = divmod(total, n_chunks)
+    out = []
+    start = 0
+    for k in range(n_chunks):
+        size = base + (1 if k < extra else 0)
+        if size == 0:
+            continue
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def interleaved_ranges(total: int, group_size: int, worker: int, n_workers: int):
+    """Yield the (start, stop) groups assigned to ``worker`` under round-robin
+    distribution of fixed-size groups — the work-group to thread mapping of
+    the paper's Fig 6."""
+    if group_size <= 0 or n_workers <= 0:
+        raise ValueError("group_size and n_workers must be positive")
+    if not (0 <= worker < n_workers):
+        raise ValueError("worker index out of range")
+    group = worker
+    while group * group_size < total:
+        start = group * group_size
+        yield (start, min(start + group_size, total))
+        group += n_workers

@@ -1,0 +1,124 @@
+"""Hardware performance & energy model (the paper's evaluation substrate).
+
+We have no Haswell-EP node, Fury X or GTX 1080 — so, per the substitution
+policy in DESIGN.md, this package reduces each platform to exactly the
+parameters the paper's own analysis uses (Table I peak rates and bandwidths,
+the FMA/sine-cosine execution model of Fig 12, shared-memory bandwidth of
+Fig 13, TDP-level powers) and drives those parameters with *exact operation
+and byte counts measured from real execution plans* produced by this
+package's IDG implementation.  The figures' shapes — who wins, by what
+factor, where the ceilings sit — follow from the model; EXPERIMENTS.md
+records predicted-vs-paper numbers for each figure.
+
+Modules
+-------
+``architectures`` — Table I database + calibrated sine/cosine cost models.
+``opcount``       — op/byte counting for every kernel, from a Plan.
+``sincos``        — throughput vs FMA:sincos mix ρ (Fig 12).
+``roofline``      — device- and shared-memory rooflines (Figs 11, 13).
+``runtime``       — per-kernel runtime & throughput prediction (Figs 9, 10).
+``energy``        — energy distribution & efficiency (Figs 14, 15).
+``streams``       — triple-buffering stream scheduler (Fig 7).
+"""
+
+from repro.perfmodel.architectures import (
+    ALL_ARCHITECTURES,
+    FIJI,
+    HASWELL,
+    PASCAL,
+    Architecture,
+)
+from repro.perfmodel.opcount import (
+    KernelCounts,
+    adder_counts,
+    degridder_counts,
+    gridder_counts,
+    splitter_counts,
+    idg_synthetic_counts,
+    subgrid_fft_counts,
+    wprojection_counts,
+)
+from repro.perfmodel.sincos import mixed_throughput_ops, sincos_bound_ops, sweep_rho
+from repro.perfmodel.roofline import (
+    RooflinePoint,
+    attainable_ops,
+    device_roofline_point,
+    roofline_ceiling,
+    shared_roofline_point,
+)
+from repro.perfmodel.runtime import (
+    CycleRuntime,
+    KernelRuntime,
+    imaging_cycle_runtime,
+    kernel_runtime,
+    throughput_mvis,
+)
+from repro.perfmodel.energy import (
+    CycleEnergy,
+    energy_efficiency_gflops_per_watt,
+    imaging_cycle_energy,
+)
+from repro.perfmodel.pipeline_model import (
+    CoreScalingPoint,
+    GpuCyclePrediction,
+    cpu_core_scaling,
+    gpu_cycle_with_transfers,
+)
+from repro.perfmodel.vectorization import (
+    best_simd_width,
+    effective_peak_ops,
+    simd_channel_efficiency,
+    sweep_channel_efficiency,
+)
+from repro.perfmodel.report import evaluation_report
+from repro.perfmodel.streams import (
+    StreamEvent,
+    StreamSchedule,
+    schedule_buffers,
+    serial_makespan,
+)
+
+__all__ = [
+    "ALL_ARCHITECTURES",
+    "FIJI",
+    "HASWELL",
+    "PASCAL",
+    "Architecture",
+    "KernelCounts",
+    "adder_counts",
+    "degridder_counts",
+    "gridder_counts",
+    "splitter_counts",
+    "subgrid_fft_counts",
+    "wprojection_counts",
+    "mixed_throughput_ops",
+    "sincos_bound_ops",
+    "sweep_rho",
+    "RooflinePoint",
+    "attainable_ops",
+    "device_roofline_point",
+    "roofline_ceiling",
+    "shared_roofline_point",
+    "CycleRuntime",
+    "KernelRuntime",
+    "imaging_cycle_runtime",
+    "kernel_runtime",
+    "throughput_mvis",
+    "CycleEnergy",
+    "energy_efficiency_gflops_per_watt",
+    "imaging_cycle_energy",
+    "StreamEvent",
+    "StreamSchedule",
+    "schedule_buffers",
+    "serial_makespan",
+    "CoreScalingPoint",
+    "GpuCyclePrediction",
+    "cpu_core_scaling",
+    "gpu_cycle_with_transfers",
+    "best_simd_width",
+    "effective_peak_ops",
+    "simd_channel_efficiency",
+    "sweep_channel_efficiency",
+    "idg_synthetic_counts",
+    "evaluation_report",
+]

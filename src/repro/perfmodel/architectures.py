@@ -1,0 +1,198 @@
+"""Architecture database: Table I plus the execution-model parameters the
+paper's analysis introduces (Sections VI-B/C/D).
+
+Table I fields come straight from the paper.  The additional fields encode
+how each architecture evaluates sine/cosine (the centrepiece of the modified
+roofline analysis):
+
+* **PASCAL** — special function units evaluate transcendentals *in parallel*
+  with the FMA pipelines at 1/4 the instruction rate [28]; a sincos costs one
+  extra issue slot on the FMA queue.
+* **FIJI** — transcendentals run *on the same ALUs* as FMAs at a quarter
+  rate [29]; a full sine+cosine evaluation with argument reduction costs
+  ~24 FMA-instruction slots (calibrated so the model reproduces the paper's
+  ~13 GFlops/W for FIJI).
+* **HASWELL** — SVML medium-accuracy ``sincosf`` costs ~77 FMA-instruction
+  slots per element (≈4.8 cycles/element on 2x8-wide FMA ports; calibrated
+  to the paper's ~1.5 GFlops/W).
+
+Shared-memory bandwidths (Fig 13) follow from the per-SM/CU LDS width;
+``compute_power_w`` is the average draw while compute kernels run (board
+power for GPUs measured by PowerSensor; package+DRAM for the CPU measured by
+LIKWID), and ``host_power_w`` the host overhead the paper adds for GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """One row of Table I plus execution-model parameters.
+
+    Attributes
+    ----------
+    name:
+        Short name used throughout the paper (HASWELL / FIJI / PASCAL).
+    model:
+        Marketing model string.
+    arch_type:
+        ``"CPU"`` or ``"GPU"``.
+    microarchitecture:
+        Table I "architecture" column.
+    clock_ghz:
+        Core clock (turbo where the paper notes it).
+    n_fpus:
+        Table I core config product (#ICs x #compute units x FPU
+        instructions/cycle x vector size).
+    peak_tflops:
+        Peak single-precision TFlop/s; with the paper's op definition this
+        is also the peak TOps/s (reached only with pure FMAs).
+    mem_size_gb, mem_bandwidth_gbs, tdp_w:
+        Remaining Table I columns.
+    sincos_parallel:
+        True when transcendentals execute on separate units (SFUs).
+    sincos_slots:
+        FMA-instruction slots one sine+cosine evaluation consumes on the FMA
+        issue queue (serial architectures: the full cost; parallel: just the
+        issue overhead).
+    sfu_ratio:
+        SFU instruction rate relative to the FMA instruction rate
+        (parallel architectures only).
+    shared_bandwidth_tbs:
+        Aggregate shared-memory/L1 bandwidth in TB/s (Fig 13 ceiling).
+    pcie_bandwidth_gbs:
+        Host-device transfer bandwidth (GPUs; 0 for the CPU).
+    compute_power_w:
+        Average power while compute kernels execute.
+    host_power_w:
+        Host package+DRAM power attributed to GPU execution (Fig 14's
+        "host" bars).
+    """
+
+    name: str
+    model: str
+    arch_type: str
+    microarchitecture: str
+    clock_ghz: float
+    n_fpus: int
+    peak_tflops: float
+    mem_size_gb: float
+    mem_bandwidth_gbs: float
+    tdp_w: float
+    sincos_parallel: bool
+    sincos_slots: float
+    sfu_ratio: float
+    shared_bandwidth_tbs: float
+    pcie_bandwidth_gbs: float
+    compute_power_w: float
+    host_power_w: float
+
+    @property
+    def peak_ops(self) -> float:
+        """Peak op/s with the paper's op definition (+, -, *, sin, cos)."""
+        return self.peak_tflops * 1e12
+
+    @property
+    def fma_instruction_rate(self) -> float:
+        """FMA instructions per second (each FMA = 2 ops)."""
+        return self.peak_ops / 2.0
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.arch_type == "GPU"
+
+
+#: Dual-socket Intel Xeon E5-2697v3 system ("HASWELL").
+HASWELL = Architecture(
+    name="HASWELL",
+    model="Intel Xeon E5-2697v3",
+    arch_type="CPU",
+    microarchitecture="Haswell-EP",
+    clock_ghz=2.60,  # turbo
+    n_fpus=448,  # 2 ICs x 14 cores x 2 FPUs x 8-wide
+    peak_tflops=2.78,
+    mem_size_gb=1536.0,
+    mem_bandwidth_gbs=136.0,
+    tdp_w=290.0,
+    sincos_parallel=False,
+    sincos_slots=77.0,  # SVML medium-accuracy sincosf, calibrated (see module doc)
+    sfu_ratio=0.0,
+    shared_bandwidth_tbs=3.0,  # aggregate L1 bandwidth (2 x 14 cores x ~96 B/cy)
+    pcie_bandwidth_gbs=0.0,
+    compute_power_w=330.0,  # package + DRAM under AVX2 load
+    host_power_w=0.0,
+)
+
+#: AMD R9 Fury X system ("FIJI").
+FIJI = Architecture(
+    name="FIJI",
+    model="AMD R9 Fury X",
+    arch_type="GPU",
+    microarchitecture="Fiji",
+    clock_ghz=1.050,
+    n_fpus=4096,  # 64 CUs x 64-wide
+    peak_tflops=8.60,
+    mem_size_gb=4.0,
+    mem_bandwidth_gbs=512.0,
+    tdp_w=275.0,
+    sincos_parallel=False,
+    sincos_slots=24.0,  # quarter-rate transcendentals [29] + argument reduction
+    sfu_ratio=0.0,
+    shared_bandwidth_tbs=8.6,  # 64 CUs x 128 B/cycle x 1.05 GHz
+    pcie_bandwidth_gbs=16.0,
+    compute_power_w=275.0,
+    host_power_w=60.0,
+)
+
+#: NVIDIA GTX 1080 system ("PASCAL").
+PASCAL = Architecture(
+    name="PASCAL",
+    model="NVIDIA GTX 1080",
+    arch_type="GPU",
+    microarchitecture="Pascal",
+    clock_ghz=1.80,  # turbo
+    n_fpus=2560,  # 40 SMs x 2 x 32-wide
+    peak_tflops=9.22,
+    mem_size_gb=8.0,
+    mem_bandwidth_gbs=320.0,
+    tdp_w=180.0,
+    sincos_parallel=True,
+    sincos_slots=1.0,  # one issue slot on the FMA queue per sincos
+    sfu_ratio=0.25,  # 32 SFU vs 128 FMA lanes per SM [28]
+    shared_bandwidth_tbs=9.2,  # 40 SMs x 128 B/cycle x 1.8 GHz
+    pcie_bandwidth_gbs=16.0,
+    compute_power_w=200.0,  # measured board draw under compute (PowerSensor)
+    host_power_w=60.0,
+)
+
+#: All architectures of Table I, in the paper's order.
+ALL_ARCHITECTURES: tuple[Architecture, ...] = (HASWELL, FIJI, PASCAL)
+
+
+def by_name(name: str) -> Architecture:
+    """Look up an architecture by its short name (case-insensitive)."""
+    for arch in ALL_ARCHITECTURES:
+        if arch.name == name.upper():
+            return arch
+    raise KeyError(f"unknown architecture {name!r}; expected one of "
+                   f"{[a.name for a in ALL_ARCHITECTURES]}")
+
+
+def table1_rows() -> list[dict]:
+    """Table I as a list of dicts (used by the Table I benchmark target)."""
+    return [
+        {
+            "model": a.model,
+            "type": a.arch_type,
+            "architecture": a.microarchitecture,
+            "clock (GHz)": a.clock_ghz,
+            "#FPUs": a.n_fpus,
+            "peak (TFlops)": a.peak_tflops,
+            "mem size (GB)": a.mem_size_gb,
+            "mem bw (GB/s)": a.mem_bandwidth_gbs,
+            "TDP (W)": a.tdp_w,
+        }
+        for a in ALL_ARCHITECTURES
+    ]

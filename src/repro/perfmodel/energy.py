@@ -1,0 +1,109 @@
+"""Energy model (Figs 14 and 15).
+
+Energy is power x time: each kernel's predicted runtime (Fig 9 model) times
+the architecture's measured-equivalent compute power.  For GPUs the paper
+adds the host's package+DRAM draw (LIKWID) on top of the board power
+(PowerSensor); the model mirrors that split so the Fig 14 stacked bars have
+the same composition.
+
+Efficiency (Fig 15) is *flops* per watt — the paper reports GFlops/W using
+the classic flop metric (sincos excluded), which is why PASCAL's gridder
+lands near 32 GFlops/W rather than its op rate divided by power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import Plan
+from repro.perfmodel.architectures import Architecture
+from repro.perfmodel.opcount import KernelCounts
+from repro.perfmodel.runtime import CycleRuntime, imaging_cycle_runtime, kernel_runtime
+
+
+@dataclass(frozen=True)
+class KernelEnergy:
+    """Energy of one kernel on one architecture."""
+
+    kernel: str
+    architecture: str
+    joules_device: float
+    joules_host: float
+    seconds: float
+
+    @property
+    def joules_total(self) -> float:
+        return self.joules_device + self.joules_host
+
+
+@dataclass(frozen=True)
+class CycleEnergy:
+    """Energy distribution of one imaging cycle (Fig 14)."""
+
+    architecture: str
+    kernels: tuple[KernelEnergy, ...]
+
+    @property
+    def total_joules(self) -> float:
+        return sum(k.joules_total for k in self.kernels)
+
+    @property
+    def host_joules(self) -> float:
+        return sum(k.joules_host for k in self.kernels)
+
+    def fraction(self, kernel: str) -> float:
+        e = sum(k.joules_total for k in self.kernels if k.kernel == kernel)
+        return e / self.total_joules if self.total_joules else 0.0
+
+
+def kernel_energy(arch: Architecture, counts: KernelCounts) -> KernelEnergy:
+    """Energy of one kernel: runtime x (device power [+ host power])."""
+    runtime = kernel_runtime(arch, counts)
+    return KernelEnergy(
+        kernel=counts.name,
+        architecture=arch.name,
+        joules_device=runtime.seconds * arch.compute_power_w,
+        joules_host=runtime.seconds * arch.host_power_w,
+        seconds=runtime.seconds,
+    )
+
+
+def imaging_cycle_energy(
+    arch: Architecture, plan: Plan, with_aterms: bool = False
+) -> CycleEnergy:
+    """Fig 14: per-kernel energy of one full imaging cycle."""
+    from repro.perfmodel.opcount import (
+        adder_counts,
+        degridder_counts,
+        gridder_counts,
+        splitter_counts,
+        subgrid_fft_counts,
+    )
+
+    counts = (
+        gridder_counts(plan, with_aterms=with_aterms),
+        subgrid_fft_counts(plan),
+        adder_counts(plan),
+        splitter_counts(plan),
+        subgrid_fft_counts(plan),
+        degridder_counts(plan, with_aterms=with_aterms),
+    )
+    return CycleEnergy(
+        architecture=arch.name,
+        kernels=tuple(kernel_energy(arch, c) for c in counts),
+    )
+
+
+def energy_efficiency_gflops_per_watt(
+    arch: Architecture, counts: KernelCounts, include_host: bool = False
+) -> float:
+    """Fig 15: kernel flop rate divided by power draw.
+
+    ``include_host=False`` matches the paper's per-kernel efficiency bars
+    (device power only); set True for a whole-system figure.
+    """
+    runtime = kernel_runtime(arch, counts)
+    if runtime.seconds <= 0:
+        return 0.0
+    power = arch.compute_power_w + (arch.host_power_w if include_host else 0.0)
+    return counts.flops / runtime.seconds / power / 1e9

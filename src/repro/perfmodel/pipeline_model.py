@@ -1,0 +1,166 @@
+"""End-to-end pipeline predictions: transfers, overlap and core scaling.
+
+Combines the per-kernel runtime model with the stream scheduler to predict
+what the paper's Section V implementations actually achieve end to end:
+
+* :func:`gpu_cycle_with_transfers` — the full GPU imaging cycle including
+  PCIe traffic, scheduled with n-fold buffering (Fig 7's triple buffering
+  hides the copies; 1 buffer exposes them);
+* :func:`cpu_core_scaling` — the CPU gridder under OpenMP-style work-item
+  parallelism: embarrassingly parallel kernels scaled by Amdahl's law with
+  a small serial fraction (plan handling + the adder's merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import Plan
+from repro.perfmodel.architectures import Architecture
+from repro.perfmodel.opcount import (
+    KernelCounts,
+    adder_counts,
+    degridder_counts,
+    gridder_counts,
+    splitter_counts,
+    subgrid_fft_counts,
+)
+from repro.perfmodel.runtime import imaging_cycle_runtime, kernel_runtime
+from repro.perfmodel.streams import StreamSchedule, schedule_buffers, serial_makespan
+
+
+@dataclass(frozen=True)
+class GpuCyclePrediction:
+    """End-to-end GPU cycle with transfers.
+
+    Attributes
+    ----------
+    compute_seconds:
+        Sum of kernel times (the Fig 9 quantity).
+    transfer_seconds:
+        Total PCIe time (HtoD + DtoH).
+    overlapped_seconds:
+        Makespan with n-buffer overlap.
+    serial_seconds:
+        Makespan with no overlap at all.
+    schedule:
+        The underlying stream schedule.
+    """
+
+    compute_seconds: float
+    transfer_seconds: float
+    overlapped_seconds: float
+    serial_seconds: float
+    schedule: StreamSchedule
+
+    @property
+    def overlap_speedup(self) -> float:
+        return self.serial_seconds / self.overlapped_seconds
+
+    @property
+    def transfer_hidden_fraction(self) -> float:
+        """Fraction of transfer time hidden behind compute."""
+        if self.transfer_seconds == 0:
+            return 1.0
+        exposed = max(self.overlapped_seconds - self.compute_seconds, 0.0)
+        return 1.0 - exposed / self.transfer_seconds
+
+
+def _cycle_bytes(plan: Plan) -> tuple[float, float]:
+    """(bytes in, bytes out) of one imaging cycle's GPU work.
+
+    In: visibilities + uvw for gridding and degridding inputs; out: the
+    predicted visibilities and the subgrids handed to the host-side adder
+    (the paper's option 2 for large grids keeps the master grid on the
+    host).
+    """
+    gc = gridder_counts(plan)
+    n = plan.subgrid_size
+    vis_bytes = gc.visibilities * 32.0
+    uvw_bytes = gc.visibilities * 12.0 / max(plan.n_channels, 1)
+    subgrid_bytes = plan.n_subgrids * n * n * 32.0
+    bytes_in = vis_bytes + uvw_bytes + subgrid_bytes  # grid+degrid inputs
+    bytes_out = vis_bytes + subgrid_bytes
+    return bytes_in, bytes_out
+
+
+def gpu_cycle_with_transfers(
+    arch: Architecture,
+    plan: Plan,
+    n_work_groups: int = 16,
+    n_buffers: int = 3,
+) -> GpuCyclePrediction:
+    """Predict one imaging cycle on a GPU including PCIe transfers."""
+    if not arch.is_gpu:
+        raise ValueError(f"{arch.name} is not a GPU")
+    if n_work_groups <= 0:
+        raise ValueError("n_work_groups must be positive")
+    cycle = imaging_cycle_runtime(arch, plan)
+    compute = cycle.total_seconds
+    bytes_in, bytes_out = _cycle_bytes(plan)
+    bw = arch.pcie_bandwidth_gbs * 1e9
+    t_in, t_out = bytes_in / bw, bytes_out / bw
+    jobs = [
+        (t_in / n_work_groups, compute / n_work_groups, t_out / n_work_groups)
+    ] * n_work_groups
+    schedule = schedule_buffers(jobs, n_buffers=n_buffers)
+    return GpuCyclePrediction(
+        compute_seconds=compute,
+        transfer_seconds=t_in + t_out,
+        overlapped_seconds=schedule.makespan,
+        serial_seconds=serial_makespan(jobs),
+        schedule=schedule,
+    )
+
+
+@dataclass(frozen=True)
+class CoreScalingPoint:
+    """Predicted CPU gridder throughput at a core count."""
+
+    n_cores: int
+    speedup: float
+    efficiency: float
+    seconds: float
+
+
+def cpu_core_scaling(
+    arch: Architecture,
+    plan: Plan,
+    core_counts=(1, 2, 4, 8, 14, 28),
+    serial_fraction: float = 0.02,
+) -> list[CoreScalingPoint]:
+    """Amdahl scaling of the CPU gridder over work items (Section V-B-a).
+
+    The gridder distributes work items over logical cores with OpenMP;
+    the serial remainder (plan handling, the adder merge, load imbalance at
+    the tail) is modelled as ``serial_fraction`` of single-core time.
+    ``arch.peak_ops`` already describes the *full* chip, so single-core time
+    is scaled up by the total core count first.
+    """
+    if arch.is_gpu:
+        raise ValueError(f"{arch.name} is not a CPU")
+    if not (0 <= serial_fraction < 1):
+        raise ValueError("serial_fraction must be in [0, 1)")
+    total_cores = max(core_counts)
+    counts = gridder_counts(plan)
+    full_chip_seconds = kernel_runtime(arch, counts).seconds
+    single_core_seconds = full_chip_seconds * total_cores
+    out = []
+    for cores in core_counts:
+        if cores <= 0:
+            raise ValueError("core counts must be positive")
+        seconds = single_core_seconds * (
+            serial_fraction + (1.0 - serial_fraction) / cores
+        )
+        speedup = single_core_seconds / seconds
+        out.append(
+            CoreScalingPoint(
+                n_cores=cores,
+                speedup=speedup,
+                efficiency=speedup / cores,
+                seconds=seconds,
+            )
+        )
+    return out

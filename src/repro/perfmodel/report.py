@@ -1,0 +1,145 @@
+"""One-shot evaluation report: the paper's Section VI as formatted text.
+
+:func:`evaluation_report` runs the whole performance model over one
+execution plan and renders every figure's series — Table I, the rho sweep,
+both rooflines, runtime/throughput/energy and the WPG comparison — as a
+single report string.  The CLI's ``perfmodel`` command prints a digest; this
+renders the complete set (used by the ``performance_model`` example and by
+anyone wanting the paper's evaluation for *their own* observation).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.core.plan import Plan
+from repro.perfmodel.architectures import ALL_ARCHITECTURES, PASCAL, table1_rows
+from repro.perfmodel.energy import (
+    energy_efficiency_gflops_per_watt,
+    imaging_cycle_energy,
+)
+from repro.perfmodel.opcount import (
+    degridder_counts,
+    gridder_counts,
+    idg_synthetic_counts,
+    wprojection_counts,
+)
+from repro.perfmodel.roofline import attainable_ops, device_roofline_point, shared_roofline_point
+from repro.perfmodel.runtime import imaging_cycle_runtime, throughput_mvis
+from repro.perfmodel.sincos import sweep_rho
+
+
+def _table(out: io.StringIO, title: str, headers: list[str], rows: list[tuple]) -> None:
+    out.write(f"\n## {title}\n")
+    widths = [max(len(h), 11) for h in headers]
+    out.write("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}".rjust(w))
+            else:
+                cells.append(str(value).rjust(w))
+        out.write("  " + "  ".join(cells) + "\n")
+
+
+def evaluation_report(plan: Plan, with_aterms: bool = False) -> str:
+    """Render the full Section VI evaluation for one execution plan."""
+    out = io.StringIO()
+    stats = plan.statistics
+    out.write("# IDG performance-model evaluation\n")
+    out.write(
+        f"workload: {stats.n_visibilities_gridded:,} visibilities on "
+        f"{stats.n_subgrids:,} subgrids of {plan.subgrid_size}^2 pixels "
+        f"({stats.mean_visibilities_per_subgrid:.0f} vis/subgrid), "
+        f"{plan.gridspec.grid_size}^2 grid\n"
+    )
+
+    # Table I
+    _table(
+        out, "Table I: architectures",
+        ["model", "type", "clock GHz", "peak TFlops", "mem GB/s", "TDP W"],
+        [(r["model"], r["type"], r["clock (GHz)"], r["peak (TFlops)"],
+          r["mem bw (GB/s)"], r["TDP (W)"]) for r in table1_rows()],
+    )
+
+    gc = gridder_counts(plan, with_aterms=with_aterms)
+    dc = degridder_counts(plan, with_aterms=with_aterms)
+
+    # Fig 11 / 13
+    rows = []
+    for arch in ALL_ARCHITECTURES:
+        for counts in (gc, dc):
+            pt = device_roofline_point(arch, counts)
+            spt = shared_roofline_point(arch, counts)
+            rows.append(
+                (arch.name, counts.name, pt.intensity, spt.intensity,
+                 pt.performance_ops / 1e12,
+                 100 * pt.performance_ops / arch.peak_ops, pt.bound)
+            )
+    _table(
+        out, "Figs 11/13: rooflines (op = +,-,*,sin,cos)",
+        ["arch", "kernel", "ops/dev-byte", "ops/shm-byte", "TOps/s",
+         "% peak", "bound"],
+        rows,
+    )
+
+    # Fig 12
+    rhos = np.array([0.0, 2.0, 8.0, 17.0, 32.0, 128.0])
+    _table(
+        out, "Fig 12: throughput vs rho (fraction of peak)",
+        ["rho"] + [a.name for a in ALL_ARCHITECTURES],
+        [
+            (float(r),) + tuple(
+                float(sweep_rho(a, np.array([r]))[1][0] / a.peak_ops)
+                for a in ALL_ARCHITECTURES
+            )
+            for r in rhos
+        ],
+    )
+
+    # Figs 9 / 10 / 14 / 15
+    rows = []
+    for arch in ALL_ARCHITECTURES:
+        cycle = imaging_cycle_runtime(arch, plan, with_aterms=with_aterms)
+        energy = imaging_cycle_energy(arch, plan, with_aterms=with_aterms)
+        rows.append(
+            (
+                arch.name,
+                cycle.total_seconds,
+                100 * cycle.gridding_degridding_fraction(),
+                throughput_mvis(arch, gc),
+                throughput_mvis(arch, dc),
+                energy.total_joules,
+                energy_efficiency_gflops_per_watt(arch, gc),
+                energy_efficiency_gflops_per_watt(arch, dc),
+            )
+        )
+    _table(
+        out, "Figs 9/10/14/15: cycle runtime, throughput, energy",
+        ["arch", "cycle s", "(de)grid %", "grid MVis/s", "degrid MVis/s",
+         "cycle J", "grid GF/W", "degrid GF/W"],
+        rows,
+    )
+
+    # Fig 16
+    n_vis = gc.visibilities
+    occupancy = n_vis / max(gc.n_subgrids, 1)
+    rows = []
+    for support in (8, 16, 24, 32, 64):
+        wpg = throughput_mvis(PASCAL, wprojection_counts(n_vis, support))
+        matched = throughput_mvis(
+            PASCAL,
+            idg_synthetic_counts(n_vis, max(24, support),
+                                 visibilities_per_subgrid=occupancy),
+        )
+        rows.append((support, wpg, throughput_mvis(PASCAL, gc), matched))
+    _table(
+        out, "Fig 16: IDG vs W-projection on PASCAL (MVis/s)",
+        ["N_W", "WPG", "IDG (plan)", "IDG (N=max(24,N_W))"],
+        rows,
+    )
+
+    return out.getvalue()

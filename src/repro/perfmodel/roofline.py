@@ -1,0 +1,110 @@
+"""Modified roofline model (Figs 11 and 13).
+
+The classic roofline bounds performance by ``min(peak, bandwidth *
+operational_intensity)``.  The paper modifies it twice:
+
+1. *operations* include sine/cosine, and a new ceiling — the rho = 17 mix
+   bound of :mod:`repro.perfmodel.sincos` — replaces the raw FMA peak for
+   architectures whose transcendental throughput is limited (the dashed
+   lines of Fig 11);
+2. a second roofline with operational intensity measured against *shared
+   memory* traffic (Fig 13) explains why even PASCAL stays below its
+   sincos-adjusted ceiling.
+
+``attainable_ops`` combines all four ceilings; it is the performance
+predictor the runtime model (Fig 9/10) is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.architectures import Architecture
+from repro.perfmodel.opcount import KernelCounts
+from repro.perfmodel.sincos import mixed_throughput_ops
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position in a roofline plot.
+
+    Attributes
+    ----------
+    kernel, architecture:
+        Labels.
+    intensity:
+        Ops per byte (device or shared, depending on the plot).
+    performance_ops:
+        Predicted attainable op/s at that intensity.
+    ceiling_ops:
+        The binding ceiling at that intensity (for drawing the roof).
+    bound:
+        Which ceiling binds: ``"memory"``, ``"sincos"`` or ``"peak"``
+        (``"shared"`` in the shared-memory plot).
+    """
+
+    kernel: str
+    architecture: str
+    intensity: float
+    performance_ops: float
+    ceiling_ops: float
+    bound: str
+
+
+def roofline_ceiling(arch: Architecture, intensity: float) -> float:
+    """Classic device-memory roofline: ``min(peak, bw * intensity)``."""
+    if intensity < 0:
+        raise ValueError("intensity must be >= 0")
+    return min(arch.peak_ops, arch.mem_bandwidth_gbs * 1e9 * intensity)
+
+
+def attainable_ops(arch: Architecture, counts: KernelCounts) -> tuple[float, str]:
+    """Predicted op/s for a kernel on an architecture, with the binding bound.
+
+    Applies, in order: device-memory bandwidth, shared-memory bandwidth
+    (GPU kernels with shared traffic), the sincos mix ceiling at the
+    kernel's actual rho, and the FMA peak.
+    """
+    candidates: list[tuple[float, str]] = [(arch.peak_ops, "peak")]
+    if counts.bytes_device > 0:
+        candidates.append(
+            (arch.mem_bandwidth_gbs * 1e9 * counts.operational_intensity, "memory")
+        )
+    if counts.bytes_shared > 0 and arch.is_gpu:
+        candidates.append(
+            (arch.shared_bandwidth_tbs * 1e12 * counts.shared_intensity, "shared")
+        )
+    if counts.sincos_evals > 0:
+        candidates.append((mixed_throughput_ops(arch, counts.rho), "sincos"))
+    perf, bound = min(candidates, key=lambda c: c[0])
+    return perf, bound
+
+
+def device_roofline_point(arch: Architecture, counts: KernelCounts) -> RooflinePoint:
+    """The kernel's point in the Fig 11 (device memory) roofline."""
+    perf, bound = attainable_ops(arch, counts)
+    return RooflinePoint(
+        kernel=counts.name,
+        architecture=arch.name,
+        intensity=counts.operational_intensity,
+        performance_ops=perf,
+        ceiling_ops=roofline_ceiling(arch, counts.operational_intensity),
+        bound=bound,
+    )
+
+
+def shared_roofline_point(arch: Architecture, counts: KernelCounts) -> RooflinePoint:
+    """The kernel's point in the Fig 13 (shared memory) roofline."""
+    perf, bound = attainable_ops(arch, counts)
+    intensity = counts.shared_intensity
+    ceiling = min(arch.peak_ops, arch.shared_bandwidth_tbs * 1e12 * intensity) if (
+        intensity != float("inf")
+    ) else arch.peak_ops
+    return RooflinePoint(
+        kernel=counts.name,
+        architecture=arch.name,
+        intensity=intensity,
+        performance_ops=perf,
+        ceiling_ops=ceiling,
+        bound=bound,
+    )

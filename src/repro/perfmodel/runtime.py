@@ -1,0 +1,104 @@
+"""Per-kernel runtime and throughput prediction (Figs 9 and 10).
+
+A kernel's runtime is its measured operation count divided by the attainable
+rate from the modified roofline (:func:`repro.perfmodel.roofline
+.attainable_ops`); pure data movers (adder, splitter) are bandwidth-bound.
+Summing the kernels of one imaging cycle — gridding (gridder, subgrid FFT,
+adder) plus degridding (splitter, subgrid FFT, degridder) — reproduces the
+Fig 9 runtime distribution; dividing visibility counts by the gridder and
+degridder times gives the Fig 10 MVis/s throughputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import Plan
+from repro.perfmodel.architectures import Architecture
+from repro.perfmodel.opcount import (
+    KernelCounts,
+    adder_counts,
+    degridder_counts,
+    gridder_counts,
+    splitter_counts,
+    subgrid_fft_counts,
+)
+from repro.perfmodel.roofline import attainable_ops
+
+
+@dataclass(frozen=True)
+class KernelRuntime:
+    """Predicted execution of one kernel on one architecture."""
+
+    kernel: str
+    architecture: str
+    seconds: float
+    ops: float
+    bound: str
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.ops / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class CycleRuntime:
+    """One full imaging cycle (Fig 9): gridding + degridding kernels."""
+
+    architecture: str
+    kernels: tuple[KernelRuntime, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(k.seconds for k in self.kernels)
+
+    def fraction(self, kernel: str) -> float:
+        t = sum(k.seconds for k in self.kernels if k.kernel == kernel)
+        return t / self.total_seconds if self.total_seconds else 0.0
+
+    def gridding_degridding_fraction(self) -> float:
+        """The paper's Section VI-B claim: > 93% of runtime in these two."""
+        return self.fraction("gridder") + self.fraction("degridder")
+
+
+def kernel_runtime(arch: Architecture, counts: KernelCounts) -> KernelRuntime:
+    """Runtime of one kernel: ops / attainable rate (bandwidth time for pure
+    data movers with no arithmetic)."""
+    if counts.ops > 0:
+        rate, bound = attainable_ops(arch, counts)
+        seconds = counts.ops / rate
+    else:
+        seconds = counts.bytes_device / (arch.mem_bandwidth_gbs * 1e9)
+        bound = "memory"
+    return KernelRuntime(
+        kernel=counts.name, architecture=arch.name, seconds=seconds,
+        ops=counts.ops, bound=bound,
+    )
+
+
+def imaging_cycle_runtime(
+    arch: Architecture, plan: Plan, with_aterms: bool = False
+) -> CycleRuntime:
+    """Predicted runtime distribution of one imaging cycle (Fig 9).
+
+    The cycle comprises imaging (gridder + subgrid FFT + adder) and
+    prediction (splitter + subgrid FFT + degridder) over the same plan, as
+    in Fig 2/Fig 4.
+    """
+    kernels = (
+        kernel_runtime(arch, gridder_counts(plan, with_aterms=with_aterms)),
+        kernel_runtime(arch, subgrid_fft_counts(plan)),
+        kernel_runtime(arch, adder_counts(plan)),
+        kernel_runtime(arch, splitter_counts(plan)),
+        kernel_runtime(arch, subgrid_fft_counts(plan)),
+        kernel_runtime(arch, degridder_counts(plan, with_aterms=with_aterms)),
+    )
+    return CycleRuntime(architecture=arch.name, kernels=kernels)
+
+
+def throughput_mvis(arch: Architecture, counts: KernelCounts) -> float:
+    """Visibility throughput in MVis/s (Fig 10 / Fig 16 y-axis)."""
+    runtime = kernel_runtime(arch, counts)
+    if runtime.seconds <= 0:
+        return 0.0
+    return counts.visibilities / runtime.seconds / 1e6

@@ -1,0 +1,67 @@
+"""Throughput model for mixed FMA / sine-cosine instruction streams (Fig 12).
+
+The paper benchmarks the achievable operation rate for varying
+
+    rho = (number of FMAs) / (number of sincos evaluations)
+
+and uses the rho = 17 point (the gridder/degridder mix: 17 real FMAs per
+sine/cosine pair, Algorithms 1-2) as the realistic performance ceiling for
+HASWELL and FIJI (the dashed lines in Fig 11).
+
+Model.  One "work quantum" contains ``rho`` FMA instructions and one sincos
+evaluation, i.e. ``2 * rho + 2`` ops (each FMA is 2 ops; sin and cos are one
+op each).
+
+* Serial architectures (HASWELL, FIJI): the sincos occupies the FMA pipes
+  for ``sincos_slots`` instruction slots, so the quantum takes
+  ``(rho + sincos_slots) / fma_rate`` seconds.
+* Parallel architectures (PASCAL): the sincos runs on the SFU queue
+  (``1 / (sfu_ratio * fma_rate)`` seconds per evaluation) while the FMA
+  queue needs ``(rho + sincos_slots issue overhead) / fma_rate``; the
+  quantum takes the max of the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.architectures import Architecture
+
+
+def mixed_throughput_ops(arch: Architecture, rho: float) -> float:
+    """Achievable op/s for an FMA:sincos mix of ``rho`` (Fig 12 y-axis).
+
+    ``rho = inf`` (or a very large value) approaches the FMA peak;
+    ``rho = 0`` is pure sincos evaluation.
+    """
+    if rho < 0:
+        raise ValueError("rho must be >= 0")
+    fma_rate = arch.fma_instruction_rate
+    ops_per_quantum = 2.0 * rho + 2.0
+    if arch.sincos_parallel:
+        t_fma_queue = (rho + arch.sincos_slots) / fma_rate
+        t_sfu_queue = 1.0 / (arch.sfu_ratio * fma_rate)
+        t = max(t_fma_queue, t_sfu_queue)
+    else:
+        t = (rho + arch.sincos_slots) / fma_rate
+    return min(ops_per_quantum / t, arch.peak_ops)
+
+
+def sincos_bound_ops(arch: Architecture, rho: float = 17.0) -> float:
+    """The dashed-line ceiling of Fig 11: :func:`mixed_throughput_ops` at the
+    kernels' actual mix (rho = 17)."""
+    return mixed_throughput_ops(arch, rho)
+
+
+def sweep_rho(arch: Architecture, rhos: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """(rho values, op/s) series reproducing one curve of Fig 12."""
+    if rhos is None:
+        rhos = np.concatenate([np.arange(0.0, 33.0), [48.0, 64.0, 96.0, 128.0]])
+    rhos = np.asarray(rhos, dtype=np.float64)
+    ops = np.array([mixed_throughput_ops(arch, float(r)) for r in rhos])
+    return rhos, ops
+
+
+def peak_fraction(arch: Architecture, rho: float = 17.0) -> float:
+    """Fraction of the FMA peak attainable at the given mix."""
+    return mixed_throughput_ops(arch, rho) / arch.peak_ops

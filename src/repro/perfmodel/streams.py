@@ -1,0 +1,114 @@
+"""Triple-buffering stream scheduler (paper Fig 7, Section V-C-a).
+
+The GPU implementation hides PCIe transfers behind kernel execution using
+three host threads, three device buffer sets and three CUDA streams: one for
+host-to-device copies, one for kernels, one for device-to-host copies.  This
+module reproduces that schedule as a small discrete-event simulation:
+
+* the HtoD stream executes all input copies in order, one at a time;
+* the compute stream executes each job's kernel after its input copy;
+* the DtoH stream copies each job's results out after its kernel;
+* a job may start its input copy only when its buffer set is free — i.e.
+  after job ``j - n_buffers`` finished copying out (the "dashed" deferred
+  copies of Fig 7).
+
+With enough buffers the makespan approaches ``max(sum_h, sum_c, sum_d)``
+(perfect overlap); with one buffer it degenerates to the serial sum — the
+ablation the Fig 7 benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One operation on one stream."""
+
+    job: int
+    stage: str  # "htod" | "compute" | "dtoh"
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class StreamSchedule:
+    """Complete schedule of a job list over the three streams."""
+
+    events: tuple[StreamEvent, ...]
+    makespan: float
+    n_buffers: int
+
+    def stream(self, stage: str) -> list[StreamEvent]:
+        return [e for e in self.events if e.stage == stage]
+
+    def busy_time(self, stage: str) -> float:
+        return sum(e.end - e.start for e in self.stream(stage))
+
+    def compute_utilisation(self) -> float:
+        """Fraction of the makespan the compute stream is busy — near 1.0
+        means transfers are fully hidden (the point of Fig 7)."""
+        return self.busy_time("compute") / self.makespan if self.makespan else 0.0
+
+
+def schedule_buffers(
+    jobs: list[tuple[float, float, float]], n_buffers: int = 3
+) -> StreamSchedule:
+    """Schedule jobs of (htod, compute, dtoh) durations over three streams.
+
+    Parameters
+    ----------
+    jobs:
+        Per work group: input-copy, kernel and output-copy durations in
+        seconds.
+    n_buffers:
+        Device buffer sets (the paper uses 3 = triple buffering).
+    """
+    if n_buffers <= 0:
+        raise ValueError("n_buffers must be positive")
+    for j, (h, c, d) in enumerate(jobs):
+        if h < 0 or c < 0 or d < 0:
+            raise ValueError(f"job {j} has negative duration")
+
+    events: list[StreamEvent] = []
+    htod_free = 0.0
+    compute_free = 0.0
+    dtoh_free = 0.0
+    dtoh_end: list[float] = []  # completion time of each job's output copy
+
+    for j, (h, c, d) in enumerate(jobs):
+        buffer_ready = dtoh_end[j - n_buffers] if j >= n_buffers else 0.0
+        h_start = max(htod_free, buffer_ready)
+        h_end = h_start + h
+        htod_free = h_end
+        events.append(StreamEvent(j, "htod", h_start, h_end))
+
+        c_start = max(compute_free, h_end)
+        c_end = c_start + c
+        compute_free = c_end
+        events.append(StreamEvent(j, "compute", c_start, c_end))
+
+        d_start = max(dtoh_free, c_end)
+        d_end = d_start + d
+        dtoh_free = d_end
+        dtoh_end.append(d_end)
+        events.append(StreamEvent(j, "dtoh", d_start, d_end))
+
+    makespan = max((e.end for e in events), default=0.0)
+    return StreamSchedule(events=tuple(events), makespan=makespan, n_buffers=n_buffers)
+
+
+def serial_makespan(jobs: list[tuple[float, float, float]]) -> float:
+    """No overlap at all: the sum of every stage of every job."""
+    return sum(h + c + d for h, c, d in jobs)
+
+
+def transfer_times(
+    arch_pcie_gbs: float, bytes_in: float, bytes_out: float, compute_seconds: float
+) -> tuple[float, float, float]:
+    """(htod, compute, dtoh) durations for one work group on a GPU."""
+    if arch_pcie_gbs <= 0:
+        return (0.0, compute_seconds, 0.0)
+    bw = arch_pcie_gbs * 1e9
+    return (bytes_in / bw, compute_seconds, bytes_out / bw)

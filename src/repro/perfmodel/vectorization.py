@@ -1,0 +1,59 @@
+"""Vector-width alignment effects (paper Section V-B).
+
+The CPU gridder vectorises the channel loop: "the vectorization works best
+when the number of channels is a multiple of the SIMD vector width, as
+otherwise the remainder(C_B, SIMD_WIDTH) channels will be processed using
+masked vector instructions.  This implies that wider vectors will not
+necessarily result in higher performance."  These helpers quantify that
+effect for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def simd_channel_efficiency(n_channels: int, simd_width: int) -> float:
+    """Fraction of vector lanes doing useful work in the channel loop.
+
+    A channel count of C on W-wide vectors issues ``ceil(C / W)`` vector
+    iterations of which the last is masked: efficiency = C / (W * ceil(C/W)).
+    """
+    if n_channels <= 0 or simd_width <= 0:
+        raise ValueError("n_channels and simd_width must be positive")
+    iterations = -(-n_channels // simd_width)
+    return n_channels / (simd_width * iterations)
+
+
+def effective_peak_ops(peak_ops: float, n_channels: int, simd_width: int) -> float:
+    """Peak op rate scaled by the channel-loop lane efficiency."""
+    return peak_ops * simd_channel_efficiency(n_channels, simd_width)
+
+
+def best_simd_width(n_channels: int, candidate_widths=(4, 8, 16)) -> int:
+    """The vector width with the highest *lane efficiency* for C channels.
+
+    This is the paper's observation that "wider vectors will not necessarily
+    result in higher performance": a width that divides C keeps every lane
+    busy, while a wider one burns issue slots on masked lanes.  Ties go to
+    the wider vector (fewer iterations at equal efficiency).
+    """
+    if n_channels <= 0:
+        raise ValueError("n_channels must be positive")
+    return max(
+        candidate_widths,
+        key=lambda width: (simd_channel_efficiency(n_channels, width), width),
+    )
+
+
+def sweep_channel_efficiency(
+    simd_width: int, channel_counts=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(channel counts, lane efficiency) series for one vector width."""
+    if channel_counts is None:
+        channel_counts = np.arange(1, 33)
+    channel_counts = np.asarray(channel_counts, dtype=np.int64)
+    eff = np.array(
+        [simd_channel_efficiency(int(c), simd_width) for c in channel_counts]
+    )
+    return channel_counts, eff

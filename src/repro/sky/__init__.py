@@ -1,0 +1,21 @@
+"""Sky models and the direct measurement-equation predictor.
+
+:mod:`repro.sky.simulate` evaluates the paper's Eq. 1 *exactly* (a direct sum
+over point sources, with full w-terms and optional A-terms).  It is the ground
+truth every gridder/degridder in the package is validated against, and the
+generator of the synthetic visibility sets used by the benchmarks.
+"""
+
+from repro.sky.model import PointSource, SkyModel, brightness_from_stokes
+from repro.sky.sources import random_sky, grid_test_sky
+from repro.sky.simulate import predict_visibilities, predict_baseline
+
+__all__ = [
+    "PointSource",
+    "SkyModel",
+    "brightness_from_stokes",
+    "random_sky",
+    "grid_test_sky",
+    "predict_visibilities",
+    "predict_baseline",
+]

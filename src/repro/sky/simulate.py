@@ -1,0 +1,179 @@
+"""Direct evaluation of the measurement equation (the package's oracle).
+
+For point sources, Eq. 1 of the paper reduces to a finite sum
+
+``V_pq(t, c) = sum_k A_p(l_k, m_k) B_k A_q(l_k, m_k)^H
+              * exp(-2*pi*i * (u l_k + v m_k + w n_k))``
+
+with ``n = 1 - sqrt(1 - l**2 - m**2)`` and (u, v, w) in wavelengths at channel
+``c``.  This is exact (no gridding approximation) and therefore serves as the
+ground truth for every gridder and degridder in the package — at O(sources x
+visibilities) cost, so only small problems are feasible, which is all tests
+need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aterms.generators import ATermGenerator, IdentityATerm
+from repro.aterms.jones import apply_sandwich
+from repro.aterms.schedule import ATermSchedule
+from repro.constants import COMPLEX_DTYPE, SPEED_OF_LIGHT
+from repro.kernels.wkernel import n_term
+from repro.sky.model import SkyModel
+
+
+def _source_geometry(sky: SkyModel) -> np.ndarray:
+    """``(n_sources, 3)`` direction components (l, m, n) per source."""
+    n = n_term(sky.l, sky.m)
+    return np.stack([sky.l, sky.m, n], axis=1)
+
+
+def predict_baseline(
+    uvw_m: np.ndarray,
+    frequencies_hz: np.ndarray,
+    sky: SkyModel,
+    corrupted_brightness: np.ndarray | None = None,
+    time_chunk: int = 256,
+) -> np.ndarray:
+    """Predict visibilities for one baseline.
+
+    Parameters
+    ----------
+    uvw_m:
+        ``(n_times, 3)`` uvw coordinates in metres.
+    frequencies_hz:
+        ``(n_channels,)`` channel frequencies.
+    sky:
+        The point-source model.
+    corrupted_brightness:
+        Optional pre-corrupted brightness per source: either
+        ``(n_sources, 2, 2)`` (constant in time) or
+        ``(n_times, n_sources, 2, 2)``.  Defaults to the sky's own matrices
+        (identity A-terms).
+    time_chunk:
+        Number of timesteps processed per vectorised block (memory control).
+
+    Returns
+    -------
+    ``(n_times, n_channels, 2, 2)`` complex64 visibilities.
+    """
+    uvw_m = np.asarray(uvw_m, dtype=np.float64)
+    frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
+    n_times = uvw_m.shape[0]
+    n_chan = frequencies_hz.size
+
+    lmn = _source_geometry(sky)  # (K, 3)
+    if corrupted_brightness is None:
+        bright = sky.brightness  # (K, 2, 2)
+        per_time = False
+    else:
+        bright = np.asarray(corrupted_brightness, dtype=np.complex128)
+        per_time = bright.ndim == 4
+        expected = (n_times, sky.n_sources, 2, 2) if per_time else (sky.n_sources, 2, 2)
+        if bright.shape != expected:
+            raise ValueError(f"corrupted_brightness shape {bright.shape} != {expected}")
+
+    scale = frequencies_hz / SPEED_OF_LIGHT  # (C,)
+    extended = bool(np.any(sky.sigma > 0))
+    out = np.empty((n_times, n_chan, 2, 2), dtype=COMPLEX_DTYPE)
+    for t0 in range(0, n_times, time_chunk):
+        t1 = min(t0 + time_chunk, n_times)
+        # geometric delay in metres: (T', K)
+        delay_m = uvw_m[t0:t1] @ lmn.T
+        # phase: (T', C, K)
+        phase = -2.0 * np.pi * delay_m[:, np.newaxis, :] * scale[np.newaxis, :, np.newaxis]
+        phasor = np.exp(1j * phase)
+        if extended:
+            # Gaussian visibility envelope exp(-2 pi^2 sigma^2 (u^2 + v^2)),
+            # analytic FT of a circular Gaussian (see GaussianSource)
+            uv2_m = (uvw_m[t0:t1, 0] ** 2 + uvw_m[t0:t1, 1] ** 2)  # (T',)
+            uv2 = uv2_m[:, np.newaxis] * scale[np.newaxis, :] ** 2  # (T', C)
+            envelope = np.exp(
+                -2.0 * np.pi**2
+                * sky.sigma[np.newaxis, np.newaxis, :] ** 2
+                * uv2[:, :, np.newaxis]
+            )
+            phasor = phasor * envelope
+        if per_time:
+            out[t0:t1] = np.einsum("tck,tkij->tcij", phasor, bright[t0:t1], optimize=True)
+        else:
+            out[t0:t1] = np.einsum("tck,kij->tcij", phasor, bright, optimize=True)
+    return out
+
+
+def predict_visibilities(
+    uvw_m: np.ndarray,
+    frequencies_hz: np.ndarray,
+    sky: SkyModel,
+    baselines: np.ndarray | None = None,
+    aterms: ATermGenerator | None = None,
+    schedule: ATermSchedule | None = None,
+    time_chunk: int = 256,
+) -> np.ndarray:
+    """Predict the full visibility set by direct evaluation of Eq. 1.
+
+    Parameters
+    ----------
+    uvw_m:
+        ``(n_baselines, n_times, 3)`` uvw coordinates in metres.
+    frequencies_hz:
+        ``(n_channels,)`` channel frequencies.
+    sky:
+        Point-source model.
+    baselines:
+        ``(n_baselines, 2)`` station index pairs; required when ``aterms`` is
+        given (to know which stations' Jones fields corrupt each baseline).
+    aterms, schedule:
+        Direction-dependent effects and their update cadence.  ``None`` means
+        identity A-terms.
+
+    Returns
+    -------
+    ``(n_baselines, n_times, n_channels, 2, 2)`` complex64 visibilities.
+    """
+    uvw_m = np.asarray(uvw_m, dtype=np.float64)
+    if uvw_m.ndim != 3 or uvw_m.shape[2] != 3:
+        raise ValueError(f"uvw_m must be (n_baselines, n_times, 3), got {uvw_m.shape}")
+    n_bl, n_times, _ = uvw_m.shape
+    frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
+
+    use_aterms = aterms is not None and not aterms.is_identity
+    if use_aterms:
+        if baselines is None:
+            raise ValueError("baselines (station pairs) required with non-identity aterms")
+        baselines = np.asarray(baselines)
+        if baselines.shape != (n_bl, 2):
+            raise ValueError(f"baselines must be ({n_bl}, 2), got {baselines.shape}")
+        schedule = schedule or ATermSchedule(0)
+        n_intervals = schedule.n_intervals(n_times)
+        interval_of_t = np.asarray(
+            [int(schedule.interval_of(t)) for t in range(n_times)], dtype=np.int64
+        )
+        stations = np.unique(baselines)
+        # Jones per (station, interval, source): dict -> (K, 2, 2)
+        jones: dict[tuple[int, int], np.ndarray] = {}
+        for s in stations:
+            for itv in range(n_intervals):
+                jones[(int(s), itv)] = aterms.evaluate(int(s), itv, sky.l, sky.m)
+
+    out = np.empty((n_bl, n_times, frequencies_hz.size, 2, 2), dtype=COMPLEX_DTYPE)
+    for b in range(n_bl):
+        if use_aterms:
+            p, q = int(baselines[b, 0]), int(baselines[b, 1])
+            # corrupted brightness per interval, expanded to per-time
+            corrupted_by_interval = np.stack(
+                [
+                    apply_sandwich(jones[(p, itv)], sky.brightness, jones[(q, itv)])
+                    for itv in range(n_intervals)
+                ]
+            )  # (n_intervals, K, 2, 2)
+            corrupted = corrupted_by_interval[interval_of_t]  # (T, K, 2, 2)
+            out[b] = predict_baseline(
+                uvw_m[b], frequencies_hz, sky, corrupted_brightness=corrupted,
+                time_chunk=time_chunk,
+            )
+        else:
+            out[b] = predict_baseline(uvw_m[b], frequencies_hz, sky, time_chunk=time_chunk)
+    return out

@@ -1,0 +1,33 @@
+"""Telescope substrate: station layouts, baselines and uvw synthesis.
+
+The paper benchmarks IDG on a synthetic observation built from the *proposed
+SKA1-low antenna coordinates* processed by ``uvwsim`` [27].  Neither artefact
+is redistributable here, so this package generates statistically equivalent
+layouts (dense Gaussian core + log-spiral arms for SKA1-low) and implements
+the same geometric uvw transform ``uvwsim`` uses (Thompson, Moran & Swenson,
+eq. 4.1): the earth's rotation sweeps every baseline along an elliptical
+track in the (u, v) plane, producing the coverage of the paper's Fig 8.
+"""
+
+from repro.telescope.layouts import (
+    lofar_like_layout,
+    random_disc_layout,
+    ska1_low_like_layout,
+    vla_like_layout,
+)
+from repro.telescope.array import StationArray, baseline_pairs
+from repro.telescope.uvw import enu_to_equatorial, synthesize_uvw, uvw_rotation_matrix
+from repro.telescope.observation import Observation
+
+__all__ = [
+    "lofar_like_layout",
+    "random_disc_layout",
+    "ska1_low_like_layout",
+    "vla_like_layout",
+    "StationArray",
+    "baseline_pairs",
+    "enu_to_equatorial",
+    "synthesize_uvw",
+    "uvw_rotation_matrix",
+    "Observation",
+]

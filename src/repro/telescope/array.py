@@ -1,0 +1,72 @@
+"""Station-array bookkeeping: stations, baselines and baseline vectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def baseline_pairs(n_stations: int) -> np.ndarray:
+    """All unordered station pairs ``(p, q)`` with ``p < q``.
+
+    Returns an ``(n_baselines, 2)`` int array in lexicographic order;
+    ``n_baselines = n_stations * (n_stations - 1) / 2`` (150 stations →
+    11 175 baselines, the paper's benchmark count).
+    """
+    if n_stations < 2:
+        raise ValueError("need at least 2 stations to form a baseline")
+    p, q = np.triu_indices(n_stations, k=1)
+    return np.stack([p, q], axis=1).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class StationArray:
+    """A named set of station positions in a local ENU frame.
+
+    Attributes
+    ----------
+    positions_enu:
+        ``(n_stations, 3)`` east-north-up positions in metres.
+    latitude_rad:
+        Geodetic latitude of the array centre, needed to rotate ENU baselines
+        into the equatorial frame for uvw synthesis.
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    positions_enu: np.ndarray
+    latitude_rad: float = -0.47  # ~ -26.8 deg, the SKA1-low site
+    name: str = "array"
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions_enu, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(f"positions_enu must be (n, 3), got {pos.shape}")
+        if pos.shape[0] < 2:
+            raise ValueError("need at least 2 stations")
+        if not (-np.pi / 2 <= self.latitude_rad <= np.pi / 2):
+            raise ValueError(f"latitude {self.latitude_rad} rad outside [-pi/2, pi/2]")
+        object.__setattr__(self, "positions_enu", pos)
+
+    @property
+    def n_stations(self) -> int:
+        return self.positions_enu.shape[0]
+
+    @property
+    def n_baselines(self) -> int:
+        n = self.n_stations
+        return n * (n - 1) // 2
+
+    def baselines(self) -> np.ndarray:
+        """``(n_baselines, 2)`` station index pairs, ``p < q``."""
+        return baseline_pairs(self.n_stations)
+
+    def baseline_vectors_enu(self) -> np.ndarray:
+        """``(n_baselines, 3)`` ENU baseline vectors ``pos[q] - pos[p]`` [m]."""
+        pairs = self.baselines()
+        return self.positions_enu[pairs[:, 1]] - self.positions_enu[pairs[:, 0]]
+
+    def max_baseline_m(self) -> float:
+        """Longest baseline length in metres (sets the resolution/grid size)."""
+        return float(np.linalg.norm(self.baseline_vectors_enu(), axis=1).max())

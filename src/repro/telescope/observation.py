@@ -1,0 +1,154 @@
+"""Observation configuration: who observed what, when, at which frequencies.
+
+An :class:`Observation` bundles a station array, a phase centre, the time
+sampling and one subband's channel frequencies, and lazily synthesises the
+uvw tracks all gridders consume.  The paper's benchmark observation
+(Section VI-A) is available — at configurable scale — via
+:func:`ska1_low_observation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.gridspec import GridSpec
+from repro.telescope.array import StationArray
+from repro.telescope.layouts import ska1_low_like_layout
+from repro.telescope.uvw import enu_to_equatorial, hour_angle_range, synthesize_uvw
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One subband of a synthetic observation.
+
+    Attributes
+    ----------
+    array:
+        The station array.
+    n_times:
+        Number of integrations (the paper uses T = 8192).
+    integration_time_s:
+        Length of one integration (paper: 1 s).
+    frequencies_hz:
+        ``(n_channels,)`` channel frequencies of the subband (paper: C = 16).
+    declination_rad:
+        Declination of the phase centre.
+    hour_angle_start_rad:
+        Hour angle of the first integration.
+    """
+
+    array: StationArray
+    n_times: int
+    integration_time_s: float
+    frequencies_hz: np.ndarray
+    declination_rad: float = -0.8
+    hour_angle_start_rad: float = -0.15
+
+    def __post_init__(self) -> None:
+        freqs = np.atleast_1d(np.asarray(self.frequencies_hz, dtype=np.float64))
+        if freqs.size == 0 or np.any(freqs <= 0):
+            raise ValueError("frequencies_hz must be positive and non-empty")
+        if self.n_times <= 0:
+            raise ValueError("n_times must be positive")
+        if self.integration_time_s <= 0:
+            raise ValueError("integration_time_s must be positive")
+        object.__setattr__(self, "frequencies_hz", freqs)
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.frequencies_hz.size)
+
+    @property
+    def n_baselines(self) -> int:
+        return self.array.n_baselines
+
+    @property
+    def n_visibilities(self) -> int:
+        """Total visibility count (baselines x times x channels)."""
+        return self.n_baselines * self.n_times * self.n_channels
+
+    @cached_property
+    def hour_angles_rad(self) -> np.ndarray:
+        return hour_angle_range(
+            self.n_times, self.integration_time_s, start_rad=self.hour_angle_start_rad
+        )
+
+    @cached_property
+    def uvw_m(self) -> np.ndarray:
+        """``(n_baselines, n_times, 3)`` uvw coordinates in metres."""
+        bvec = enu_to_equatorial(self.array.baseline_vectors_enu(), self.array.latitude_rad)
+        return synthesize_uvw(bvec, self.hour_angles_rad, self.declination_rad)
+
+    def uvw_wavelengths(self, channel: int) -> np.ndarray:
+        """uvw in wavelengths at one channel: ``uvw_m * f_c / c``."""
+        return self.uvw_m * (self.frequencies_hz[channel] / SPEED_OF_LIGHT)
+
+    def max_uv_wavelengths(self) -> float:
+        """Largest |(u, v)| over baselines, times and channels."""
+        uv = self.uvw_m[:, :, :2]
+        radius_m = float(np.sqrt((uv**2).sum(axis=2)).max())
+        return radius_m * (self.frequencies_hz.max() / SPEED_OF_LIGHT)
+
+    def max_w_wavelengths(self) -> float:
+        """Largest |w| over baselines, times and channels."""
+        w_m = float(np.abs(self.uvw_m[:, :, 2]).max())
+        return w_m * (self.frequencies_hz.max() / SPEED_OF_LIGHT)
+
+    def fitting_gridspec(self, grid_size: int, fill_factor: float = 0.9) -> GridSpec:
+        """A :class:`GridSpec` whose uv extent just contains this observation.
+
+        ``fill_factor`` leaves headroom so subgrids near the longest baselines
+        still fit.  The image size follows from the uv extent
+        (``image_size = grid_size * fill_factor / (2 * max_uv)``); a coarser
+        grid therefore means a *wider* field at the same pixel count.
+        """
+        max_uv = self.max_uv_wavelengths()
+        if max_uv <= 0:
+            raise ValueError("observation has zero uv extent")
+        image_size = fill_factor * grid_size / (2.0 * max_uv)
+        # image_size is in direction cosines and must stay physical (< 2).
+        image_size = min(image_size, 1.0)
+        return GridSpec(grid_size=grid_size, image_size=image_size)
+
+
+def subband_frequencies(
+    start_hz: float = 150e6, n_channels: int = 16, channel_width_hz: float = 200e3
+) -> np.ndarray:
+    """Channel frequencies of one subband (defaults: a LOFAR/SKA-low subband)."""
+    if n_channels <= 0:
+        raise ValueError("n_channels must be positive")
+    return start_hz + channel_width_hz * np.arange(n_channels, dtype=np.float64)
+
+
+def ska1_low_observation(
+    n_stations: int = 150,
+    n_times: int = 8192,
+    n_channels: int = 16,
+    integration_time_s: float = 1.0,
+    start_frequency_hz: float = 150e6,
+    channel_width_hz: float = 200e3,
+    max_radius_m: float = 40_000.0,
+    seed: int = 0,
+) -> Observation:
+    """The paper's Section VI-A benchmark observation (scalable).
+
+    Defaults reproduce the published parameters: 150 stations (11 175
+    baselines), 8 192 one-second integrations and 16 channels.  The full-size
+    set holds ~1.5 * 10**9 visibilities — far beyond a laptop's memory — so
+    benchmarks pass smaller ``n_stations``/``n_times`` and report
+    per-visibility metrics, which converge long before the full size (see
+    DESIGN.md, substitutions).
+    """
+    layout = ska1_low_like_layout(n_stations=n_stations, max_radius_m=max_radius_m, seed=seed)
+    array = StationArray(positions_enu=layout, name=f"ska1-low-like-{n_stations}")
+    freqs = subband_frequencies(start_frequency_hz, n_channels, channel_width_hz)
+    return Observation(
+        array=array,
+        n_times=n_times,
+        integration_time_s=integration_time_s,
+        frequencies_hz=freqs,
+    )

@@ -1,0 +1,100 @@
+"""Unit tests for A-term generators."""
+
+import numpy as np
+import pytest
+
+from repro.aterms.generators import (
+    GaussianBeamATerm,
+    IdentityATerm,
+    IonosphereATerm,
+    PointingErrorATerm,
+)
+
+
+def test_identity_aterm_everywhere():
+    gen = IdentityATerm()
+    assert gen.is_identity
+    out = gen.evaluate(0, 0, np.array([0.0, 0.01]), np.array([0.0, -0.01]))
+    assert out.shape == (2, 2, 2)
+    np.testing.assert_allclose(out[0], np.eye(2))
+    np.testing.assert_allclose(out[1], np.eye(2))
+
+
+def test_evaluate_raster_shape_and_centre():
+    gen = GaussianBeamATerm(fwhm=0.05)
+    field = gen.evaluate_raster(0, 0, 16, 0.04)
+    assert field.shape == (16, 16, 2, 2)
+    np.testing.assert_allclose(field[8, 8], np.eye(2))  # beam peak at centre
+
+
+def test_gaussian_beam_fwhm_definition():
+    gen = GaussianBeamATerm(fwhm=0.05)
+    out = gen.evaluate(0, 0, np.array([0.025]), np.array([0.0]))
+    assert out[0, 0, 0].real == pytest.approx(0.5, rel=1e-6)  # half power at fwhm/2
+
+
+def test_gaussian_beam_deterministic_per_station_interval():
+    gen = GaussianBeamATerm(fwhm=0.05, gain_drift_rms=0.1, seed=1)
+    l = np.array([0.0])
+    m = np.array([0.0])
+    a = gen.evaluate(2, 3, l, m)
+    b = gen.evaluate(2, 3, l, m)
+    np.testing.assert_array_equal(a, b)
+    c = gen.evaluate(2, 4, l, m)
+    assert np.abs(a - c).max() > 0
+
+
+def test_gaussian_beam_validation():
+    with pytest.raises(ValueError):
+        GaussianBeamATerm(fwhm=0.0)
+
+
+def test_pointing_error_shifts_beam_peak():
+    gen = PointingErrorATerm(fwhm=0.05, pointing_rms=0.01, seed=2)
+    dl, dm = gen._offset(0, 0)
+    at_offset = gen.evaluate(0, 0, np.array([dl]), np.array([dm]))
+    at_centre = gen.evaluate(0, 0, np.array([0.0]), np.array([0.0]))
+    assert at_offset[0, 0, 0].real == pytest.approx(1.0)
+    assert at_centre[0, 0, 0].real < 1.0
+
+
+def test_pointing_error_differs_between_stations():
+    gen = PointingErrorATerm(fwhm=0.05, pointing_rms=0.01, seed=3)
+    assert gen._offset(0, 0) != gen._offset(1, 0)
+
+
+def test_ionosphere_unit_modulus():
+    gen = IonosphereATerm(rms_rad=0.8, field_of_view=0.1, seed=4)
+    field = gen.evaluate_raster(5, 2, 12, 0.1)
+    np.testing.assert_allclose(np.abs(field[..., 0, 0]), 1.0, atol=1e-12)
+    np.testing.assert_allclose(field[..., 0, 1], 0.0)
+
+
+def test_ionosphere_zero_phase_at_centre():
+    gen = IonosphereATerm(rms_rad=0.8, field_of_view=0.1, seed=4)
+    phi = gen.phase(0, 0, np.array([0.0]), np.array([0.0]))
+    assert phi[0] == pytest.approx(0.0)
+
+
+def test_ionosphere_rms_scaling():
+    weak = IonosphereATerm(rms_rad=0.1, field_of_view=0.1, seed=5)
+    strong = IonosphereATerm(rms_rad=1.0, field_of_view=0.1, seed=5)
+    l = np.linspace(-0.05, 0.05, 32)
+    m = np.zeros_like(l)
+    np.testing.assert_allclose(
+        strong.phase(0, 0, l, m), 10.0 * weak.phase(0, 0, l, m), rtol=1e-9
+    )
+
+
+def test_ionosphere_validation():
+    with pytest.raises(ValueError):
+        IonosphereATerm(rms_rad=0.5, field_of_view=0.0)
+
+
+def test_non_identity_generators_report_not_identity():
+    for gen in (
+        GaussianBeamATerm(fwhm=0.1),
+        PointingErrorATerm(fwhm=0.1, pointing_rms=0.01),
+        IonosphereATerm(rms_rad=0.1, field_of_view=0.1),
+    ):
+        assert not gen.is_identity

@@ -1,0 +1,90 @@
+"""Unit tests for 2x2 Jones algebra."""
+
+import numpy as np
+import pytest
+
+from repro.aterms.jones import (
+    apply_adjoint_sandwich,
+    apply_sandwich,
+    frobenius_norm,
+    hermitian,
+    identity_jones,
+    jones_inverse,
+    jones_multiply,
+)
+
+
+def _random_field(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape + (2, 2)) + 1j * rng.standard_normal(shape + (2, 2))
+
+
+def test_identity_jones_shape_and_value():
+    eye = identity_jones((3, 4))
+    assert eye.shape == (3, 4, 2, 2)
+    np.testing.assert_allclose(eye[1, 2], np.eye(2))
+
+
+def test_multiply_matches_matmul():
+    a, b = _random_field((5,), 1), _random_field((5,), 2)
+    out = jones_multiply(a, b)
+    for k in range(5):
+        np.testing.assert_allclose(out[k], a[k] @ b[k])
+
+
+def test_multiply_broadcasts():
+    a = _random_field((), 3)  # single matrix
+    b = _random_field((4, 4), 4)
+    out = jones_multiply(a, b)
+    assert out.shape == (4, 4, 2, 2)
+    np.testing.assert_allclose(out[2, 2], a @ b[2, 2])
+
+
+def test_hermitian_involution():
+    a = _random_field((6,), 5)
+    np.testing.assert_allclose(hermitian(hermitian(a)), a)
+
+
+def test_hermitian_reverses_products():
+    a, b = _random_field((), 6), _random_field((), 7)
+    np.testing.assert_allclose(
+        hermitian(jones_multiply(a, b)), jones_multiply(hermitian(b), hermitian(a))
+    )
+
+
+def test_sandwich_identity_is_noop():
+    b = _random_field((8,), 8)
+    eye = identity_jones((8,))
+    np.testing.assert_allclose(apply_sandwich(eye, b, eye), b)
+
+
+def test_adjoint_sandwich_is_adjoint_of_sandwich():
+    """<A_p X A_q^H, Y> == <X, A_p^H Y A_q> under the Frobenius inner
+    product — the identity that makes gridding the adjoint of degridding."""
+    a_p, a_q = _random_field((), 9), _random_field((), 10)
+    x, y = _random_field((), 11), _random_field((), 12)
+    lhs = np.vdot(apply_sandwich(a_p, x, a_q), y)
+    rhs = np.vdot(x, apply_adjoint_sandwich(a_p, y, a_q))
+    assert lhs == pytest.approx(rhs)
+
+
+def test_inverse_multiplies_to_identity():
+    a = _random_field((10,), 13)
+    inv = jones_inverse(a)
+    prod = jones_multiply(a, inv)
+    np.testing.assert_allclose(prod, identity_jones((10,)), atol=1e-10)
+
+
+def test_inverse_rejects_singular():
+    singular = np.zeros((2, 2), dtype=complex)
+    with pytest.raises(np.linalg.LinAlgError):
+        jones_inverse(singular)
+
+
+def test_frobenius_norm():
+    a = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex)
+    assert frobenius_norm(a) == pytest.approx(np.sqrt(2))
+    field = _random_field((3,), 14)
+    np.testing.assert_allclose(
+        frobenius_norm(field), [np.linalg.norm(field[k]) for k in range(3)]
+    )

@@ -1,0 +1,48 @@
+"""Unit tests for the A-term update schedule."""
+
+import numpy as np
+import pytest
+
+from repro.aterms.schedule import ATermSchedule
+
+
+def test_zero_interval_means_single_interval():
+    s = ATermSchedule(0)
+    assert s.interval_of(0) == 0
+    assert s.interval_of(10_000) == 0
+    assert s.n_intervals(8192) == 1
+    assert s.boundaries(8192).size == 0
+
+
+def test_paper_cadence_256():
+    s = ATermSchedule(256)
+    assert s.interval_of(0) == 0
+    assert s.interval_of(255) == 0
+    assert s.interval_of(256) == 1
+    assert s.n_intervals(8192) == 32
+    np.testing.assert_array_equal(
+        s.boundaries(1024), np.array([256, 512, 768])
+    )
+
+
+def test_n_intervals_rounds_up():
+    s = ATermSchedule(100)
+    assert s.n_intervals(101) == 2
+    assert s.n_intervals(100) == 1
+
+
+def test_interval_of_array():
+    s = ATermSchedule(4)
+    out = s.interval_of(np.arange(10))
+    np.testing.assert_array_equal(out, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2])
+
+
+def test_same_interval():
+    s = ATermSchedule(8)
+    assert s.same_interval(0, 7)
+    assert not s.same_interval(7, 8)
+
+
+def test_negative_interval_rejected():
+    with pytest.raises(ValueError):
+        ATermSchedule(-1)

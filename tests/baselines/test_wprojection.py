@@ -1,0 +1,190 @@
+"""Unit tests for the W-projection baseline gridder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.wprojection import WProjectionGridder
+from repro.constants import SPEED_OF_LIGHT
+from repro.gridspec import GridSpec
+from repro.imaging.image import (
+    dirty_image_from_grid,
+    find_peak,
+    model_image_to_grid,
+    stokes_i_image,
+)
+
+
+@pytest.fixture(scope="module")
+def flat_gs():
+    return GridSpec(grid_size=128, image_size=0.05)
+
+
+def _fringe_set(gs, l0, m0, m=300, seed=0, uv_fraction=0.6):
+    """Random w=0 visibilities of a unit source at (l0, m0)."""
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(-gs.max_uv * uv_fraction, gs.max_uv * uv_fraction, m)
+    v = rng.uniform(-gs.max_uv * uv_fraction, gs.max_uv * uv_fraction, m)
+    uvw = np.zeros((1, m, 3))
+    uvw[0, :, 0], uvw[0, :, 1] = u, v
+    fringe = np.exp(-2j * np.pi * (u * l0 + v * m0))
+    vis = np.zeros((1, m, 1, 2, 2), np.complex64)
+    vis[0, :, 0, 0, 0] = fringe
+    vis[0, :, 0, 1, 1] = fringe
+    return uvw, np.array([SPEED_OF_LIGHT]), vis, fringe
+
+
+def test_constructor_validation(flat_gs):
+    with pytest.raises(ValueError):
+        WProjectionGridder(flat_gs, support=0)
+    with pytest.raises(ValueError):
+        WProjectionGridder(flat_gs, oversample=0)
+    with pytest.raises(ValueError):
+        WProjectionGridder(flat_gs, n_w_planes=0)
+    with pytest.raises(ValueError):
+        WProjectionGridder(flat_gs, support=32, kernel_raster=16)
+
+
+def test_grid_recovers_source(flat_gs):
+    dl = flat_gs.pixel_scale
+    l0, m0 = -10 * dl, 14 * dl
+    uvw, freqs, vis, _ = _fringe_set(flat_gs, l0, m0)
+    wpg = WProjectionGridder(flat_gs, support=10, oversample=8, n_w_planes=1)
+    grid = wpg.grid(uvw, freqs, vis)
+    image = stokes_i_image(dirty_image_from_grid(grid, flat_gs, weight_sum=300))
+    row, col, value = find_peak(image)
+    assert (row, col) == (64 + 14, 64 - 10)
+    assert value == pytest.approx(1.0, abs=0.02)
+
+
+def test_degrid_matches_analytic_fringe(flat_gs):
+    dl = flat_gs.pixel_scale
+    l0, m0 = 8 * dl, -6 * dl
+    uvw, freqs, _, fringe = _fringe_set(flat_gs, l0, m0, seed=1)
+    model = np.zeros((4, 128, 128), dtype=np.complex128)
+    model[0, 64 - 6, 64 + 8] = 1.0
+    mgrid = model_image_to_grid(model, flat_gs)
+    wpg = WProjectionGridder(flat_gs, support=10, oversample=16, n_w_planes=1)
+    pred = wpg.degrid(uvw, freqs, mgrid)[0, :, 0, 0, 0]
+    err = np.abs(pred - fringe)
+    assert np.sqrt((err**2).mean()) < 0.02  # oversample-16 quantisation floor
+
+
+def test_oversampling_improves_accuracy(flat_gs):
+    """Higher oversampling must reduce degridding error (the trade Fig 16's
+    WPG pays in kernel storage)."""
+    dl = flat_gs.pixel_scale
+    l0, m0 = 12 * dl, 5 * dl
+    uvw, freqs, _, fringe = _fringe_set(flat_gs, l0, m0, seed=2)
+    model = np.zeros((4, 128, 128), dtype=np.complex128)
+    model[0, 64 + 5, 64 + 12] = 1.0
+    mgrid = model_image_to_grid(model, flat_gs)
+
+    def rms(oversample):
+        wpg = WProjectionGridder(flat_gs, support=10, oversample=oversample, n_w_planes=1)
+        pred = wpg.degrid(uvw, freqs, mgrid)[0, :, 0, 0, 0]
+        return np.sqrt((np.abs(pred - fringe) ** 2).mean())
+
+    assert rms(16) < rms(4) < rms(2)
+
+
+def test_grid_degrid_adjoint(flat_gs):
+    """<grid(V), G> == <V, degrid(G)> — including w kernels."""
+    rng = np.random.default_rng(3)
+    m = 64
+    uvw = np.zeros((1, m, 3))
+    uvw[0, :, 0] = rng.uniform(-1000, 1000, m)
+    uvw[0, :, 1] = rng.uniform(-1000, 1000, m)
+    uvw[0, :, 2] = rng.uniform(-50, 50, m)
+    freqs = np.array([SPEED_OF_LIGHT])
+    vis = (rng.standard_normal((1, m, 1, 2, 2)) + 1j * rng.standard_normal((1, m, 1, 2, 2))).astype(
+        np.complex64
+    )
+    wpg = WProjectionGridder(flat_gs, support=8, oversample=4, n_w_planes=8)
+    gridded = wpg.grid(uvw, freqs, vis).astype(np.complex128)
+    g = flat_gs.grid_size
+    other = rng.standard_normal((4, g, g)) + 1j * rng.standard_normal((4, g, g))
+    degridded = wpg.degrid(uvw, freqs, other.astype(np.complex64)).astype(np.complex128)
+    mask = ~wpg.flagged_mask(uvw, freqs)
+    lhs = np.vdot(gridded, other)
+    rhs = np.vdot(vis[mask[..., np.newaxis, np.newaxis] * np.ones((1, m, 1, 2, 2), bool)],
+                  degridded[mask[..., np.newaxis, np.newaxis] * np.ones((1, m, 1, 2, 2), bool)])
+    assert lhs == pytest.approx(rhs, rel=1e-3)
+
+
+def test_w_planes_reduce_w_error(small_obs, small_baselines, single_source_vis,
+                                 snapped_source, small_gridspec):
+    """More w planes must improve degridding accuracy on real w-heavy data."""
+    l0, m0, flux = snapped_source
+    g, dl = small_gridspec.grid_size, small_gridspec.pixel_scale
+    model = np.zeros((4, g, g), dtype=np.complex128)
+    model[0, round(m0 / dl) + g // 2, round(l0 / dl) + g // 2] = flux
+    model[3, round(m0 / dl) + g // 2, round(l0 / dl) + g // 2] = flux
+    mgrid = model_image_to_grid(model, small_gridspec)
+
+    def rms(planes):
+        wpg = WProjectionGridder(small_gridspec, support=16, oversample=8, n_w_planes=planes)
+        pred = wpg.degrid(small_obs.uvw_m, small_obs.frequencies_hz, mgrid)
+        mask = ~wpg.flagged_mask(small_obs.uvw_m, small_obs.frequencies_hz)
+        err = np.abs(pred[mask] - single_source_vis[mask])
+        return np.sqrt((err**2).mean())
+
+    assert rms(64) < rms(1)
+
+
+def test_flagged_mask_marks_edge_footprints(flat_gs):
+    wpg = WProjectionGridder(flat_gs, support=16, n_w_planes=1)
+    uvw = np.zeros((1, 2, 3))
+    uvw[0, 0, 0] = flat_gs.max_uv * 0.999  # footprint off the edge
+    uvw[0, 1, 0] = 0.0
+    mask = wpg.flagged_mask(uvw, np.array([SPEED_OF_LIGHT]))
+    assert mask[0, 0, 0]
+    assert not mask[0, 1, 0]
+
+
+def test_kernel_storage_grows_with_planes(flat_gs):
+    uvw = np.zeros((1, 16, 3))
+    uvw[0, :, 2] = np.linspace(-100, 100, 16)
+    uvw[0, :, 0] = np.linspace(-500, 500, 16)
+    freqs = np.array([SPEED_OF_LIGHT])
+    vis = np.zeros((1, 16, 1, 2, 2), np.complex64)
+    few = WProjectionGridder(flat_gs, support=8, n_w_planes=2)
+    few.grid(uvw, freqs, vis)
+    many = WProjectionGridder(flat_gs, support=8, n_w_planes=16)
+    many.grid(uvw, freqs, vis)
+    assert many.kernel_storage_bytes() > few.kernel_storage_bytes()
+
+
+def test_operations_per_visibility_quadratic(flat_gs):
+    small = WProjectionGridder(flat_gs, support=8)
+    large = WProjectionGridder(flat_gs, support=16)
+    assert large.operations_per_visibility() == 4 * small.operations_per_visibility()
+
+
+def test_set_w_range_validation(flat_gs):
+    wpg = WProjectionGridder(flat_gs)
+    with pytest.raises(ValueError):
+        wpg.set_w_range(10.0, -10.0)
+
+
+def test_w_offset_shifts_plane_assignment(flat_gs):
+    """Gridding with w_offset equal to the (constant) w must match gridding
+    the same data with w = 0."""
+    rng = np.random.default_rng(4)
+    m = 40
+    uvw = np.zeros((1, m, 3))
+    uvw[0, :, 0] = rng.uniform(-800, 800, m)
+    uvw[0, :, 1] = rng.uniform(-800, 800, m)
+    uvw[0, :, 2] = 123.0
+    freqs = np.array([SPEED_OF_LIGHT])
+    vis = (rng.standard_normal((1, m, 1, 2, 2)) + 0j).astype(np.complex64)
+
+    with_offset = WProjectionGridder(flat_gs, support=8, n_w_planes=4)
+    with_offset.set_w_range(-1.0, 1.0)
+    grid_a = with_offset.grid(uvw, freqs, vis, w_offset=123.0)
+
+    uvw0 = uvw.copy()
+    uvw0[0, :, 2] = 0.0
+    plain = WProjectionGridder(flat_gs, support=8, n_w_planes=4)
+    plain.set_w_range(-1.0, 1.0)
+    grid_b = plain.grid(uvw0, freqs, vis)
+    np.testing.assert_allclose(grid_a, grid_b, atol=1e-5)

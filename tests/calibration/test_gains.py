@@ -1,0 +1,59 @@
+"""Unit tests for gain application/corruption."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.gains import apply_gains, corrupt_with_gains, random_gains
+
+
+def test_random_gains_shape_and_reference():
+    g = random_gains(12, seed=1)
+    assert g.shape == (12,)
+    assert np.angle(g[0]) == pytest.approx(0.0, abs=1e-12)
+    assert np.abs(np.abs(g) - 1.0).max() < 0.5  # amplitudes near unity
+
+
+def test_random_gains_deterministic():
+    np.testing.assert_array_equal(random_gains(8, seed=5), random_gains(8, seed=5))
+    assert np.abs(random_gains(8, seed=5) - random_gains(8, seed=6)).max() > 0
+
+
+def test_random_gains_validation():
+    with pytest.raises(ValueError):
+        random_gains(0)
+
+
+def test_corrupt_formula():
+    rng = np.random.default_rng(0)
+    vis = (rng.standard_normal((3, 2, 1, 2, 2))
+           + 1j * rng.standard_normal((3, 2, 1, 2, 2))).astype(np.complex64)
+    gains = np.array([1.0 + 0.5j, 0.8 - 0.2j, 1.2 + 0.1j, 0.9 + 0.9j])
+    baselines = np.array([[0, 1], [0, 2], [1, 3]])
+    out = corrupt_with_gains(vis, gains, baselines)
+    for k, (p, q) in enumerate(baselines):
+        np.testing.assert_allclose(
+            out[k], vis[k] * gains[p] * np.conj(gains[q]), rtol=1e-6
+        )
+
+
+def test_apply_inverts_corrupt():
+    rng = np.random.default_rng(1)
+    vis = (rng.standard_normal((6, 4, 2, 2, 2))
+           + 1j * rng.standard_normal((6, 4, 2, 2, 2))).astype(np.complex64)
+    gains = random_gains(4, seed=2)
+    baselines = np.array([[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]])
+    corrupted = corrupt_with_gains(vis, gains, baselines)
+    restored = apply_gains(corrupted, gains, baselines)
+    np.testing.assert_allclose(restored, vis, rtol=1e-4, atol=1e-5)
+
+
+def test_apply_rejects_zero_gain():
+    vis = np.ones((1, 1, 1, 2, 2), np.complex64)
+    with pytest.raises(ValueError):
+        apply_gains(vis, np.array([0.0, 1.0]), np.array([[0, 1]]))
+
+
+def test_unit_gains_are_identity():
+    vis = np.ones((1, 2, 3, 2, 2), np.complex64)
+    out = corrupt_with_gains(vis, np.ones(2, complex), np.array([[0, 1]]))
+    np.testing.assert_array_equal(out, vis)

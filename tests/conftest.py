@@ -1,0 +1,73 @@
+"""Shared fixtures: a small but fully realistic observation.
+
+The fixtures are session-scoped because synthesising visibilities through the
+direct measurement equation is the most expensive part of the suite; tests
+must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import IDG, IDGConfig
+from repro.sky.model import SkyModel
+from repro.sky.simulate import predict_visibilities
+from repro.telescope.observation import ska1_low_observation
+
+
+@pytest.fixture(scope="session")
+def small_obs():
+    """12 stations (66 baselines), 64 x 2-minute integrations (a ~2-hour
+    synthesis, matching the paper's 8192 x 1 s span), 4 channels, 2 km array.
+
+    The long time span matters: earth rotation sweeps real uv arcs, giving a
+    PSF with low enough sidelobes for the CLEAN-based integration tests."""
+    return ska1_low_observation(
+        n_stations=12, n_times=64, n_channels=4, integration_time_s=120.0,
+        max_radius_m=2000.0, seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_gridspec(small_obs):
+    return small_obs.fitting_gridspec(256)
+
+
+@pytest.fixture(scope="session")
+def small_baselines(small_obs):
+    return small_obs.array.baselines()
+
+
+@pytest.fixture(scope="session")
+def snapped_source(small_gridspec):
+    """(l, m, flux) of a single source snapped to a fine image pixel."""
+    gs = small_gridspec
+    dl = gs.pixel_scale
+    l0 = round(0.15 * gs.image_size / dl) * dl
+    m0 = round(-0.10 * gs.image_size / dl) * dl
+    return (l0, m0, 2.0)
+
+
+@pytest.fixture(scope="session")
+def single_source_sky(snapped_source):
+    l0, m0, flux = snapped_source
+    return SkyModel.single(l0, m0, flux=flux)
+
+
+@pytest.fixture(scope="session")
+def single_source_vis(small_obs, small_baselines, single_source_sky):
+    return predict_visibilities(
+        small_obs.uvw_m, small_obs.frequencies_hz, single_source_sky,
+        baselines=small_baselines,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_idg(small_gridspec):
+    return IDG(small_gridspec, IDGConfig(subgrid_size=24, kernel_support=8, time_max=16))
+
+
+@pytest.fixture(scope="session")
+def small_plan(small_idg, small_obs, small_baselines):
+    return small_idg.make_plan(small_obs.uvw_m, small_obs.frequencies_hz, small_baselines)

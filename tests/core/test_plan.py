@@ -1,0 +1,195 @@
+"""Unit tests for the execution plan (greedy subgrid partitioner)."""
+
+import numpy as np
+import pytest
+
+from repro.aterms.schedule import ATermSchedule
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.plan import Plan, WORK_ITEM_DTYPE
+from repro.gridspec import GridSpec
+
+
+def coverage_count(plan, n_bl, n_times, n_chan):
+    """How many work items cover each (baseline, time, channel)."""
+    count = np.zeros((n_bl, n_times, n_chan), dtype=int)
+    for item in plan:
+        count[
+            item.baseline, item.time_start : item.time_end,
+            item.channel_start : item.channel_end,
+        ] += 1
+    return count
+
+
+def test_plan_covers_every_visibility_exactly_once(small_plan, small_obs):
+    count = coverage_count(
+        small_plan, small_obs.n_baselines, small_obs.n_times, small_obs.n_channels
+    )
+    covered = count == 1
+    flagged = small_plan.flagged
+    assert np.all(covered | flagged)
+    assert not np.any(covered & flagged)
+
+
+def test_plan_statistics_consistency(small_plan, small_obs):
+    st = small_plan.statistics
+    assert st.n_subgrids == small_plan.n_subgrids
+    assert (
+        st.n_visibilities_gridded + st.n_visibilities_flagged
+        == small_obs.n_baselines * small_obs.n_times * small_obs.n_channels
+    )
+    assert st.max_timesteps_per_subgrid <= 16  # fixture time_max
+
+
+def test_subgrids_inside_grid(small_plan):
+    g = small_plan.gridspec.grid_size
+    n = small_plan.subgrid_size
+    for row in small_plan.items:
+        assert 0 <= row["corner_u"] <= g - n
+        assert 0 <= row["corner_v"] <= g - n
+
+
+def test_visibilities_fit_their_subgrid(small_plan, small_obs):
+    """Every covered visibility's pixel coordinate (plus kernel half-support)
+    must lie inside its subgrid — the covering property of Fig 5."""
+    gs = small_plan.gridspec
+    scale = small_plan.frequencies_hz / SPEED_OF_LIGHT
+    half_support = small_plan.kernel_support / 2
+    n = small_plan.subgrid_size
+    for item in small_plan:
+        uvw = small_obs.uvw_m[item.baseline, item.time_start : item.time_end]
+        freqs = scale[item.channel_start : item.channel_end]
+        pu = uvw[:, 0, np.newaxis] * freqs * gs.image_size + gs.grid_size // 2
+        pv = uvw[:, 1, np.newaxis] * freqs * gs.image_size + gs.grid_size // 2
+        assert pu.min() >= item.corner_u + half_support - 1e-6
+        assert pu.max() <= item.corner_u + n - 1 - half_support + 1e-6
+        assert pv.min() >= item.corner_v + half_support - 1e-6
+        assert pv.max() <= item.corner_v + n - 1 - half_support + 1e-6
+
+
+def test_time_max_respected(small_plan):
+    for item in small_plan:
+        assert 1 <= item.n_times <= 16
+
+
+def test_aterm_boundaries_cut_subgrids(small_obs, small_baselines, small_gridspec):
+    schedule = ATermSchedule(8)
+    plan = Plan.create(
+        small_obs.uvw_m, small_obs.frequencies_hz, small_baselines, small_gridspec,
+        subgrid_size=24, kernel_support=8, time_max=32, aterm_schedule=schedule,
+    )
+    for item in plan:
+        assert item.time_start // 8 == (item.time_end - 1) // 8
+        assert item.aterm_interval == item.time_start // 8
+
+
+def test_stations_recorded(small_plan, small_baselines):
+    for item in small_plan:
+        assert item.station_p == small_baselines[item.baseline, 0]
+        assert item.station_q == small_baselines[item.baseline, 1]
+
+
+def test_longer_baselines_make_more_subgrids(small_obs, small_baselines, small_gridspec):
+    """Faster-moving uv tracks (longer baselines, finer cells) need more
+    subgrids — checked indirectly by shrinking time_max."""
+    many = Plan.create(
+        small_obs.uvw_m, small_obs.frequencies_hz, small_baselines, small_gridspec,
+        subgrid_size=24, kernel_support=8, time_max=2,
+    )
+    few = Plan.create(
+        small_obs.uvw_m, small_obs.frequencies_hz, small_baselines, small_gridspec,
+        subgrid_size=24, kernel_support=8, time_max=32,
+    )
+    assert many.n_subgrids > few.n_subgrids
+
+
+def test_tiny_subgrid_forces_channel_splits_or_flags(small_obs, small_baselines, small_gridspec):
+    plan = Plan.create(
+        small_obs.uvw_m, small_obs.frequencies_hz, small_baselines, small_gridspec,
+        subgrid_size=4, kernel_support=2, time_max=16,
+    )
+    # everything is either flagged or covered exactly once, even here
+    count = coverage_count(
+        plan, small_obs.n_baselines, small_obs.n_times, small_obs.n_channels
+    )
+    assert np.all((count == 1) | plan.flagged)
+    # with a 4-pixel subgrid at this uv scale, some items cover < all channels
+    assert any(item.n_channels < small_obs.n_channels for item in plan) or plan.flagged.any()
+
+
+def test_work_groups_partition_items(small_plan):
+    ranges = list(small_plan.work_groups(7))
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == small_plan.n_subgrids
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 == b0
+        assert a1 - a0 == 7
+    with pytest.raises(ValueError):
+        next(small_plan.work_groups(0))
+
+
+def test_subgrid_centre_uv_matches_cells(small_plan):
+    gs = small_plan.gridspec
+    u_mid, v_mid = small_plan.subgrid_centre_uv(0)
+    row = small_plan.items[0]
+    pu, pv = gs.uv_to_pixel(u_mid, v_mid)
+    assert pu == pytest.approx(row["corner_u"] + small_plan.subgrid_size // 2)
+    assert pv == pytest.approx(row["corner_v"] + small_plan.subgrid_size // 2)
+
+
+def test_create_validation(small_obs, small_baselines, small_gridspec):
+    uvw = small_obs.uvw_m
+    freqs = small_obs.frequencies_hz
+    with pytest.raises(ValueError):
+        Plan.create(uvw[:, :, :2], freqs, small_baselines, small_gridspec)
+    with pytest.raises(ValueError):
+        Plan.create(uvw, freqs, small_baselines[:3], small_gridspec)
+    with pytest.raises(ValueError):
+        Plan.create(uvw, freqs, small_baselines, small_gridspec, subgrid_size=23)
+    with pytest.raises(ValueError):
+        Plan.create(uvw, freqs, small_baselines, small_gridspec, kernel_support=24)
+    with pytest.raises(ValueError):
+        Plan.create(uvw, freqs, small_baselines, small_gridspec, time_max=0)
+    with pytest.raises(ValueError):
+        Plan.create(
+            uvw, freqs, small_baselines,
+            GridSpec(grid_size=16, image_size=small_gridspec.image_size),
+            subgrid_size=24,
+        )
+
+
+def test_empty_items_table_dtype():
+    plan_items = np.empty(0, dtype=WORK_ITEM_DTYPE)
+    assert plan_items.dtype.names[0] == "baseline"
+
+
+def test_plan_save_load_roundtrip(small_plan, tmp_path):
+    path = tmp_path / "plan.npz"
+    small_plan.save(path)
+    from repro.core.plan import Plan
+
+    back = Plan.load(path)
+    assert back.gridspec == small_plan.gridspec
+    assert back.subgrid_size == small_plan.subgrid_size
+    assert back.kernel_support == small_plan.kernel_support
+    assert back.w_offset == small_plan.w_offset
+    np.testing.assert_array_equal(back.items, small_plan.items)
+    np.testing.assert_array_equal(back.flagged, small_plan.flagged)
+    np.testing.assert_array_equal(back.frequencies_hz, small_plan.frequencies_hz)
+    # a loaded plan drives the gridder identically
+    assert back.statistics.n_subgrids == small_plan.statistics.n_subgrids
+
+
+def test_plan_load_rejects_future_version(small_plan, tmp_path):
+    path = tmp_path / "plan.npz"
+    np.savez_compressed(
+        path, plan_version=np.int64(99),
+        grid_size=np.int64(small_plan.gridspec.grid_size),
+        image_size=np.float64(small_plan.gridspec.image_size),
+        subgrid_size=np.int64(24), kernel_support=np.int64(8),
+        w_offset=np.float64(0.0), items=small_plan.items,
+        flagged=small_plan.flagged, frequencies_hz=small_plan.frequencies_hz,
+    )
+    from repro.core.plan import Plan
+
+    with pytest.raises(ValueError):
+        Plan.load(path)

@@ -1,0 +1,143 @@
+"""Unit tests for the visibility dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import VisibilityDataset
+
+
+@pytest.fixture
+def dataset(small_obs, small_baselines, single_source_vis):
+    return VisibilityDataset(
+        uvw_m=small_obs.uvw_m,
+        visibilities=single_source_vis.copy(),
+        frequencies_hz=small_obs.frequencies_hz,
+        baselines=small_baselines,
+    )
+
+
+def test_shapes_and_counts(dataset, small_obs):
+    assert dataset.n_baselines == small_obs.n_baselines
+    assert dataset.n_times == small_obs.n_times
+    assert dataset.n_channels == small_obs.n_channels
+    assert dataset.n_visibilities == small_obs.n_visibilities
+    assert dataset.n_unflagged == dataset.n_visibilities
+    assert dataset.flag_fraction() == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        VisibilityDataset(
+            uvw_m=np.zeros((2, 3)), visibilities=np.zeros((2, 3, 1, 2, 2)),
+            frequencies_hz=[1e8], baselines=np.zeros((2, 2), int),
+        )
+    with pytest.raises(ValueError):
+        VisibilityDataset(
+            uvw_m=np.zeros((2, 3, 3)), visibilities=np.zeros((2, 3, 2, 2, 2)),
+            frequencies_hz=[1e8], baselines=np.zeros((2, 2), int),
+        )
+    with pytest.raises(ValueError):
+        VisibilityDataset(
+            uvw_m=np.zeros((2, 3, 3)), visibilities=np.zeros((2, 3, 1, 2, 2)),
+            frequencies_hz=[1e8], baselines=np.zeros((3, 2), int),
+        )
+    with pytest.raises(ValueError):
+        VisibilityDataset(
+            uvw_m=np.zeros((2, 3, 3)), visibilities=np.zeros((2, 3, 1, 2, 2)),
+            frequencies_hz=[1e8], baselines=np.zeros((2, 2), int),
+            flags=np.zeros((2, 3, 2), bool),
+        )
+
+
+def test_select_times(dataset):
+    sub = dataset.select_times(4, 12)
+    assert sub.n_times == 8
+    np.testing.assert_array_equal(sub.uvw_m, dataset.uvw_m[:, 4:12])
+    np.testing.assert_array_equal(sub.visibilities, dataset.visibilities[:, 4:12])
+    with pytest.raises(ValueError):
+        dataset.select_times(5, 5)
+
+
+def test_select_channels(dataset):
+    sub = dataset.select_channels(1, 3)
+    assert sub.n_channels == 2
+    np.testing.assert_array_equal(sub.frequencies_hz, dataset.frequencies_hz[1:3])
+    with pytest.raises(ValueError):
+        dataset.select_channels(-1, 2)
+
+
+def test_select_baselines(dataset):
+    sub = dataset.select_baselines(np.array([0, 5, 7]))
+    assert sub.n_baselines == 3
+    np.testing.assert_array_equal(sub.baselines, dataset.baselines[[0, 5, 7]])
+
+
+def test_select_max_baseline(dataset):
+    lengths = np.linalg.norm(dataset.uvw_m, axis=2).mean(axis=1)
+    cutoff = np.median(lengths)
+    sub = dataset.select_max_baseline(cutoff)
+    assert 0 < sub.n_baselines < dataset.n_baselines
+    sub_lengths = np.linalg.norm(sub.uvw_m, axis=2).mean(axis=1)
+    assert sub_lengths.max() <= cutoff
+
+
+def test_average_channels_preserves_constant_signal(dataset):
+    avg = dataset.average_channels(2)
+    assert avg.n_channels == dataset.n_channels // 2
+    # frequencies are group means
+    np.testing.assert_allclose(
+        avg.frequencies_hz, dataset.frequencies_hz.reshape(-1, 2).mean(axis=1)
+    )
+    # averaging 2 nearly identical channels ~ either one
+    np.testing.assert_allclose(
+        avg.visibilities[..., 0, 0],
+        0.5 * (dataset.visibilities[:, :, 0::2, 0, 0]
+               + dataset.visibilities[:, :, 1::2, 0, 0]),
+        atol=1e-5,
+    )
+
+
+def test_average_channels_respects_flags(dataset):
+    flagged = VisibilityDataset(
+        uvw_m=dataset.uvw_m, visibilities=dataset.visibilities,
+        frequencies_hz=dataset.frequencies_hz, baselines=dataset.baselines,
+        flags=dataset.flags.copy(),
+    )
+    flagged.flags[:, :, 0] = True  # kill channel 0
+    avg = flagged.average_channels(2)
+    # first output channel = channel 1 only
+    np.testing.assert_allclose(
+        avg.visibilities[:, :, 0], dataset.visibilities[:, :, 1], atol=1e-6
+    )
+    # both inputs flagged -> output flagged
+    flagged.flags[:, :, 1] = True
+    avg2 = flagged.average_channels(2)
+    assert avg2.flags[:, :, 0].all()
+    assert np.all(avg2.visibilities[:, :, 0] == 0)
+
+
+def test_average_times(dataset):
+    avg = dataset.average_times(2)
+    assert avg.n_times == dataset.n_times // 2
+    np.testing.assert_allclose(
+        avg.uvw_m, dataset.uvw_m.reshape(dataset.n_baselines, -1, 2, 3).mean(axis=2)
+    )
+
+
+def test_average_validation(dataset):
+    with pytest.raises(ValueError):
+        dataset.average_channels(3)  # 4 channels not divisible by 3
+    with pytest.raises(ValueError):
+        dataset.average_times(7)
+
+
+def test_with_visibilities(dataset):
+    new = dataset.with_visibilities(np.zeros_like(dataset.visibilities))
+    assert new.visibilities.sum() == 0
+    assert new.uvw_m is dataset.uvw_m
+
+
+def test_simulate_classmethod(small_obs, single_source_sky, single_source_vis):
+    ds = VisibilityDataset.simulate(small_obs, single_source_sky)
+    np.testing.assert_allclose(ds.visibilities, single_source_vis, atol=1e-6)
+    assert ds.n_baselines == small_obs.n_baselines

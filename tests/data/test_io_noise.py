@@ -1,0 +1,84 @@
+"""Unit tests for dataset I/O and thermal noise."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import VisibilityDataset
+from repro.data.io import SCHEMA_VERSION, load_dataset, save_dataset
+from repro.data.noise import add_thermal_noise, thermal_noise_sigma
+
+
+@pytest.fixture
+def dataset(small_obs, small_baselines, single_source_vis):
+    ds = VisibilityDataset(
+        uvw_m=small_obs.uvw_m,
+        visibilities=single_source_vis.copy(),
+        frequencies_hz=small_obs.frequencies_hz,
+        baselines=small_baselines,
+    )
+    ds.flags[0, 0, 0] = True
+    return ds
+
+
+def test_save_load_roundtrip(dataset, tmp_path):
+    path = tmp_path / "data.npz"
+    save_dataset(dataset, path)
+    back = load_dataset(path)
+    np.testing.assert_array_equal(back.uvw_m, dataset.uvw_m)
+    np.testing.assert_array_equal(back.visibilities, dataset.visibilities)
+    np.testing.assert_array_equal(back.frequencies_hz, dataset.frequencies_hz)
+    np.testing.assert_array_equal(back.baselines, dataset.baselines)
+    np.testing.assert_array_equal(back.flags, dataset.flags)
+
+
+def test_load_rejects_future_schema(dataset, tmp_path):
+    path = tmp_path / "data.npz"
+    np.savez_compressed(
+        path, schema_version=np.int64(SCHEMA_VERSION + 1),
+        uvw_m=dataset.uvw_m, visibilities=dataset.visibilities,
+        frequencies_hz=dataset.frequencies_hz, baselines=dataset.baselines,
+        flags=dataset.flags,
+    )
+    with pytest.raises(ValueError):
+        load_dataset(path)
+
+
+def test_thermal_noise_sigma_radiometer():
+    # sigma = SEFD / (eta * sqrt(2 dnu tau))
+    sigma = thermal_noise_sigma(1000.0, 200e3, 1.0, efficiency=1.0)
+    assert sigma == pytest.approx(1000.0 / np.sqrt(2 * 200e3))
+    # quadrupling bandwidth halves the noise
+    assert thermal_noise_sigma(1000.0, 800e3, 1.0) == pytest.approx(
+        thermal_noise_sigma(1000.0, 200e3, 1.0) / 2
+    )
+
+
+def test_thermal_noise_sigma_validation():
+    with pytest.raises(ValueError):
+        thermal_noise_sigma(-1.0, 200e3, 1.0)
+    with pytest.raises(ValueError):
+        thermal_noise_sigma(1000.0, 200e3, 1.0, efficiency=0.0)
+
+
+def test_add_thermal_noise_statistics(dataset):
+    noisy = add_thermal_noise(dataset, sefd_jy=2000.0, channel_width_hz=200e3,
+                              integration_time_s=1.0, seed=3)
+    sigma = thermal_noise_sigma(2000.0, 200e3, 1.0)
+    delta = (noisy.visibilities - dataset.visibilities).ravel()
+    assert delta.real.std() == pytest.approx(sigma, rel=0.05)
+    assert delta.imag.std() == pytest.approx(sigma, rel=0.05)
+    assert abs(delta.mean()) < 3 * sigma / np.sqrt(delta.size)
+
+
+def test_add_thermal_noise_deterministic(dataset):
+    a = add_thermal_noise(dataset, 1000.0, 200e3, 1.0, seed=7)
+    b = add_thermal_noise(dataset, 1000.0, 200e3, 1.0, seed=7)
+    np.testing.assert_array_equal(a.visibilities, b.visibilities)
+    c = add_thermal_noise(dataset, 1000.0, 200e3, 1.0, seed=8)
+    assert np.abs(a.visibilities - c.visibilities).max() > 0
+
+
+def test_noise_preserves_metadata(dataset):
+    noisy = add_thermal_noise(dataset, 1000.0, 200e3, 1.0)
+    assert noisy.uvw_m is dataset.uvw_m
+    np.testing.assert_array_equal(noisy.flags, dataset.flags)

@@ -1,0 +1,104 @@
+"""Unit tests for Hogbom CLEAN."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.clean import hogbom_clean
+
+
+def _gaussian_psf(g=64, sigma=2.0):
+    y, x = np.mgrid[0:g, 0:g]
+    c = g // 2
+    psf = np.exp(-((x - c) ** 2 + (y - c) ** 2) / (2 * sigma**2))
+    # add a sidelobe ring to make deconvolution non-trivial
+    r = np.hypot(x - c, y - c)
+    psf += 0.1 * np.exp(-((r - 8.0) ** 2) / 4.0)
+    return psf / psf[c, c]
+
+
+@pytest.fixture(scope="module")
+def psf():
+    return _gaussian_psf()
+
+
+def _dirty_from_components(psf, components):
+    g = psf.shape[0]
+    c = g // 2
+    dirty = np.zeros_like(psf)
+    for row, col, flux in components:
+        shifted = np.roll(np.roll(psf, row - c, axis=0), col - c, axis=1)
+        dirty += flux * shifted
+    return dirty
+
+
+def test_single_source_recovered(psf):
+    dirty = _dirty_from_components(psf, [(40, 22, 5.0)])
+    res = hogbom_clean(dirty, psf, gain=0.2, threshold=0.05, max_iterations=500)
+    assert res.converged
+    peak = np.unravel_index(np.argmax(res.model_image), res.model_image.shape)
+    assert peak == (40, 22)
+    assert res.component_flux() == pytest.approx(5.0, rel=0.05)
+    assert np.abs(res.residual).max() <= 0.05 + 1e-9
+
+
+def test_two_sources_fluxes(psf):
+    dirty = _dirty_from_components(psf, [(20, 20, 4.0), (44, 40, 2.0)])
+    res = hogbom_clean(dirty, psf, gain=0.2, threshold=0.05, max_iterations=2000)
+    # flux in a small box around each source
+    def box_flux(img, r, c, half=3):
+        return img[r - half : r + half + 1, c - half : c + half + 1].sum()
+
+    assert box_flux(res.model_image, 20, 20) == pytest.approx(4.0, rel=0.1)
+    assert box_flux(res.model_image, 44, 40) == pytest.approx(2.0, rel=0.1)
+
+
+def test_negative_source_cleaned(psf):
+    dirty = _dirty_from_components(psf, [(30, 30, -3.0)])
+    res = hogbom_clean(dirty, psf, gain=0.2, threshold=0.05, max_iterations=500)
+    assert res.component_flux() == pytest.approx(-3.0, rel=0.05)
+
+
+def test_window_restricts_components(psf):
+    dirty = _dirty_from_components(psf, [(10, 10, 5.0), (50, 50, 4.0)])
+    window = np.zeros_like(dirty, dtype=bool)
+    window[40:60, 40:60] = True
+    res = hogbom_clean(dirty, psf, gain=0.2, threshold=0.1, max_iterations=500, window=window)
+    rows = res.components[:, 0]
+    cols = res.components[:, 1]
+    assert np.all((rows >= 40) & (rows < 60) & (cols >= 40) & (cols < 60))
+
+
+def test_zero_image_converges_immediately(psf):
+    res = hogbom_clean(np.zeros_like(psf), psf, threshold=0.01)
+    assert res.converged
+    assert res.n_iterations == 0
+    assert len(res.components) == 0
+
+
+def test_iteration_cap_reported(psf):
+    dirty = _dirty_from_components(psf, [(32, 32, 10.0)])
+    res = hogbom_clean(dirty, psf, gain=0.05, threshold=1e-6, max_iterations=10)
+    assert res.n_iterations == 10
+    assert not res.converged
+
+
+def test_model_plus_residual_consistency(psf):
+    """dirty == model (*) psf + residual, by construction of the subtraction."""
+    dirty = _dirty_from_components(psf, [(25, 35, 3.0)])
+    res = hogbom_clean(dirty, psf, gain=0.3, threshold=0.02, max_iterations=1000)
+    reconstructed = _dirty_from_components(
+        psf, [(int(r), int(c), f) for r, c, f in res.components]
+    )
+    np.testing.assert_allclose(reconstructed + res.residual, dirty, atol=1e-9)
+
+
+def test_validation(psf):
+    dirty = np.zeros_like(psf)
+    with pytest.raises(ValueError):
+        hogbom_clean(dirty[:32], psf)
+    with pytest.raises(ValueError):
+        hogbom_clean(dirty, psf[:32, :32])
+    with pytest.raises(ValueError):
+        hogbom_clean(dirty, psf, gain=0.0)
+    with pytest.raises(ValueError):
+        hogbom_clean(dirty, psf * 0.5)  # peak not 1

@@ -1,0 +1,112 @@
+"""Unit tests for image-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.metrics import (
+    BeamFit,
+    dynamic_range,
+    fit_beam,
+    image_rms,
+    model_fidelity,
+)
+
+
+def _gaussian_psf(g=128, sigma_x=3.0, sigma_y=3.0, angle=0.0):
+    y, x = np.mgrid[0:g, 0:g].astype(float)
+    x -= g // 2
+    y -= g // 2
+    ca, sa = np.cos(angle), np.sin(angle)
+    xr = ca * x + sa * y
+    yr = -sa * x + ca * y
+    return np.exp(-0.5 * ((xr / sigma_x) ** 2 + (yr / sigma_y) ** 2))
+
+
+def test_image_rms_basic():
+    img = np.full((8, 8), 2.0)
+    assert image_rms(img) == pytest.approx(2.0)
+
+
+def test_image_rms_exclusion():
+    img = np.zeros((32, 32))
+    img[10, 12] = 100.0
+    assert image_rms(img) > 1.0
+    assert image_rms(img, exclude_box=(10, 12, 2)) == 0.0
+
+
+def test_dynamic_range_increases_with_cleaner_image():
+    rng = np.random.default_rng(0)
+    noisy = rng.standard_normal((64, 64)) * 0.1
+    noisy[32, 32] = 10.0
+    cleaner = rng.standard_normal((64, 64)) * 0.01
+    cleaner[32, 32] = 10.0
+    assert dynamic_range(cleaner) > 5 * dynamic_range(noisy)
+
+
+def test_dynamic_range_perfect_image():
+    img = np.zeros((32, 32))
+    img[16, 16] = 1.0
+    assert dynamic_range(img) == float("inf")
+
+
+def test_fit_beam_circular():
+    sigma = 3.0
+    fit = fit_beam(_gaussian_psf(sigma_x=sigma, sigma_y=sigma))
+    expected_fwhm = sigma * 2 * np.sqrt(2 * np.log(2))
+    assert fit.fwhm_major_px == pytest.approx(expected_fwhm, rel=0.15)
+    assert fit.fwhm_minor_px == pytest.approx(expected_fwhm, rel=0.15)
+
+
+def test_fit_beam_elliptical_axes_ordered():
+    fit = fit_beam(_gaussian_psf(sigma_x=5.0, sigma_y=2.0))
+    assert fit.fwhm_major_px > fit.fwhm_minor_px
+    # major axis along x: position angle ~ 0 or pi
+    assert min(abs(fit.position_angle_rad) % np.pi,
+               np.pi - abs(fit.position_angle_rad) % np.pi) < 0.2
+    ratio = fit.fwhm_major_px / fit.fwhm_minor_px
+    assert ratio == pytest.approx(2.5, rel=0.2)
+
+
+def test_fit_beam_area():
+    fit = BeamFit(fwhm_major_px=4.0, fwhm_minor_px=2.0, position_angle_rad=0.0)
+    assert fit.area_px == pytest.approx(np.pi * 8.0 / (4 * np.log(2)))
+
+
+def test_fit_beam_requires_central_peak():
+    psf = np.zeros((32, 32))
+    psf[3, 3] = 1.0
+    with pytest.raises(ValueError):
+        fit_beam(psf)
+
+
+def test_fit_beam_ignores_disconnected_sidelobes():
+    psf = _gaussian_psf(sigma_x=2.0, sigma_y=2.0)
+    psf[5:8, 5:8] = 0.9  # bright disconnected blob
+    fit = fit_beam(psf)
+    expected_fwhm = 2.0 * 2 * np.sqrt(2 * np.log(2))
+    assert fit.fwhm_major_px == pytest.approx(expected_fwhm, rel=0.2)
+
+
+def test_model_fidelity():
+    truth = np.zeros((16, 16))
+    truth[8, 8] = 2.0
+    assert model_fidelity(truth, truth) == pytest.approx(1.0)
+    assert model_fidelity(np.zeros_like(truth), truth) == pytest.approx(0.0)
+    half = truth * 0.5
+    assert model_fidelity(half, truth) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        model_fidelity(truth, np.zeros_like(truth))
+
+
+def test_real_psf_beam_size(small_idg, small_obs, small_baselines):
+    """The fitted beam of the real PSF is ~the diffraction limit:
+    lambda / (max baseline) in pixels."""
+    from repro.imaging.cycle import ImagingCycle
+
+    cycle = ImagingCycle(small_idg, small_obs.uvw_m, small_obs.frequencies_hz,
+                         small_baselines)
+    psf = cycle.make_psf()
+    fit = fit_beam(psf)
+    gs = small_idg.gridspec
+    resolution_px = (1.0 / small_obs.max_uv_wavelengths()) / gs.pixel_scale
+    assert 0.5 * resolution_px < fit.fwhm_major_px < 4 * resolution_px

@@ -1,0 +1,110 @@
+"""Unit tests for oversampled convolution kernels (W-projection substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.convolution import (
+    OversampledKernel,
+    build_aw_kernel,
+    build_w_projection_kernel,
+)
+from repro.kernels.spheroidal import spheroidal_taper
+
+
+@pytest.fixture(scope="module")
+def w0_kernel():
+    return build_w_projection_kernel(w=0.0, support=8, image_size=0.1, oversample=8)
+
+
+def test_kernel_shape_and_metadata(w0_kernel):
+    assert w0_kernel.data.shape == (8, 8, 8, 8)
+    assert w0_kernel.support == 8
+    assert w0_kernel.oversample == 8
+    assert w0_kernel.w == 0.0
+
+
+def test_kernel_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        OversampledKernel(data=np.zeros((2, 2, 4, 4), dtype=complex), support=5, oversample=2)
+
+
+def test_zero_offset_kernel_sums_to_one(w0_kernel):
+    assert w0_kernel.data[0, 0].sum() == pytest.approx(1.0 + 0j, abs=1e-9)
+
+
+def test_zero_offset_kernel_peak_at_centre(w0_kernel):
+    k = np.abs(w0_kernel.data[0, 0])
+    peak = np.unravel_index(np.argmax(k), k.shape)
+    assert peak == (4, 4)
+
+
+def test_w0_kernel_is_real_symmetric(w0_kernel):
+    k = w0_kernel.data[0, 0]
+    assert np.abs(k.imag).max() < 1e-9
+    # even symmetry about the centre cell
+    np.testing.assert_allclose(k[4 - 3 : 4 + 4, 4], k[4 + 3 : 4 - 4 : -1, 4], atol=1e-9)
+
+
+def test_lookup_zero_offset(w0_kernel):
+    np.testing.assert_allclose(w0_kernel.lookup(0.0, 0.0), w0_kernel.data[0, 0])
+
+
+def test_lookup_negative_fraction_wraps(w0_kernel):
+    k = w0_kernel.lookup(-0.25, 0.0)  # r = -2 -> index 6
+    np.testing.assert_allclose(k, w0_kernel.data[0, 6])
+
+
+def test_fractional_shift_moves_centroid(w0_kernel):
+    """A +0.25-cell fractional offset must shift the kernel centroid by
+    ~+0.25 cells along u."""
+    cells = np.arange(8) - 4
+
+    def centroid_u(k):
+        w = np.abs(k) ** 2
+        return (w * cells[np.newaxis, :]).sum() / w.sum()
+
+    c0 = centroid_u(w0_kernel.lookup(0.0, 0.0))
+    c1 = centroid_u(w0_kernel.lookup(0.25, 0.0))
+    assert c1 - c0 == pytest.approx(0.25, abs=0.1)
+
+
+def test_nbytes_scales_quadratically_with_support_and_oversample():
+    small = build_w_projection_kernel(0.0, support=4, image_size=0.1, oversample=4)
+    big = build_w_projection_kernel(0.0, support=8, image_size=0.1, oversample=8)
+    assert big.nbytes == small.nbytes * 16  # (2x support)^2 * (2x oversample)^2 / ... = 4*4
+
+
+def test_w_kernel_differs_from_w0():
+    k0 = build_w_projection_kernel(0.0, support=16, image_size=0.2, oversample=4)
+    kw = build_w_projection_kernel(800.0, support=16, image_size=0.2, oversample=4)
+    assert np.abs(k0.data[0, 0] - kw.data[0, 0]).max() > 1e-3
+
+
+def test_support_larger_than_raster_rejected():
+    with pytest.raises(ValueError):
+        build_w_projection_kernel(0.0, support=64, image_size=0.1, oversample=2, raster=32)
+
+
+def test_aw_kernel_identity_aterm_matches_w_kernel():
+    raster = 32
+    taper = spheroidal_taper(raster)
+    ones = np.ones((raster, raster), dtype=complex)
+    aw = build_aw_kernel(100.0, ones, support=8, image_size=0.1, oversample=4, taper=taper)
+    w = build_w_projection_kernel(
+        100.0, support=8, image_size=0.1, oversample=4, taper=taper, raster=raster
+    )
+    np.testing.assert_allclose(aw.data, w.data, atol=1e-12)
+
+
+def test_aw_kernel_scalar_gain_scales_out_in_normalisation():
+    """A constant scalar A-term is removed by the sum-to-one normalisation."""
+    raster = 32
+    gain = np.full((raster, raster), 2.0, dtype=complex)
+    aw = build_aw_kernel(0.0, gain, support=8, image_size=0.1, oversample=4)
+    ident = build_aw_kernel(0.0, np.ones_like(gain), support=8, image_size=0.1, oversample=4)
+    np.testing.assert_allclose(aw.data, ident.data, atol=1e-9)
+
+
+def test_aw_kernel_rejects_nonsquare():
+    with pytest.raises(ValueError):
+        build_aw_kernel(0.0, np.ones((8, 16), dtype=complex), support=4, image_size=0.1)

@@ -1,0 +1,107 @@
+"""Unit tests for the centered FFT helpers."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fft import (
+    centered_fft2,
+    centered_ifft2,
+    fft_grid_to_image,
+    fft_image_to_grid,
+    fourier_coordinates,
+    image_coordinates,
+    subgrid_to_grid_offset,
+)
+
+
+def test_centered_delta_transforms_to_ones():
+    a = np.zeros((16, 16), dtype=complex)
+    a[8, 8] = 1.0
+    np.testing.assert_allclose(centered_fft2(a), np.ones((16, 16)), atol=1e-12)
+
+
+def test_roundtrip_identity():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((12, 12)) + 1j * rng.standard_normal((12, 12))
+    np.testing.assert_allclose(centered_ifft2(centered_fft2(a)), a, atol=1e-12)
+
+
+def test_centered_fft_matches_explicit_centered_dft():
+    """The helper must equal the literal centered-phase double sum."""
+    rng = np.random.default_rng(1)
+    n = 8
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    out = centered_fft2(a)
+    x = np.arange(n) - n // 2
+    expected = np.zeros((n, n), dtype=complex)
+    for q in range(n):
+        for p in range(n):
+            phase = np.exp(
+                -2j * np.pi * ((p - n // 2) * x[np.newaxis, :] + (q - n // 2) * x[:, np.newaxis]) / n
+            )
+            expected[q, p] = (a * phase).sum()
+    np.testing.assert_allclose(out, expected, atol=1e-9)
+
+
+def test_batched_axes_match_loop():
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((3, 10, 10)) + 1j * rng.standard_normal((3, 10, 10))
+    batched = centered_fft2(a)
+    for k in range(3):
+        np.testing.assert_allclose(batched[k], centered_fft2(a[k]), atol=1e-12)
+
+
+def test_point_source_at_centre_gives_flat_real_grid():
+    image = np.zeros((32, 32), dtype=complex)
+    image[16, 16] = 3.0
+    grid = fft_image_to_grid(image)
+    np.testing.assert_allclose(grid, 3.0 * np.ones((32, 32)), atol=1e-12)
+
+
+def test_grid_to_image_inverts_image_to_grid():
+    rng = np.random.default_rng(3)
+    image = rng.standard_normal((20, 20)) + 0j
+    np.testing.assert_allclose(fft_grid_to_image(fft_image_to_grid(image)), image, atol=1e-12)
+
+
+def test_offcentre_source_phase_sign():
+    """Measurement-equation convention: source at +l gives exp(-2 pi i u l)."""
+    n = 64
+    image_size = 0.1
+    image = np.zeros((n, n), dtype=complex)
+    shift = 5
+    image[n // 2, n // 2 + shift] = 1.0  # l = shift * dl
+    grid = fft_image_to_grid(image)
+    u = fourier_coordinates(n, image_size)
+    l0 = shift * image_size / n
+    expected = np.exp(-2j * np.pi * u * l0)
+    np.testing.assert_allclose(grid[n // 2, :], expected, atol=1e-9)
+
+
+def test_image_coordinates_basic():
+    c = image_coordinates(8, 0.08)
+    assert c[4] == 0.0
+    assert c[5] - c[4] == pytest.approx(0.01)
+
+
+def test_fourier_coordinates_spacing():
+    u = fourier_coordinates(8, 0.05)
+    assert u[4] == 0.0
+    assert u[5] - u[4] == pytest.approx(1.0 / 0.05)
+
+
+def test_subgrid_to_grid_offset_centre():
+    # A subgrid whose corner puts its centre cell on the grid centre has
+    # u_mid = v_mid = 0.
+    grid_size, n = 128, 16
+    corner = (grid_size // 2 - n // 2, grid_size // 2 - n // 2)
+    u_mid, v_mid = subgrid_to_grid_offset(corner, n, grid_size, image_size=0.05)
+    assert u_mid == pytest.approx(0.0)
+    assert v_mid == pytest.approx(0.0)
+
+
+def test_subgrid_to_grid_offset_one_cell():
+    grid_size, n, image_size = 128, 16, 0.05
+    base = (grid_size // 2 - n // 2, grid_size // 2 - n // 2)
+    u1, _ = subgrid_to_grid_offset((base[0] + 1, base[1]), n, grid_size, image_size)
+    assert u1 == pytest.approx(1.0 / image_size)

@@ -1,0 +1,112 @@
+"""Unit tests for the anti-aliasing tapers."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.spheroidal import (
+    evaluate_prolate_spheroidal,
+    grid_correction,
+    kaiser_bessel_taper,
+    spheroidal_taper,
+    taper_for,
+)
+
+
+def test_spheroidal_peak_is_one():
+    assert evaluate_prolate_spheroidal(np.array([0.0]))[0] == pytest.approx(1.0)
+
+
+def test_spheroidal_even_symmetry():
+    nu = np.linspace(0, 1, 33)
+    np.testing.assert_allclose(
+        evaluate_prolate_spheroidal(nu), evaluate_prolate_spheroidal(-nu)
+    )
+
+
+def test_spheroidal_monotone_decreasing():
+    nu = np.linspace(0, 1, 101)
+    vals = evaluate_prolate_spheroidal(nu)
+    assert np.all(np.diff(vals) <= 1e-12)
+
+
+def test_spheroidal_zero_outside_support():
+    assert evaluate_prolate_spheroidal(np.array([1.5]))[0] == 0.0
+
+
+def test_spheroidal_continuous_at_piece_boundary():
+    # The rational fit switches pieces at nu = 0.75.
+    lo = evaluate_prolate_spheroidal(np.array([0.75 - 1e-9]))[0]
+    hi = evaluate_prolate_spheroidal(np.array([0.75 + 1e-9]))[0]
+    assert lo == pytest.approx(hi, rel=1e-4)
+
+
+def test_taper_2d_is_separable_outer_product():
+    t = spheroidal_taper(24)
+    row = evaluate_prolate_spheroidal((np.arange(24) - 12) / 12.0)
+    np.testing.assert_allclose(t, np.outer(row, row), atol=1e-12)
+
+
+def test_taper_symmetry_under_transpose():
+    t = spheroidal_taper(32)
+    np.testing.assert_allclose(t, t.T)
+
+
+def test_taper_centre_is_one():
+    t = spheroidal_taper(24)
+    assert t[12, 12] == pytest.approx(1.0)
+
+
+def test_kaiser_bessel_properties():
+    t = kaiser_bessel_taper(24, beta=9.0)
+    assert t.shape == (24, 24)
+    assert t[12, 12] == pytest.approx(1.0)
+    assert np.all(t >= 0)
+    assert np.all(t <= 1 + 1e-12)
+
+
+def test_kaiser_beta_controls_width():
+    narrow = kaiser_bessel_taper(24, beta=12.0)
+    wide = kaiser_bessel_taper(24, beta=4.0)
+    # higher beta concentrates energy: smaller value at mid-radius
+    assert narrow[12, 6] < wide[12, 6]
+
+
+def test_grid_correction_reciprocal_of_taper():
+    corr = grid_correction(24)
+    t = spheroidal_taper(24)
+    interior = t > 1e-3
+    np.testing.assert_allclose(corr[interior], t[interior])
+    # dividing by the correction never produces NaN
+    assert np.all(np.isfinite(1.0 / corr) | (corr == np.inf))
+
+
+def test_grid_correction_zeros_map_to_inf():
+    corr = grid_correction(24)
+    assert not np.any(corr == 0.0)
+
+
+def test_taper_for_dispatch():
+    np.testing.assert_allclose(taper_for(16, "spheroidal"), spheroidal_taper(16))
+    np.testing.assert_allclose(
+        taper_for(16, "kaiser-bessel", beta=7.0), kaiser_bessel_taper(16, beta=7.0)
+    )
+    with pytest.raises(ValueError):
+        taper_for(16, "hann")
+    with pytest.raises(ValueError):
+        grid_correction(16, taper="hann")
+
+
+def test_taper_fourier_decay_controls_aliasing():
+    """The taper's uv transform must concentrate energy: >99% of the kernel
+    energy inside a quarter-width support (the anti-aliasing property IDG's
+    accuracy rests on)."""
+    from repro.kernels.fft import centered_fft2
+
+    n = 64
+    t = spheroidal_taper(n)
+    kernel = np.abs(centered_fft2(t)) ** 2
+    total = kernel.sum()
+    half = n // 2
+    s = n // 8
+    inner = kernel[half - s : half + s + 1, half - s : half + s + 1].sum()
+    assert inner / total > 0.99

@@ -1,0 +1,112 @@
+"""Unit tests for w-term handling."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fft import centered_fft2
+from repro.kernels.spheroidal import spheroidal_taper
+from repro.kernels.wkernel import (
+    n_term,
+    required_w_planes,
+    w_kernel_fourier,
+    w_kernel_image,
+    w_kernel_support,
+)
+
+
+def test_n_term_zero_at_phase_centre():
+    assert n_term(0.0, 0.0) == 0.0
+
+
+def test_n_term_matches_formula():
+    l, m = 0.1, -0.05
+    assert n_term(l, m) == pytest.approx(1.0 - np.sqrt(1 - l * l - m * m))
+
+
+def test_n_term_nonnegative_and_small_angle():
+    l = np.linspace(-0.3, 0.3, 21)
+    n = n_term(l, np.zeros_like(l))
+    assert np.all(n >= 0)
+    # small-angle: n ~ l^2 / 2
+    np.testing.assert_allclose(n, l * l / 2, rtol=0.05)
+
+
+def test_n_term_clamps_outside_unit_sphere():
+    assert n_term(1.0, 1.0) == 1.0
+
+
+def test_w_zero_screen_is_unity():
+    screen = w_kernel_image(0.0, 16, 0.1)
+    np.testing.assert_allclose(screen, np.ones((16, 16)))
+
+
+def test_w_screen_unit_modulus():
+    screen = w_kernel_image(123.4, 32, 0.1)
+    np.testing.assert_allclose(np.abs(screen), 1.0, atol=1e-12)
+
+
+def test_w_screen_sign_conjugate():
+    a = w_kernel_image(50.0, 16, 0.1, sign=-1.0)
+    b = w_kernel_image(50.0, 16, 0.1, sign=+1.0)
+    np.testing.assert_allclose(a, np.conj(b), atol=1e-12)
+
+
+def test_w_screen_opposite_w_is_conjugate():
+    a = w_kernel_image(50.0, 16, 0.1)
+    b = w_kernel_image(-50.0, 16, 0.1)
+    np.testing.assert_allclose(a, np.conj(b), atol=1e-12)
+
+
+def test_w_kernel_fourier_sums_to_one():
+    taper = spheroidal_taper(32)
+    k = w_kernel_fourier(200.0, 32, 0.1, taper=taper)
+    assert k.sum() == pytest.approx(1.0 + 0j, abs=1e-9)
+
+
+def test_w_kernel_fourier_w0_matches_taper_transform():
+    taper = spheroidal_taper(32)
+    k = w_kernel_fourier(0.0, 32, 0.1, taper=taper)
+    expected = centered_fft2(taper.astype(complex))
+    expected /= expected.sum()
+    np.testing.assert_allclose(k, expected, atol=1e-12)
+
+
+def test_w_kernel_fourier_rejects_mismatched_taper():
+    with pytest.raises(ValueError):
+        w_kernel_fourier(0.0, 32, 0.1, taper=spheroidal_taper(16))
+
+
+def test_w_kernel_width_grows_with_w():
+    """Larger |w| must spread the kernel: compare energy inside a fixed box."""
+    taper = spheroidal_taper(64)
+
+    def inner_energy(w):
+        k = np.abs(w_kernel_fourier(w, 64, 0.2, taper=taper)) ** 2
+        c = 32
+        return k[c - 4 : c + 5, c - 4 : c + 5].sum() / k.sum()
+
+    assert inner_energy(0.0) > inner_energy(500.0) > inner_energy(2000.0)
+
+
+def test_w_kernel_support_monotone_in_w():
+    s = [w_kernel_support(w, 0.1) for w in (0.0, 100.0, 1000.0, 10000.0)]
+    assert s == sorted(s)
+    assert s[0] >= 1
+
+
+def test_w_kernel_support_grows_with_field():
+    assert w_kernel_support(1000.0, 0.2) > w_kernel_support(1000.0, 0.05)
+
+
+def test_required_w_planes_inverse_of_support():
+    image_size = 0.1
+    w_max = 5000.0
+    planes = required_w_planes(w_max, image_size, max_support=8)
+    # per-plane residual w must then need <= the capped support
+    residual = w_max / planes
+    assert w_kernel_support(residual, image_size) <= 8 + 1  # padding slack
+
+
+def test_required_w_planes_edge_cases():
+    assert required_w_planes(0.0, 0.1, 8) == 1
+    assert required_w_planes(10.0, 0.1, 1000) == 1

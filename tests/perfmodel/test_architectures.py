@@ -1,0 +1,71 @@
+"""Unit tests for the Table I architecture database."""
+
+import pytest
+
+from repro.perfmodel.architectures import (
+    ALL_ARCHITECTURES,
+    FIJI,
+    HASWELL,
+    PASCAL,
+    by_name,
+    table1_rows,
+)
+
+
+def test_table1_values_match_paper():
+    assert HASWELL.peak_tflops == 2.78
+    assert HASWELL.mem_bandwidth_gbs == 136.0
+    assert HASWELL.tdp_w == 290.0
+    assert HASWELL.n_fpus == 448
+    assert FIJI.peak_tflops == 8.60
+    assert FIJI.mem_bandwidth_gbs == 512.0
+    assert FIJI.n_fpus == 4096
+    assert PASCAL.peak_tflops == 9.22
+    assert PASCAL.mem_bandwidth_gbs == 320.0
+    assert PASCAL.tdp_w == 180.0
+    assert PASCAL.n_fpus == 2560
+
+
+def test_core_config_products():
+    # Table I footnote: #ICs x #compute units x FPU instr/cycle x vector size
+    assert 2 * 14 * 2 * 8 == HASWELL.n_fpus
+    assert 1 * 64 * 1 * 64 == FIJI.n_fpus
+    assert 1 * 40 * 2 * 32 == PASCAL.n_fpus
+
+
+def test_peak_ops_and_fma_rate():
+    assert PASCAL.peak_ops == pytest.approx(9.22e12)
+    assert PASCAL.fma_instruction_rate == pytest.approx(4.61e12)
+
+
+def test_gpu_flags():
+    assert not HASWELL.is_gpu
+    assert FIJI.is_gpu and PASCAL.is_gpu
+
+
+def test_sincos_execution_models():
+    assert PASCAL.sincos_parallel  # SFUs [28]
+    assert not FIJI.sincos_parallel  # same ALUs at quarter rate [29]
+    assert not HASWELL.sincos_parallel  # SVML in software
+
+
+def test_by_name_lookup():
+    assert by_name("pascal") is PASCAL
+    assert by_name("HASWELL") is HASWELL
+    with pytest.raises(KeyError):
+        by_name("volta")
+
+
+def test_table1_rows_complete():
+    rows = table1_rows()
+    assert len(rows) == 3
+    assert rows[0]["model"] == "Intel Xeon E5-2697v3"
+    for row in rows:
+        assert set(row) == {
+            "model", "type", "architecture", "clock (GHz)", "#FPUs",
+            "peak (TFlops)", "mem size (GB)", "mem bw (GB/s)", "TDP (W)",
+        }
+
+
+def test_order_matches_paper():
+    assert [a.name for a in ALL_ARCHITECTURES] == ["HASWELL", "FIJI", "PASCAL"]

@@ -1,0 +1,71 @@
+"""Unit tests for the end-to-end pipeline predictions."""
+
+import pytest
+
+from repro.perfmodel.architectures import FIJI, HASWELL, PASCAL
+from repro.perfmodel.pipeline_model import (
+    cpu_core_scaling,
+    gpu_cycle_with_transfers,
+)
+from repro.perfmodel.runtime import imaging_cycle_runtime
+
+
+def test_gpu_cycle_requires_gpu(paper_like_plan):
+    with pytest.raises(ValueError):
+        gpu_cycle_with_transfers(HASWELL, paper_like_plan)
+
+
+def test_triple_buffering_hides_most_transfer(paper_like_plan):
+    pred = gpu_cycle_with_transfers(PASCAL, paper_like_plan, n_buffers=3)
+    assert pred.transfer_hidden_fraction > 0.8
+    # makespan close to pure compute: the Fig 7 point
+    assert pred.overlapped_seconds < 1.15 * pred.compute_seconds
+
+
+def test_single_buffer_exposes_transfers(paper_like_plan):
+    single = gpu_cycle_with_transfers(PASCAL, paper_like_plan, n_buffers=1)
+    triple = gpu_cycle_with_transfers(PASCAL, paper_like_plan, n_buffers=3)
+    assert single.overlapped_seconds == pytest.approx(single.serial_seconds)
+    assert triple.overlapped_seconds < single.overlapped_seconds
+    assert triple.overlap_speedup > 1.0
+
+
+def test_compute_matches_cycle_model(paper_like_plan):
+    pred = gpu_cycle_with_transfers(FIJI, paper_like_plan)
+    assert pred.compute_seconds == pytest.approx(
+        imaging_cycle_runtime(FIJI, paper_like_plan).total_seconds
+    )
+
+
+def test_gpu_cycle_validation(paper_like_plan):
+    with pytest.raises(ValueError):
+        gpu_cycle_with_transfers(PASCAL, paper_like_plan, n_work_groups=0)
+
+
+def test_cpu_scaling_monotone_with_diminishing_returns(paper_like_plan):
+    points = cpu_core_scaling(HASWELL, paper_like_plan)
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)
+    efficiencies = [p.efficiency for p in points]
+    assert efficiencies == sorted(efficiencies, reverse=True)
+    assert points[0].speedup == pytest.approx(1.0)
+    # Amdahl: 28 cores with 2% serial fraction land well below 28x
+    last = points[-1]
+    assert last.n_cores == 28
+    assert 14 < last.speedup < 28
+
+
+def test_cpu_scaling_validation(paper_like_plan):
+    with pytest.raises(ValueError):
+        cpu_core_scaling(PASCAL, paper_like_plan)
+    with pytest.raises(ValueError):
+        cpu_core_scaling(HASWELL, paper_like_plan, serial_fraction=1.0)
+    with pytest.raises(ValueError):
+        cpu_core_scaling(HASWELL, paper_like_plan, core_counts=(0, 2))
+
+
+def test_zero_serial_fraction_is_linear(paper_like_plan):
+    points = cpu_core_scaling(HASWELL, paper_like_plan, serial_fraction=0.0)
+    for p in points:
+        assert p.speedup == pytest.approx(p.n_cores)
+        assert p.efficiency == pytest.approx(1.0)

@@ -1,0 +1,44 @@
+"""Tests for the one-shot evaluation report."""
+
+import pytest
+
+from repro.perfmodel.report import evaluation_report
+
+
+@pytest.fixture(scope="module")
+def report(paper_like_plan):
+    return evaluation_report(paper_like_plan)
+
+
+def test_report_contains_every_section(report):
+    assert "Table I: architectures" in report
+    assert "Figs 11/13: rooflines" in report
+    assert "Fig 12: throughput vs rho" in report
+    assert "Figs 9/10/14/15" in report
+    assert "Fig 16: IDG vs W-projection" in report
+
+
+def test_report_contains_all_architectures(report):
+    for name in ("HASWELL", "FIJI", "PASCAL"):
+        assert name in report
+    for model in ("Intel Xeon E5-2697v3", "AMD R9 Fury X", "NVIDIA GTX 1080"):
+        assert model in report
+
+
+def test_report_mentions_workload(report):
+    assert "vis/subgrid" in report
+    assert "2048^2 grid" in report
+
+
+def test_report_with_aterms_differs(paper_like_plan, report):
+    with_a = evaluation_report(paper_like_plan, with_aterms=True)
+    assert with_a != report  # byte counts change slightly
+    assert "Table I" in with_a
+
+
+def test_report_is_plain_text(report):
+    # parsable, multi-line, no stray format artefacts
+    lines = report.splitlines()
+    assert len(lines) > 30
+    assert all(isinstance(line, str) for line in lines)
+    assert "{" not in report

@@ -1,0 +1,88 @@
+"""Unit tests for the modified roofline model (Figs 11 and 13)."""
+
+import pytest
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES, FIJI, HASWELL, PASCAL
+from repro.perfmodel.opcount import (
+    adder_counts,
+    degridder_counts,
+    gridder_counts,
+)
+from repro.perfmodel.roofline import (
+    attainable_ops,
+    device_roofline_point,
+    roofline_ceiling,
+    shared_roofline_point,
+)
+from repro.perfmodel.sincos import sincos_bound_ops
+
+
+def test_ceiling_is_min_of_peak_and_bandwidth():
+    assert roofline_ceiling(PASCAL, 1e-6) == pytest.approx(320e9 * 1e-6)
+    assert roofline_ceiling(PASCAL, 1e6) == PASCAL.peak_ops
+    with pytest.raises(ValueError):
+        roofline_ceiling(PASCAL, -1.0)
+
+
+def test_gridder_degridder_compute_bound_everywhere(paper_like_plan):
+    """Section VI-B: 'On all architectures, both kernels are compute bound'
+    — device-memory bandwidth is never the binding limit."""
+    for arch in ALL_ARCHITECTURES:
+        for counts in (gridder_counts(paper_like_plan), degridder_counts(paper_like_plan)):
+            _, bound = attainable_ops(arch, counts)
+            assert bound != "memory"
+
+
+def test_pascal_fractions_match_paper(paper_like_plan):
+    """The headline Fig 11 numbers: 74% (gridder) and 55% (degridder) of
+    peak on PASCAL, limited by shared memory."""
+    perf_g, bound_g = attainable_ops(PASCAL, gridder_counts(paper_like_plan))
+    perf_d, bound_d = attainable_ops(PASCAL, degridder_counts(paper_like_plan))
+    assert bound_g == "shared"
+    assert bound_d == "shared"
+    assert perf_g / PASCAL.peak_ops == pytest.approx(0.74, abs=0.06)
+    assert perf_d / PASCAL.peak_ops == pytest.approx(0.55, abs=0.06)
+
+
+def test_haswell_fiji_sincos_bound(paper_like_plan):
+    """Fig 11: HASWELL and FIJI sit at the dashed sincos ceilings."""
+    for arch in (HASWELL, FIJI):
+        perf, bound = attainable_ops(arch, gridder_counts(paper_like_plan))
+        assert bound == "sincos"
+        assert perf == pytest.approx(sincos_bound_ops(arch), rel=0.01)
+
+
+def test_gpus_order_of_magnitude_faster(paper_like_plan):
+    """Section VI-B: GPUs complete 'almost an order of magnitude faster'."""
+    counts = gridder_counts(paper_like_plan)
+    perf_h, _ = attainable_ops(HASWELL, counts)
+    perf_f, _ = attainable_ops(FIJI, counts)
+    perf_p, _ = attainable_ops(PASCAL, counts)
+    assert perf_f / perf_h > 5
+    assert perf_p / perf_h > 9
+
+
+def test_adder_memory_bound(paper_like_plan):
+    for arch in ALL_ARCHITECTURES:
+        _, bound = attainable_ops(arch, adder_counts(paper_like_plan))
+        assert bound == "memory"
+
+
+def test_roofline_points_consistent(paper_like_plan):
+    counts = gridder_counts(paper_like_plan)
+    pt = device_roofline_point(PASCAL, counts)
+    assert pt.performance_ops <= pt.ceiling_ops + 1e-6
+    assert pt.kernel == "gridder"
+    spt = shared_roofline_point(PASCAL, counts)
+    assert spt.intensity < pt.intensity
+    # in the shared plot the kernel sits at its ceiling (shared-bw bound)
+    assert spt.performance_ops == pytest.approx(spt.ceiling_ops, rel=0.01)
+
+
+def test_fiji_near_shared_bound_too(paper_like_plan):
+    """Section VI-C-2: 'the kernels on FIJI are also relatively close to
+    hitting the shared memory bandwidth limit'."""
+    counts = gridder_counts(paper_like_plan)
+    perf, _ = attainable_ops(FIJI, counts)
+    shared_limit = FIJI.shared_bandwidth_tbs * 1e12 * counts.shared_intensity
+    assert perf > 0.5 * shared_limit

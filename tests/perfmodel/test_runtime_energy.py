@@ -1,0 +1,110 @@
+"""Unit tests for the runtime (Figs 9-10) and energy (Figs 14-15) models."""
+
+import pytest
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES, FIJI, HASWELL, PASCAL
+from repro.perfmodel.energy import (
+    energy_efficiency_gflops_per_watt,
+    imaging_cycle_energy,
+    kernel_energy,
+)
+from repro.perfmodel.opcount import degridder_counts, gridder_counts, wprojection_counts
+from repro.perfmodel.runtime import (
+    imaging_cycle_runtime,
+    kernel_runtime,
+    throughput_mvis,
+)
+
+
+def test_cycle_dominated_by_gridding_kernels(paper_like_plan):
+    """Section VI-B: 'runtime is dominated by the gridder and degridder
+    kernels (more than 93%)'."""
+    for arch in ALL_ARCHITECTURES:
+        cycle = imaging_cycle_runtime(arch, paper_like_plan)
+        assert cycle.gridding_degridding_fraction() > 0.93
+
+
+def test_cycle_kernel_composition(paper_like_plan):
+    cycle = imaging_cycle_runtime(PASCAL, paper_like_plan)
+    names = [k.kernel for k in cycle.kernels]
+    assert names == [
+        "gridder", "subgrid-fft", "adder", "splitter", "subgrid-fft", "degridder",
+    ]
+    assert cycle.total_seconds > 0
+
+
+def test_gpus_order_of_magnitude_faster_cycle(paper_like_plan):
+    t = {a.name: imaging_cycle_runtime(a, paper_like_plan).total_seconds
+         for a in ALL_ARCHITECTURES}
+    assert t["HASWELL"] / t["PASCAL"] > 8
+    assert t["HASWELL"] / t["FIJI"] > 5
+
+
+def test_throughput_ordering_fig10(paper_like_plan):
+    counts = gridder_counts(paper_like_plan)
+    mvis = {a.name: throughput_mvis(a, counts) for a in ALL_ARCHITECTURES}
+    assert mvis["PASCAL"] > mvis["FIJI"] > mvis["HASWELL"]
+    assert mvis["PASCAL"] / mvis["HASWELL"] > 9
+
+
+def test_kernel_runtime_positive_and_rate_bounded(paper_like_plan):
+    for arch in ALL_ARCHITECTURES:
+        rt = kernel_runtime(arch, gridder_counts(paper_like_plan))
+        assert rt.seconds > 0
+        assert rt.ops_per_second <= arch.peak_ops * (1 + 1e-9)
+
+
+def test_energy_efficiency_matches_paper(paper_like_plan):
+    """Section VI-D: PASCAL 32/23 GFlops/W (gridder/degridder), FIJI ~13,
+    HASWELL ~1.5."""
+    g = gridder_counts(paper_like_plan)
+    d = degridder_counts(paper_like_plan)
+    assert energy_efficiency_gflops_per_watt(PASCAL, g) == pytest.approx(32, rel=0.15)
+    assert energy_efficiency_gflops_per_watt(PASCAL, d) == pytest.approx(23, rel=0.15)
+    assert energy_efficiency_gflops_per_watt(FIJI, g) == pytest.approx(13, rel=0.15)
+    assert energy_efficiency_gflops_per_watt(HASWELL, g) == pytest.approx(1.5, rel=0.25)
+
+
+def test_gpu_total_energy_order_of_magnitude_lower(paper_like_plan):
+    """Fig 14: 'also in terms of total energy consumption, the GPUs
+    outperform the CPU by an order of magnitude ... even when the power
+    consumption of the host is taken into account'."""
+    e = {a.name: imaging_cycle_energy(a, paper_like_plan).total_joules
+         for a in ALL_ARCHITECTURES}
+    assert e["HASWELL"] / e["PASCAL"] > 8
+    assert e["HASWELL"] / e["FIJI"] > 5
+
+
+def test_energy_mostly_in_gridding_kernels(paper_like_plan):
+    """Fig 14: 'most energy is naturally spent in these kernels'."""
+    for arch in ALL_ARCHITECTURES:
+        cycle = imaging_cycle_energy(arch, paper_like_plan)
+        frac = cycle.fraction("gridder") + cycle.fraction("degridder")
+        assert frac > 0.9
+
+
+def test_host_energy_only_for_gpus(paper_like_plan):
+    assert imaging_cycle_energy(HASWELL, paper_like_plan).host_joules == 0
+    assert imaging_cycle_energy(PASCAL, paper_like_plan).host_joules > 0
+
+
+def test_kernel_energy_is_power_times_time(paper_like_plan):
+    counts = gridder_counts(paper_like_plan)
+    rt = kernel_runtime(PASCAL, counts)
+    en = kernel_energy(PASCAL, counts)
+    assert en.joules_device == pytest.approx(rt.seconds * PASCAL.compute_power_w)
+    assert en.joules_host == pytest.approx(rt.seconds * PASCAL.host_power_w)
+
+
+def test_include_host_lowers_efficiency(paper_like_plan):
+    counts = gridder_counts(paper_like_plan)
+    assert energy_efficiency_gflops_per_watt(
+        PASCAL, counts, include_host=True
+    ) < energy_efficiency_gflops_per_watt(PASCAL, counts, include_host=False)
+
+
+def test_wpg_throughput_drops_with_support():
+    """The Fig 16 mechanism: WPG MVis/s falls ~quadratically with N_W while
+    IDG is support-independent."""
+    rates = [throughput_mvis(PASCAL, wprojection_counts(1e6, s)) for s in (8, 16, 32)]
+    assert rates[0] > 3 * rates[1] > 9 * rates[2] / 4

@@ -1,0 +1,77 @@
+"""Unit tests for the FMA/sincos mix throughput model (Fig 12)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.architectures import ALL_ARCHITECTURES, FIJI, HASWELL, PASCAL
+from repro.perfmodel.sincos import (
+    mixed_throughput_ops,
+    peak_fraction,
+    sincos_bound_ops,
+    sweep_rho,
+)
+
+
+def test_large_rho_approaches_peak():
+    for arch in ALL_ARCHITECTURES:
+        assert mixed_throughput_ops(arch, 1e6) == pytest.approx(arch.peak_ops, rel=1e-3)
+
+
+def test_throughput_monotone_in_rho():
+    for arch in ALL_ARCHITECTURES:
+        rhos, ops = sweep_rho(arch)
+        assert np.all(np.diff(ops) >= -1e-6)
+
+
+def test_never_exceeds_peak():
+    for arch in ALL_ARCHITECTURES:
+        _, ops = sweep_rho(arch)
+        assert np.all(ops <= arch.peak_ops + 1e-6)
+
+
+def test_pascal_stays_high_at_small_rho():
+    """Section VI-C-1: 'the performance of PASCAL stays high when rho
+    decreases' — in contrast to FIJI and HASWELL."""
+    assert peak_fraction(PASCAL, 4.0) > 0.5
+    assert peak_fraction(FIJI, 4.0) < 0.4
+    assert peak_fraction(HASWELL, 4.0) < 0.2
+
+
+def test_pascal_hits_peak_at_rho17():
+    """With SFUs, the kernels' rho = 17 mix is not sincos-limited at all."""
+    assert sincos_bound_ops(PASCAL) == pytest.approx(PASCAL.peak_ops, rel=0.05)
+
+
+def test_fiji_and_haswell_limited_at_rho17():
+    """The dashed bounds of Fig 11 sit well below the peak."""
+    assert sincos_bound_ops(FIJI) < 0.6 * FIJI.peak_ops
+    assert sincos_bound_ops(HASWELL) < 0.3 * HASWELL.peak_ops
+
+
+def test_ordering_of_degradation():
+    """At every mix, PASCAL keeps the largest fraction of its peak and
+    HASWELL the smallest (software sincos is the slowest)."""
+    for rho in (0.0, 1.0, 8.0, 17.0, 32.0):
+        assert (
+            peak_fraction(PASCAL, rho)
+            >= peak_fraction(FIJI, rho)
+            >= peak_fraction(HASWELL, rho)
+        )
+
+
+def test_rho_zero_pure_sincos():
+    # serial: 2 ops per sincos_slots instruction times
+    expected = 2.0 / FIJI.sincos_slots * FIJI.fma_instruction_rate
+    assert mixed_throughput_ops(FIJI, 0.0) == pytest.approx(expected)
+
+
+def test_negative_rho_rejected():
+    with pytest.raises(ValueError):
+        mixed_throughput_ops(PASCAL, -1.0)
+
+
+def test_sweep_default_range():
+    rhos, ops = sweep_rho(PASCAL)
+    assert rhos[0] == 0.0
+    assert rhos[-1] == 128.0
+    assert ops.shape == rhos.shape

@@ -1,0 +1,87 @@
+"""Unit tests for the triple-buffering stream scheduler (Fig 7)."""
+
+import pytest
+
+from repro.perfmodel.streams import (
+    schedule_buffers,
+    serial_makespan,
+    transfer_times,
+)
+
+
+def _uniform_jobs(n=9, h=1.0, c=2.0, d=1.0):
+    return [(h, c, d)] * n
+
+
+def test_causality_within_each_job():
+    sched = schedule_buffers(_uniform_jobs(), n_buffers=3)
+    for j in range(9):
+        stages = {e.stage: e for e in sched.events if e.job == j}
+        assert stages["htod"].end <= stages["compute"].start + 1e-12
+        assert stages["compute"].end <= stages["dtoh"].start + 1e-12
+
+
+def test_streams_never_overlap_themselves():
+    sched = schedule_buffers(_uniform_jobs(), n_buffers=3)
+    for stage in ("htod", "compute", "dtoh"):
+        events = sorted(sched.stream(stage), key=lambda e: e.start)
+        for a, b in zip(events, events[1:]):
+            assert a.end <= b.start + 1e-12
+
+
+def test_buffer_constraint_limits_pipelining():
+    """Job j's input copy may not start before job j-3 released its buffer."""
+    sched = schedule_buffers(_uniform_jobs(), n_buffers=3)
+    by_job = {
+        (e.job, e.stage): e for e in sched.events
+    }
+    for j in range(3, 9):
+        assert by_job[(j, "htod")].start >= by_job[(j - 3, "dtoh")].end - 1e-12
+
+
+def test_triple_buffering_hides_transfers():
+    """The Fig 7 effect: with compute the longest stage, the makespan is near
+    the pure compute time, not the serial sum."""
+    jobs = _uniform_jobs(n=12, h=1.0, c=2.0, d=1.0)
+    sched = schedule_buffers(jobs, n_buffers=3)
+    serial = serial_makespan(jobs)
+    assert serial == pytest.approx(48.0)
+    # perfect pipeline: ~ h + 12*c + d = 27
+    assert sched.makespan < 0.6 * serial
+    assert sched.compute_utilisation() > 0.85
+
+
+def test_single_buffer_degenerates_to_serial():
+    jobs = _uniform_jobs(n=6)
+    sched = schedule_buffers(jobs, n_buffers=1)
+    assert sched.makespan == pytest.approx(serial_makespan(jobs))
+
+
+def test_more_buffers_never_slower():
+    jobs = [(0.5, 2.0, 0.7), (1.5, 0.3, 0.2), (0.1, 1.0, 1.0)] * 4
+    times = [schedule_buffers(jobs, n_buffers=b).makespan for b in (1, 2, 3, 4)]
+    for a, b in zip(times, times[1:]):
+        assert b <= a + 1e-12
+
+
+def test_makespan_lower_bound_is_busiest_stream():
+    jobs = [(1.0, 0.1, 0.1)] * 10  # transfer-dominated
+    sched = schedule_buffers(jobs, n_buffers=3)
+    assert sched.makespan >= 10 * 1.0 - 1e-9
+
+
+def test_empty_and_invalid_inputs():
+    assert schedule_buffers([], n_buffers=3).makespan == 0.0
+    with pytest.raises(ValueError):
+        schedule_buffers([(1.0, 1.0, 1.0)], n_buffers=0)
+    with pytest.raises(ValueError):
+        schedule_buffers([(-1.0, 1.0, 1.0)])
+
+
+def test_transfer_times_helper():
+    h, c, d = transfer_times(16.0, bytes_in=16e9, bytes_out=8e9, compute_seconds=3.0)
+    assert h == pytest.approx(1.0)
+    assert c == 3.0
+    assert d == pytest.approx(0.5)
+    # CPU path: no transfers
+    assert transfer_times(0.0, 1e9, 1e9, 2.0) == (0.0, 2.0, 0.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the SIMD channel-alignment model (paper Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.vectorization import (
+    best_simd_width,
+    effective_peak_ops,
+    simd_channel_efficiency,
+    sweep_channel_efficiency,
+)
+
+
+def test_multiple_of_width_is_fully_efficient():
+    assert simd_channel_efficiency(16, 8) == 1.0
+    assert simd_channel_efficiency(8, 8) == 1.0
+    assert simd_channel_efficiency(32, 16) == 1.0
+
+
+def test_remainder_channels_waste_lanes():
+    # 9 channels on 8-wide vectors: 2 iterations, 16 lanes, 9 useful
+    assert simd_channel_efficiency(9, 8) == pytest.approx(9 / 16)
+    # 1 channel on 16-wide: worst case
+    assert simd_channel_efficiency(1, 16) == pytest.approx(1 / 16)
+
+
+def test_efficiency_bounds():
+    for c in range(1, 40):
+        for w in (4, 8, 16):
+            eff = simd_channel_efficiency(c, w)
+            assert 0 < eff <= 1
+
+
+def test_wider_vectors_not_always_better():
+    """The paper's observation: for C = 12, 4-wide vectors beat 8- and
+    16-wide (12 divides by 4 only)."""
+    assert best_simd_width(12) == 4
+    assert best_simd_width(16) == 16
+    # paper's benchmark: C = 16 is a multiple of every width -> widest wins
+    assert simd_channel_efficiency(16, 16) == 1.0
+
+
+def test_effective_peak_scales():
+    assert effective_peak_ops(1e12, 9, 8) == pytest.approx(1e12 * 9 / 16)
+
+
+def test_sweep_shape_and_sawtooth():
+    counts, eff = sweep_channel_efficiency(8)
+    assert counts.shape == eff.shape
+    # efficiency peaks exactly at multiples of the width
+    multiples = counts % 8 == 0
+    assert np.all(eff[multiples] == 1.0)
+    assert np.all(eff[~multiples] < 1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simd_channel_efficiency(0, 8)
+    with pytest.raises(ValueError):
+        simd_channel_efficiency(8, 0)
+    with pytest.raises(ValueError):
+        best_simd_width(0)

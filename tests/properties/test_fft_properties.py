@@ -1,0 +1,61 @@
+"""Property-based tests: centered FFT invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.fft import centered_fft2, centered_ifft2
+
+
+complex_arrays = st.integers(min_value=2, max_value=16).flatmap(
+    lambda n: st.tuples(st.just(n), st.integers(min_value=0, max_value=2**31 - 1))
+)
+
+
+def _random_array(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((2 * n, 2 * n)) + 1j * rng.standard_normal((2 * n, 2 * n))
+
+
+@given(complex_arrays)
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_is_identity(params):
+    n, seed = params
+    a = _random_array(n, seed)
+    np.testing.assert_allclose(centered_ifft2(centered_fft2(a)), a, atol=1e-10)
+
+
+@given(complex_arrays)
+@settings(max_examples=30, deadline=None)
+def test_parseval(params):
+    """||F x||^2 == N^2 ||x||^2 for the unnormalised forward transform."""
+    n, seed = params
+    a = _random_array(n, seed)
+    lhs = (np.abs(centered_fft2(a)) ** 2).sum()
+    rhs = a.size * (np.abs(a) ** 2).sum()
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+
+@given(complex_arrays)
+@settings(max_examples=30, deadline=None)
+def test_linearity(params):
+    n, seed = params
+    a = _random_array(n, seed)
+    b = _random_array(n, seed + 1)
+    np.testing.assert_allclose(
+        centered_fft2(2.0 * a - 1.5j * b),
+        2.0 * centered_fft2(a) - 1.5j * centered_fft2(b),
+        atol=1e-9,
+    )
+
+
+@given(complex_arrays)
+@settings(max_examples=30, deadline=None)
+def test_adjoint_identity(params):
+    """<F x, y> == <x, F^H y> with F^H = N^2 * centered_ifft2."""
+    n, seed = params
+    x = _random_array(n, seed)
+    y = _random_array(n, seed + 7)
+    lhs = np.vdot(centered_fft2(x), y)
+    rhs = np.vdot(x, x.size * centered_ifft2(y))
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9)

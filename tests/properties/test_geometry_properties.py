@@ -1,0 +1,81 @@
+"""Property-based tests: grid geometry and uvw synthesis invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridspec import GridSpec
+from repro.telescope.uvw import enu_to_equatorial, synthesize_uvw
+
+grid_sizes = st.integers(min_value=2, max_value=512).map(lambda n: 2 * n)
+image_sizes = st.floats(min_value=1e-4, max_value=1.5)
+
+
+@given(grid_sizes, image_sizes)
+@settings(max_examples=50, deadline=None)
+def test_uv_pixel_roundtrip_everywhere(grid_size, image_size):
+    gs = GridSpec(grid_size=grid_size, image_size=image_size)
+    rng = np.random.default_rng(grid_size)
+    u = rng.uniform(-gs.max_uv, gs.max_uv, 16)
+    v = rng.uniform(-gs.max_uv, gs.max_uv, 16)
+    pu, pv = gs.uv_to_pixel(u, v)
+    u2, v2 = gs.pixel_to_uv(pu, pv)
+    np.testing.assert_allclose(u2, u, rtol=1e-9, atol=1e-9 * gs.cell_size)
+    np.testing.assert_allclose(v2, v, rtol=1e-9, atol=1e-9 * gs.cell_size)
+
+
+@given(grid_sizes, image_sizes)
+@settings(max_examples=50, deadline=None)
+def test_resolution_relation(grid_size, image_size):
+    """du * dl = 1/G — the relation the centered FFT pair assumes."""
+    gs = GridSpec(grid_size=grid_size, image_size=image_size)
+    assert abs(gs.cell_size * gs.pixel_scale * grid_size - 1.0) < 1e-9
+
+
+@given(
+    st.floats(min_value=-np.pi / 2, max_value=np.pi / 2),
+    st.floats(min_value=-np.pi, max_value=np.pi),
+    st.floats(min_value=-1.4, max_value=1.4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_uvw_norm_invariant(latitude, hour_angle, declination, seed):
+    """The uvw rotation is orthogonal: baseline lengths never change,
+    whatever the pointing."""
+    rng = np.random.default_rng(seed)
+    enu = rng.standard_normal((8, 3)) * 1e4
+    bvec = enu_to_equatorial(enu, latitude)
+    uvw = synthesize_uvw(bvec, np.array([hour_angle]), declination)
+    np.testing.assert_allclose(
+        np.linalg.norm(uvw[:, 0, :], axis=1),
+        np.linalg.norm(enu, axis=1),
+        rtol=1e-9,
+    )
+
+
+@given(
+    st.floats(min_value=-1.4, max_value=1.4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_uvw_antisymmetric_in_baseline(declination, seed):
+    """Swapping a baseline's stations negates its uvw at every hour angle."""
+    rng = np.random.default_rng(seed)
+    bvec = rng.standard_normal((4, 3)) * 5e3
+    ha = np.linspace(-0.5, 0.5, 5)
+    forward = synthesize_uvw(bvec, ha, declination)
+    backward = synthesize_uvw(-bvec, ha, declination)
+    np.testing.assert_allclose(backward, -forward, atol=1e-9)
+
+
+@given(grid_sizes, image_sizes, st.integers(min_value=0, max_value=1000))
+@settings(max_examples=50, deadline=None)
+def test_contains_uv_consistent_with_pixel_bounds(grid_size, image_size, seed):
+    gs = GridSpec(grid_size=grid_size, image_size=image_size)
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(-1.5 * gs.max_uv, 1.5 * gs.max_uv, 32)
+    v = rng.uniform(-1.5 * gs.max_uv, 1.5 * gs.max_uv, 32)
+    inside = gs.contains_uv(u, v)
+    pu, pv = gs.uv_to_pixel(u, v)
+    expected = (pu >= 0) & (pu <= grid_size - 1) & (pv >= 0) & (pv <= grid_size - 1)
+    np.testing.assert_array_equal(inside, expected)

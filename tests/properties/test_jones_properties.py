@@ -1,0 +1,80 @@
+"""Property-based tests: Jones algebra invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.aterms.jones import (
+    apply_adjoint_sandwich,
+    apply_sandwich,
+    frobenius_norm,
+    hermitian,
+    identity_jones,
+    jones_inverse,
+    jones_multiply,
+)
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False)
+jones_matrix = hnp.arrays(
+    np.complex128, (2, 2),
+    elements=st.builds(complex, finite, finite),
+)
+
+
+@given(jones_matrix, jones_matrix, jones_matrix)
+@settings(max_examples=50, deadline=None)
+def test_multiply_associative(a, b, c):
+    np.testing.assert_allclose(
+        jones_multiply(jones_multiply(a, b), c),
+        jones_multiply(a, jones_multiply(b, c)),
+        atol=1e-8,
+    )
+
+
+@given(jones_matrix)
+@settings(max_examples=50, deadline=None)
+def test_identity_neutral(a):
+    eye = identity_jones()
+    np.testing.assert_allclose(jones_multiply(eye, a), a)
+    np.testing.assert_allclose(jones_multiply(a, eye), a)
+
+
+@given(jones_matrix)
+@settings(max_examples=50, deadline=None)
+def test_hermitian_involution(a):
+    np.testing.assert_allclose(hermitian(hermitian(a)), a)
+
+
+@given(jones_matrix)
+@settings(max_examples=50, deadline=None)
+def test_inverse_roundtrip(a):
+    det = a[0, 0] * a[1, 1] - a[0, 1] * a[1, 0]
+    assume(abs(det) > 1e-6)
+    np.testing.assert_allclose(
+        jones_multiply(a, jones_inverse(a)), np.eye(2), atol=1e-6
+    )
+
+
+@given(jones_matrix, jones_matrix, jones_matrix, jones_matrix)
+@settings(max_examples=50, deadline=None)
+def test_sandwich_adjoint_pair(a_p, a_q, x, y):
+    """<A_p X A_q^H, Y> == <X, A_p^H Y A_q>: gridding is degridding's
+    adjoint at the Jones level."""
+    lhs = np.vdot(apply_sandwich(a_p, x, a_q), y)
+    rhs = np.vdot(x, apply_adjoint_sandwich(a_p, y, a_q))
+    np.testing.assert_allclose(lhs, rhs, atol=1e-6 * (1 + abs(lhs)))
+
+
+@given(jones_matrix)
+@settings(max_examples=50, deadline=None)
+def test_hermitian_preserves_norm(a):
+    np.testing.assert_allclose(frobenius_norm(a), frobenius_norm(hermitian(a)))
+
+
+@given(jones_matrix, jones_matrix)
+@settings(max_examples=50, deadline=None)
+def test_norm_submultiplicative(a, b):
+    assert frobenius_norm(jones_multiply(a, b)) <= (
+        frobenius_norm(a) * frobenius_norm(b) + 1e-9
+    )

@@ -1,0 +1,70 @@
+"""Property-based tests: W-stacking layer partition invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import Plan
+from repro.core.wstack import item_mean_w, split_plan_by_w
+from repro.telescope.array import StationArray
+from repro.telescope.layouts import random_disc_layout
+from repro.telescope.observation import Observation
+
+
+def _plan_for(seed: int, n_stations: int, n_times: int):
+    array = StationArray(positions_enu=random_disc_layout(n_stations, 3000.0, seed=seed))
+    obs = Observation(
+        array=array, n_times=n_times, integration_time_s=120.0,
+        frequencies_hz=140e6 + 1e6 * np.arange(3),
+    )
+    gridspec = obs.fitting_gridspec(128)
+    plan = Plan.create(
+        obs.uvw_m, obs.frequencies_hz, array.baselines(), gridspec,
+        subgrid_size=16, kernel_support=4, time_max=8,
+    )
+    return plan, obs
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n_stations=st.integers(min_value=3, max_value=7),
+    n_times=st.integers(min_value=4, max_value=20),
+    n_planes=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=20, deadline=None)
+def test_layers_partition_items_for_any_plan(seed, n_stations, n_times, n_planes):
+    plan, obs = _plan_for(seed, n_stations, n_times)
+    layers = split_plan_by_w(plan, obs.uvw_m, n_planes)
+    # partition: every item in exactly one layer
+    assert sum(layer.plan.n_subgrids for layer in layers) == plan.n_subgrids
+    assert 1 <= len(layers) <= n_planes
+    # layer w offsets are distinct and sorted-compatible with centres
+    centres = [layer.w_centre for layer in layers]
+    assert len(set(centres)) == len(centres)
+    # every item is assigned to its nearest centre
+    all_centres = np.array(centres)
+    for layer in layers:
+        w_items = item_mean_w(layer.plan, obs.uvw_m)
+        for w in w_items:
+            nearest = np.abs(w - all_centres).min()
+            assert abs(w - layer.w_centre) <= nearest + 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n_planes=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_layer_residual_w_shrinks_with_planes(seed, n_planes):
+    """The per-layer residual |w - w_centre| is bounded by half the layer
+    spacing — the quantity that controls W-stacking accuracy."""
+    plan, obs = _plan_for(seed, 6, 12)
+    layers = split_plan_by_w(plan, obs.uvw_m, n_planes)
+    w_all = item_mean_w(plan, obs.uvw_m)
+    w_range = w_all.max() - w_all.min()
+    if n_planes == 1 or w_range == 0:
+        return
+    spacing = w_range / (n_planes - 1)
+    for layer in layers:
+        residual = np.abs(item_mean_w(layer.plan, obs.uvw_m) - layer.w_centre)
+        assert residual.max() <= spacing / 2 + 1e-6

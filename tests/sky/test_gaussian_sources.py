@@ -1,0 +1,122 @@
+"""Tests for extended (Gaussian) sources in the sky model and oracle."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.kernels.wkernel import n_term
+from repro.sky.model import GaussianSource, PointSource, SkyModel
+from repro.sky.simulate import predict_baseline, predict_visibilities
+
+
+def test_gaussian_source_validation():
+    with pytest.raises(ValueError):
+        GaussianSource(0.0, 0.0, sigma=0.0, brightness=np.eye(2))
+    with pytest.raises(ValueError):
+        GaussianSource(0.9, 0.9, sigma=0.01, brightness=np.eye(2))
+
+
+def test_sky_model_sigma_defaults_to_point():
+    sky = SkyModel.single(0.01, 0.0)
+    assert not sky.has_extended_sources
+    np.testing.assert_array_equal(sky.sigma, [0.0])
+
+
+def test_sky_model_sigma_validation():
+    with pytest.raises(ValueError):
+        SkyModel(l=[0.0], m=[0.0], brightness=np.eye(2),
+                 sigma=np.array([-0.1]))
+    with pytest.raises(ValueError):
+        SkyModel(l=[0.0, 0.01], m=[0.0, 0.0],
+                 brightness=np.stack([np.eye(2)] * 2), sigma=np.array([0.1]))
+
+
+def test_from_sources_mixed_types():
+    sky = SkyModel.from_sources([
+        PointSource(0.01, 0.0, np.eye(2)),
+        GaussianSource(-0.01, 0.005, 0.002, 2.0 * np.eye(2)),
+    ])
+    assert sky.has_extended_sources
+    back = list(sky)
+    assert isinstance(back[0], PointSource)
+    assert isinstance(back[1], GaussianSource)
+    assert back[1].sigma == 0.002
+
+
+def test_oracle_matches_analytic_gaussian_visibility():
+    l0, m0, sigma, flux = 0.01, -0.005, 0.002, 3.0
+    sky = SkyModel.single_gaussian(l0, m0, sigma, flux=flux)
+    uvw = np.array([[100.0, -50.0, 10.0]])
+    freq = np.array([SPEED_OF_LIGHT])  # 1 m = 1 wavelength
+    vis = predict_baseline(uvw, freq, sky)[0, 0, 0, 0]
+    n0 = n_term(l0, m0)
+    expected = (
+        flux
+        * np.exp(-2 * np.pi**2 * sigma**2 * (100.0**2 + 50.0**2))
+        * np.exp(-2j * np.pi * (100.0 * l0 - 50.0 * m0 + 10.0 * n0))
+    )
+    assert vis == pytest.approx(expected, rel=1e-5)
+
+
+def test_zero_baseline_sees_total_flux():
+    sky = SkyModel.single_gaussian(0.01, 0.02, 0.003, flux=7.0)
+    vis = predict_baseline(np.zeros((1, 3)), np.array([150e6]), sky)
+    assert vis[0, 0, 0, 0] == pytest.approx(7.0, rel=1e-5)
+
+
+def test_long_baselines_resolve_the_source():
+    """Visibility amplitude decays with baseline length — the source is
+    resolved out, unlike a point source."""
+    sigma = 0.003
+    gauss = SkyModel.single_gaussian(0.0, 0.0, sigma, flux=1.0)
+    point = SkyModel.single(0.0, 0.0, flux=1.0)
+    freq = np.array([SPEED_OF_LIGHT])
+    lengths = np.array([10.0, 50.0, 100.0, 200.0])
+    uvw = np.zeros((4, 3))
+    uvw[:, 0] = lengths
+    amp_gauss = np.abs(predict_baseline(uvw, freq, gauss)[:, 0, 0, 0])
+    amp_point = np.abs(predict_baseline(uvw, freq, point)[:, 0, 0, 0])
+    np.testing.assert_allclose(amp_point, 1.0, rtol=1e-5)
+    assert np.all(np.diff(amp_gauss) < 0)
+    assert amp_gauss[-1] < 0.1
+
+
+def test_idg_images_resolved_source(small_obs, small_baselines, small_gridspec,
+                                    small_idg):
+    """IDG imaging of a Gaussian source: peak lower than total flux, flux
+    spread over ~the source area, integrated flux preserved."""
+    from repro.imaging.image import dirty_image_from_grid, stokes_i_image
+
+    gs = small_gridspec
+    dl = gs.pixel_scale
+    sigma = 3.0 * dl  # resolved: 3 image pixels
+    l0 = round(0.1 * gs.image_size / dl) * dl
+    m0 = round(0.05 * gs.image_size / dl) * dl
+    sky = SkyModel.single_gaussian(l0, m0, sigma, flux=4.0)
+    vis = predict_visibilities(small_obs.uvw_m, small_obs.frequencies_hz, sky,
+                               baselines=small_baselines)
+    plan = small_idg.make_plan(small_obs.uvw_m, small_obs.frequencies_hz,
+                               small_baselines)
+    grid = small_idg.grid(plan, small_obs.uvw_m, vis)
+    image = stokes_i_image(dirty_image_from_grid(
+        grid, gs, weight_sum=plan.statistics.n_visibilities_gridded
+    ))
+    g = gs.grid_size
+    row, col = round(m0 / dl) + g // 2, round(l0 / dl) + g // 2
+    peak = image[row, col]
+    assert 0 < peak < 4.0  # resolved: peak (Jy/beam) below total flux
+    # integrated flux over a generous box ~ total flux (dirty-beam sidelobe
+    # leakage keeps this loose)
+    box = image[row - 12 : row + 13, col - 12 : col + 13].sum()
+    # compare against the same box for an equal-flux point source
+    point_vis = predict_visibilities(
+        small_obs.uvw_m, small_obs.frequencies_hz,
+        SkyModel.single(l0, m0, flux=4.0), baselines=small_baselines,
+    )
+    point_grid = small_idg.grid(plan, small_obs.uvw_m, point_vis)
+    point_image = stokes_i_image(dirty_image_from_grid(
+        point_grid, gs, weight_sum=plan.statistics.n_visibilities_gridded
+    ))
+    point_box = point_image[row - 12 : row + 13, col - 12 : col + 13].sum()
+    assert box == pytest.approx(point_box, rel=0.1)
+    assert peak < point_image[row, col]

@@ -1,0 +1,106 @@
+"""Unit tests for sky models."""
+
+import numpy as np
+import pytest
+
+from repro.sky.model import (
+    PointSource,
+    SkyModel,
+    brightness_from_stokes,
+    brightness_unpolarized_unit,
+)
+
+
+def test_brightness_from_stokes_unpolarized():
+    b = brightness_from_stokes(2.0)
+    np.testing.assert_allclose(b, np.diag([1.0, 1.0]))
+
+
+def test_brightness_from_stokes_hermitian():
+    b = brightness_from_stokes(1.0, 0.2, 0.1, 0.05)
+    np.testing.assert_allclose(b, b.conj().T)
+
+
+def test_brightness_from_stokes_recovers_stokes():
+    i, q, u, v = 2.0, 0.3, -0.2, 0.1
+    b = brightness_from_stokes(i, q, u, v)
+    assert (b[0, 0] + b[1, 1]).real == pytest.approx(i)
+    assert (b[0, 0] - b[1, 1]).real == pytest.approx(q)
+    assert (b[0, 1] + b[1, 0]).real == pytest.approx(u)
+    assert ((b[0, 1] - b[1, 0]) / 1j).real == pytest.approx(v)
+
+
+def test_point_source_validation():
+    with pytest.raises(ValueError):
+        PointSource(0.8, 0.8, brightness_unpolarized_unit())
+    with pytest.raises(ValueError):
+        PointSource(0.0, 0.0, np.eye(3))
+
+
+def test_sky_model_single():
+    sky = SkyModel.single(0.01, -0.02, flux=3.0)
+    assert sky.n_sources == 1
+    assert sky.total_flux_xx() == pytest.approx(3.0)
+
+
+def test_sky_model_from_sources_roundtrip():
+    sources = [
+        PointSource(0.01, 0.0, brightness_unpolarized_unit(1.0)),
+        PointSource(-0.02, 0.015, brightness_from_stokes(2.0, 0.1)),
+    ]
+    sky = SkyModel.from_sources(sources)
+    assert sky.n_sources == 2
+    back = list(sky)
+    assert back[1].l == pytest.approx(-0.02)
+    np.testing.assert_allclose(back[1].brightness, sources[1].brightness)
+
+
+def test_sky_model_from_sources_empty():
+    with pytest.raises(ValueError):
+        SkyModel.from_sources([])
+
+
+def test_sky_model_shape_validation():
+    with pytest.raises(ValueError):
+        SkyModel(l=np.array([0.0, 0.1]), m=np.array([0.0]), brightness=np.zeros((2, 2, 2)))
+    with pytest.raises(ValueError):
+        SkyModel(l=np.array([0.0]), m=np.array([0.0]), brightness=np.zeros((3, 2, 2)))
+
+
+def test_sky_model_rejects_horizon_sources():
+    with pytest.raises(ValueError):
+        SkyModel(l=np.array([0.9]), m=np.array([0.9]), brightness=np.zeros((1, 2, 2)))
+
+
+def test_to_image_places_flux_at_nearest_pixel():
+    sky = SkyModel.single(0.0, 0.0, flux=2.5)
+    img = sky.to_image(64, 0.05)
+    assert img.shape == (4, 64, 64)
+    assert img[0, 32, 32] == pytest.approx(2.5)
+    assert img[3, 32, 32] == pytest.approx(2.5)
+    assert img[1].sum() == 0  # XY empty for unpolarised
+
+
+def test_to_image_offcentre_position():
+    image_size, n = 0.064, 64
+    dl = image_size / n
+    sky = SkyModel.single(3 * dl, -5 * dl, flux=1.0)
+    img = sky.to_image(n, image_size)
+    assert img[0, 32 - 5, 32 + 3] == pytest.approx(1.0)
+
+
+def test_to_image_accumulates_coincident_sources():
+    dl = 0.05 / 64
+    sky = SkyModel(
+        l=np.array([0.0, 0.2 * dl]),  # both round to the same pixel
+        m=np.array([0.0, 0.0]),
+        brightness=np.stack([np.eye(2), np.eye(2)]).astype(complex),
+    )
+    img = sky.to_image(64, 0.05)
+    assert img[0, 32, 32] == pytest.approx(2.0)
+
+
+def test_to_image_rejects_out_of_field():
+    sky = SkyModel.single(0.2, 0.0, flux=1.0)
+    with pytest.raises(ValueError):
+        sky.to_image(64, 0.05)

@@ -1,0 +1,160 @@
+"""Unit tests for the direct measurement-equation predictor (the oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.aterms.generators import GaussianBeamATerm, IdentityATerm, IonosphereATerm
+from repro.aterms.jones import apply_sandwich
+from repro.aterms.schedule import ATermSchedule
+from repro.constants import SPEED_OF_LIGHT
+from repro.sky.model import SkyModel
+from repro.sky.simulate import predict_baseline, predict_visibilities
+
+
+def test_single_visibility_analytic():
+    """One source, one baseline, one channel: match the formula by hand."""
+    l0, m0, flux = 0.01, -0.02, 3.0
+    freq = 150e6
+    uvw_m = np.array([[500.0, -300.0, 120.0]])
+    sky = SkyModel.single(l0, m0, flux=flux)
+    vis = predict_baseline(uvw_m, np.array([freq]), sky)
+    n0 = 1.0 - np.sqrt(1 - l0 * l0 - m0 * m0)
+    u, v, w = uvw_m[0] * freq / SPEED_OF_LIGHT
+    expected = flux * np.exp(-2j * np.pi * (u * l0 + v * m0 + w * n0))
+    assert vis.shape == (1, 1, 2, 2)
+    assert vis[0, 0, 0, 0] == pytest.approx(expected, rel=1e-5)
+    assert vis[0, 0, 1, 1] == pytest.approx(expected, rel=1e-5)
+    assert vis[0, 0, 0, 1] == 0
+
+
+def test_source_at_phase_centre_gives_constant_visibility():
+    sky = SkyModel.single(0.0, 0.0, flux=1.5)
+    rng = np.random.default_rng(0)
+    uvw_m = rng.standard_normal((16, 3)) * 1000
+    vis = predict_baseline(uvw_m, np.array([100e6, 200e6]), sky)
+    np.testing.assert_allclose(vis[..., 0, 0], 1.5, atol=1e-5)
+
+
+def test_conjugate_symmetry_for_real_sky():
+    """V(-u, -v, -w) = conj(V(u, v, w)) for Hermitian brightness."""
+    sky = SkyModel.single(0.02, 0.01, flux=2.0)
+    uvw_m = np.array([[700.0, 200.0, -50.0]])
+    freqs = np.array([150e6])
+    v_pos = predict_baseline(uvw_m, freqs, sky)
+    v_neg = predict_baseline(-uvw_m, freqs, sky)
+    np.testing.assert_allclose(v_neg, np.conj(v_pos), rtol=1e-5)
+
+
+def test_superposition_over_sources():
+    freqs = np.array([150e6])
+    uvw_m = np.random.default_rng(1).standard_normal((8, 3)) * 800
+    s1 = SkyModel.single(0.01, 0.0, flux=1.0)
+    s2 = SkyModel.single(-0.005, 0.02, flux=2.0)
+    both = SkyModel(
+        l=np.concatenate([s1.l, s2.l]),
+        m=np.concatenate([s1.m, s2.m]),
+        brightness=np.concatenate([s1.brightness, s2.brightness]),
+    )
+    np.testing.assert_allclose(
+        predict_baseline(uvw_m, freqs, both),
+        predict_baseline(uvw_m, freqs, s1) + predict_baseline(uvw_m, freqs, s2),
+        atol=1e-4,
+    )
+
+
+def test_time_chunking_invariance():
+    sky = SkyModel.single(0.01, 0.005, flux=1.0)
+    uvw_m = np.random.default_rng(2).standard_normal((50, 3)) * 500
+    freqs = np.array([120e6, 180e6])
+    a = predict_baseline(uvw_m, freqs, sky, time_chunk=7)
+    b = predict_baseline(uvw_m, freqs, sky, time_chunk=50)
+    np.testing.assert_allclose(a, b, atol=1e-6)
+
+
+def test_predict_visibilities_shape(small_obs, small_baselines, single_source_sky):
+    vis = predict_visibilities(
+        small_obs.uvw_m, small_obs.frequencies_hz, single_source_sky,
+        baselines=small_baselines,
+    )
+    assert vis.shape == (
+        small_obs.n_baselines, small_obs.n_times, small_obs.n_channels, 2, 2
+    )
+    assert vis.dtype == np.complex64
+
+
+def test_identity_aterms_match_no_aterms(small_obs, small_baselines, single_source_sky):
+    plain = predict_visibilities(
+        small_obs.uvw_m[:4], small_obs.frequencies_hz, single_source_sky,
+        baselines=small_baselines[:4],
+    )
+    ident = predict_visibilities(
+        small_obs.uvw_m[:4], small_obs.frequencies_hz, single_source_sky,
+        baselines=small_baselines[:4], aterms=IdentityATerm(),
+    )
+    np.testing.assert_array_equal(plain, ident)
+
+
+def test_aterms_required_baselines():
+    sky = SkyModel.single(0.01, 0.0)
+    uvw = np.zeros((2, 3, 3))
+    with pytest.raises(ValueError):
+        predict_visibilities(
+            uvw, np.array([1e8]), sky,
+            aterms=GaussianBeamATerm(fwhm=0.1, gain_drift_rms=0.1),
+        )
+
+
+def test_aterm_corruption_matches_manual_sandwich():
+    """With a beam A-term, the predicted visibility must equal the manual
+    A_p B A_q^H corruption followed by the plain phase sum."""
+    beam = GaussianBeamATerm(fwhm=0.05, gain_drift_rms=0.2, seed=5)
+    sky = SkyModel.single(0.012, -0.008, flux=2.0)
+    uvw_m = np.array([[[300.0, 100.0, 20.0], [310.0, 90.0, 22.0]]])  # 1 baseline, 2 t
+    freqs = np.array([150e6])
+    baselines = np.array([[3, 7]])
+    vis = predict_visibilities(
+        uvw_m, freqs, sky, baselines=baselines, aterms=beam,
+        schedule=ATermSchedule(0),
+    )
+    a_p = beam.evaluate(3, 0, sky.l, sky.m)
+    a_q = beam.evaluate(7, 0, sky.l, sky.m)
+    corrupted = apply_sandwich(a_p, sky.brightness, a_q)
+    expected = predict_baseline(uvw_m[0], freqs, sky, corrupted_brightness=corrupted)
+    np.testing.assert_allclose(vis[0], expected, atol=1e-5)
+
+
+def test_aterm_schedule_changes_between_intervals():
+    """With a drifting beam and a 2-step schedule, visibilities in different
+    intervals see different gains."""
+    beam = GaussianBeamATerm(fwhm=0.05, gain_drift_rms=0.3, seed=6)
+    sky = SkyModel.single(0.0, 0.0, flux=1.0)  # phase centre: pure gain effect
+    uvw_m = np.zeros((1, 4, 3))
+    freqs = np.array([150e6])
+    vis = predict_visibilities(
+        uvw_m, freqs, sky, baselines=np.array([[0, 1]]), aterms=beam,
+        schedule=ATermSchedule(2),
+    )
+    xx = vis[0, :, 0, 0, 0]
+    assert xx[0] == pytest.approx(xx[1])  # same interval
+    assert abs(xx[0] - xx[2]) > 1e-6  # interval boundary at t=2
+
+
+def test_ionosphere_aterm_pure_phase_preserves_amplitude():
+    iono = IonosphereATerm(rms_rad=1.0, field_of_view=0.1, seed=7)
+    sky = SkyModel.single(0.01, 0.01, flux=2.0)
+    uvw_m = np.zeros((1, 1, 3))
+    vis = predict_visibilities(
+        uvw_m, np.array([150e6]), sky, baselines=np.array([[0, 1]]), aterms=iono
+    )
+    assert abs(vis[0, 0, 0, 0, 0]) == pytest.approx(2.0, rel=1e-5)
+
+
+def test_shape_validation():
+    sky = SkyModel.single(0.0, 0.0)
+    with pytest.raises(ValueError):
+        predict_visibilities(np.zeros((2, 3)), np.array([1e8]), sky)
+    with pytest.raises(ValueError):
+        predict_baseline(
+            np.zeros((3, 3)), np.array([1e8]), sky,
+            corrupted_brightness=np.zeros((2, 2, 2)),
+        )

@@ -1,0 +1,56 @@
+"""Unit tests for source-catalogue generators."""
+
+import numpy as np
+import pytest
+
+from repro.sky.sources import grid_test_sky, random_sky
+
+
+def test_random_sky_counts_and_bounds():
+    sky = random_sky(50, image_size=0.1, fill_factor=0.5, seed=0)
+    assert sky.n_sources == 50
+    r = np.hypot(sky.l, sky.m)
+    assert r.max() <= 0.5 * 0.1 * 0.5 + 1e-12
+
+
+def test_random_sky_flux_range():
+    sky = random_sky(200, image_size=0.1, flux_range=(0.5, 2.0), seed=1)
+    flux = sky.brightness[:, 0, 0].real
+    assert flux.min() >= 0.5 - 1e-9
+    assert flux.max() <= 2.0 + 1e-9
+
+
+def test_random_sky_deterministic():
+    a = random_sky(10, 0.1, seed=42)
+    b = random_sky(10, 0.1, seed=42)
+    np.testing.assert_array_equal(a.l, b.l)
+    np.testing.assert_array_equal(a.brightness, b.brightness)
+
+
+def test_random_sky_polarized_fraction():
+    unpol = random_sky(50, 0.1, polarized_fraction=0.0, seed=2)
+    pol = random_sky(50, 0.1, polarized_fraction=1.0, seed=2)
+    # unpolarised: XX == YY everywhere; polarised: they differ for most sources
+    assert np.allclose(unpol.brightness[:, 0, 0], unpol.brightness[:, 1, 1])
+    diff = np.abs(pol.brightness[:, 0, 0] - pol.brightness[:, 1, 1])
+    assert (diff > 1e-12).sum() > 25
+
+
+def test_random_sky_validation():
+    with pytest.raises(ValueError):
+        random_sky(0, 0.1)
+    with pytest.raises(ValueError):
+        random_sky(5, 0.1, fill_factor=0.0)
+
+
+def test_grid_test_sky_lattice():
+    sky = grid_test_sky(image_size=0.1, n_per_side=3)
+    assert sky.n_sources == 9
+    # lattice is symmetric about the origin
+    assert sorted(np.round(sky.l, 12)) == sorted(np.round(-sky.l, 12))
+    assert 0.0 in np.round(sky.l, 12)
+
+
+def test_grid_test_sky_validation():
+    with pytest.raises(ValueError):
+        grid_test_sky(0.1, n_per_side=0)

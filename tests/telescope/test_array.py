@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.telescope.array`."""
+
+import numpy as np
+import pytest
+
+from repro.telescope.array import StationArray, baseline_pairs
+from repro.telescope.layouts import random_disc_layout
+
+
+def test_baseline_pairs_count():
+    pairs = baseline_pairs(150)
+    assert pairs.shape == (11_175, 2)  # the paper's benchmark count
+
+
+def test_baseline_pairs_ordering_and_uniqueness():
+    pairs = baseline_pairs(10)
+    assert np.all(pairs[:, 0] < pairs[:, 1])
+    assert len(np.unique(pairs, axis=0)) == len(pairs)
+
+
+def test_baseline_pairs_rejects_single_station():
+    with pytest.raises(ValueError):
+        baseline_pairs(1)
+
+
+@pytest.fixture
+def array():
+    return StationArray(positions_enu=random_disc_layout(8, seed=0), name="test")
+
+
+def test_station_array_counts(array):
+    assert array.n_stations == 8
+    assert array.n_baselines == 28
+
+
+def test_baseline_vectors_antisymmetry_convention(array):
+    """Vector of (p, q) is pos[q] - pos[p]."""
+    pairs = array.baselines()
+    vecs = array.baseline_vectors_enu()
+    k = 5
+    p, q = pairs[k]
+    np.testing.assert_allclose(
+        vecs[k], array.positions_enu[q] - array.positions_enu[p]
+    )
+
+
+def test_max_baseline_positive(array):
+    assert array.max_baseline_m() > 0
+
+
+def test_station_array_validation():
+    with pytest.raises(ValueError):
+        StationArray(positions_enu=np.zeros((5, 2)))
+    with pytest.raises(ValueError):
+        StationArray(positions_enu=np.zeros((1, 3)))
+    with pytest.raises(ValueError):
+        StationArray(positions_enu=np.zeros((5, 3)), latitude_rad=2.0)

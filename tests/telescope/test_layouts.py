@@ -1,0 +1,75 @@
+"""Unit tests for station layout generators."""
+
+import numpy as np
+import pytest
+
+from repro.telescope.layouts import (
+    lofar_like_layout,
+    random_disc_layout,
+    ska1_low_like_layout,
+    vla_like_layout,
+)
+
+
+def test_ska1_low_station_count_and_shape():
+    pos = ska1_low_like_layout(n_stations=150)
+    assert pos.shape == (150, 3)
+    assert np.all(pos[:, 2] == 0.0)  # coplanar ENU
+
+
+def test_ska1_low_deterministic_per_seed():
+    a = ska1_low_like_layout(n_stations=60, seed=7)
+    b = ska1_low_like_layout(n_stations=60, seed=7)
+    np.testing.assert_array_equal(a, b)
+    c = ska1_low_like_layout(n_stations=60, seed=8)
+    assert np.abs(a - c).max() > 0
+
+
+def test_ska1_low_core_and_arms_structure():
+    """Roughly half the stations must sit in the dense core; arm stations
+    must reach close to the maximum radius."""
+    pos = ska1_low_like_layout(n_stations=150, core_radius_m=500.0, max_radius_m=40_000.0)
+    r = np.hypot(pos[:, 0], pos[:, 1])
+    n_core = (r < 3 * 500.0).sum()
+    assert 0.4 * 150 <= n_core <= 0.7 * 150
+    assert r.max() > 0.8 * 40_000.0
+    assert r.max() < 1.5 * 40_000.0
+
+
+def test_ska1_low_rejects_too_few():
+    with pytest.raises(ValueError):
+        ska1_low_like_layout(n_stations=1)
+
+
+def test_lofar_like_radius_spread():
+    pos = lofar_like_layout(n_stations=48, max_radius_m=80_000.0, seed=0)
+    r = np.hypot(pos[:, 0], pos[:, 1])
+    assert pos.shape == (48, 3)
+    assert r.max() < 1.2 * 80_000.0
+    # core exists: many stations within a few km
+    assert (r < 5_000.0).sum() >= 24
+
+
+def test_vla_like_three_arms():
+    pos = vla_like_layout(n_stations=27)
+    assert pos.shape == (27, 3)
+    angles = np.arctan2(pos[:, 1], pos[:, 0])
+    # three distinct arm azimuths ~120 degrees apart
+    hist, _ = np.histogram(np.mod(angles, 2 * np.pi), bins=12)
+    assert (hist > 0).sum() <= 5  # stations cluster in few azimuth bins
+
+
+def test_vla_power_law_spacing():
+    pos = vla_like_layout(n_stations=27)
+    r = np.sort(np.hypot(pos[:, 0], pos[:, 1]))
+    # outermost gaps far exceed innermost gaps (power-law stretch)
+    inner_gap = np.diff(r[:5]).mean()
+    outer_gap = np.diff(r[-5:]).mean()
+    assert outer_gap > 3 * inner_gap
+
+
+def test_random_disc_inside_radius():
+    pos = random_disc_layout(n_stations=100, radius_m=5000.0, seed=3)
+    r = np.hypot(pos[:, 0], pos[:, 1])
+    assert pos.shape == (100, 3)
+    assert r.max() <= 5000.0 + 1e-9

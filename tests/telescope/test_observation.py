@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.telescope.observation`."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.telescope.observation import (
+    Observation,
+    ska1_low_observation,
+    subband_frequencies,
+)
+from repro.telescope.array import StationArray
+from repro.telescope.layouts import random_disc_layout
+
+
+def test_subband_frequencies_defaults():
+    f = subband_frequencies()
+    assert f.shape == (16,)
+    assert f[0] == pytest.approx(150e6)
+    np.testing.assert_allclose(np.diff(f), 200e3)
+
+
+def test_subband_frequencies_validation():
+    with pytest.raises(ValueError):
+        subband_frequencies(n_channels=0)
+
+
+def test_ska1_low_defaults_match_paper():
+    obs = ska1_low_observation()  # full-size config object (lazy uvw)
+    assert obs.array.n_stations == 150
+    assert obs.n_baselines == 11_175
+    assert obs.n_times == 8192
+    assert obs.n_channels == 16
+    assert obs.integration_time_s == 1.0
+    assert obs.n_visibilities == 11_175 * 8192 * 16
+
+
+def test_uvw_shape_and_caching(small_obs):
+    uvw = small_obs.uvw_m
+    assert uvw.shape == (small_obs.n_baselines, small_obs.n_times, 3)
+    assert small_obs.uvw_m is uvw  # cached_property
+
+
+def test_uvw_wavelengths_scaling(small_obs):
+    wl0 = small_obs.uvw_wavelengths(0)
+    c_last = small_obs.n_channels - 1
+    wl1 = small_obs.uvw_wavelengths(c_last)
+    ratio = small_obs.frequencies_hz[c_last] / small_obs.frequencies_hz[0]
+    np.testing.assert_allclose(wl1, wl0 * ratio, rtol=1e-12)
+    np.testing.assert_allclose(
+        wl0, small_obs.uvw_m * small_obs.frequencies_hz[0] / SPEED_OF_LIGHT
+    )
+
+
+def test_max_uv_bounds_actual_coordinates(small_obs):
+    max_uv = small_obs.max_uv_wavelengths()
+    wl = small_obs.uvw_wavelengths(small_obs.n_channels - 1)
+    assert np.sqrt((wl[:, :, :2] ** 2).sum(axis=2)).max() <= max_uv + 1e-9
+
+
+def test_fitting_gridspec_contains_all_uv(small_obs):
+    gs = small_obs.fitting_gridspec(256)
+    for c in range(small_obs.n_channels):
+        wl = small_obs.uvw_wavelengths(c)
+        inside = gs.contains_uv(wl[:, :, 0].ravel(), wl[:, :, 1].ravel())
+        assert inside.all()
+
+
+def test_fitting_gridspec_fill_factor(small_obs):
+    tight = small_obs.fitting_gridspec(256, fill_factor=0.99)
+    loose = small_obs.fitting_gridspec(256, fill_factor=0.5)
+    # looser fill -> smaller image -> larger uv cell -> more headroom
+    assert loose.image_size < tight.image_size
+
+
+def test_observation_validation():
+    array = StationArray(positions_enu=random_disc_layout(4, seed=0))
+    with pytest.raises(ValueError):
+        Observation(array=array, n_times=0, integration_time_s=1.0, frequencies_hz=[1e8])
+    with pytest.raises(ValueError):
+        Observation(array=array, n_times=4, integration_time_s=0.0, frequencies_hz=[1e8])
+    with pytest.raises(ValueError):
+        Observation(array=array, n_times=4, integration_time_s=1.0, frequencies_hz=[])
+    with pytest.raises(ValueError):
+        Observation(array=array, n_times=4, integration_time_s=1.0, frequencies_hz=[-1.0])
+
+
+def test_uvw_tracks_move_with_time(small_obs):
+    """Earth rotation: consecutive timesteps give different uv points."""
+    uvw = small_obs.uvw_m
+    step = np.abs(np.diff(uvw[:, :, :2], axis=1))
+    assert step.max() > 0

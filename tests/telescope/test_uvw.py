@@ -1,0 +1,100 @@
+"""Unit tests for the earth-rotation uvw synthesiser."""
+
+import numpy as np
+import pytest
+
+from repro.telescope.uvw import (
+    EARTH_ROTATION_RATE,
+    enu_to_equatorial,
+    hour_angle_range,
+    synthesize_uvw,
+    uvw_rotation_matrix,
+)
+
+
+def test_rotation_matrix_is_orthonormal():
+    rot = uvw_rotation_matrix(0.3, -0.7)
+    np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+    assert np.linalg.det(rot) == pytest.approx(1.0)
+
+
+def test_uvw_preserves_baseline_length():
+    rng = np.random.default_rng(0)
+    bvec = rng.standard_normal((10, 3)) * 1000
+    uvw = synthesize_uvw(bvec, np.linspace(-0.5, 0.5, 7), declination_rad=-0.6)
+    lengths = np.linalg.norm(bvec, axis=1)
+    for t in range(7):
+        np.testing.assert_allclose(np.linalg.norm(uvw[:, t, :], axis=1), lengths, rtol=1e-12)
+
+
+def test_east_west_baseline_at_zero_hour_angle():
+    """A purely east baseline observed at hour angle 0 has u = East length."""
+    enu = np.array([[1000.0, 0.0, 0.0]])
+    bvec = enu_to_equatorial(enu, latitude_rad=-0.5)
+    uvw = synthesize_uvw(bvec, np.array([0.0]), declination_rad=0.0)
+    assert uvw[0, 0, 0] == pytest.approx(1000.0)  # u = east
+    assert uvw[0, 0, 2] == pytest.approx(0.0, abs=1e-9)  # w = 0 toward equator at HA 0
+
+
+def test_pole_observation_no_w_variation():
+    """Looking at the celestial pole (dec = +-90 deg), w is constant in time."""
+    rng = np.random.default_rng(1)
+    bvec = rng.standard_normal((5, 3)) * 500
+    uvw = synthesize_uvw(bvec, np.linspace(0, 1, 9), declination_rad=np.pi / 2)
+    w = uvw[:, :, 2]
+    np.testing.assert_allclose(w, np.broadcast_to(w[:, :1], w.shape), atol=1e-9)
+
+
+def test_tracks_are_elliptical():
+    """Over a full sidereal rotation a baseline's (u, v) track is an ellipse:
+    u^2 / a^2 + (v - v0)^2 / b^2 = 1 with b = a sin(dec)."""
+    bvec = enu_to_equatorial(np.array([[2000.0, 500.0, 0.0]]), latitude_rad=-0.4)
+    dec = -0.8
+    ha = np.linspace(0, 2 * np.pi, 360)
+    uvw = synthesize_uvw(bvec, ha, declination_rad=dec)
+    u, v = uvw[0, :, 0], uvw[0, :, 1]
+    # fit: for the standard transform, u^2 + ((v - Z cos)/sin)^2 = X^2+Y^2
+    x, y, z = bvec[0]
+    radius2 = x * x + y * y
+    v0 = z * np.cos(dec)
+    lhs = u**2 + ((v - v0) / np.sin(dec)) ** 2
+    np.testing.assert_allclose(lhs, radius2, rtol=1e-9)
+
+
+def test_enu_to_equatorial_zenith_at_pole():
+    """At the north pole, 'up' points to the celestial pole (Z)."""
+    out = enu_to_equatorial(np.array([[0.0, 0.0, 1.0]]), latitude_rad=np.pi / 2)
+    np.testing.assert_allclose(out[0], [0.0, 0.0, 1.0], atol=1e-12)
+
+
+def test_enu_to_equatorial_preserves_norm():
+    rng = np.random.default_rng(2)
+    enu = rng.standard_normal((20, 3))
+    out = enu_to_equatorial(enu, latitude_rad=-0.47)
+    np.testing.assert_allclose(
+        np.linalg.norm(out, axis=1), np.linalg.norm(enu, axis=1), rtol=1e-12
+    )
+
+
+def test_hour_angle_range_sidereal_rate():
+    ha = hour_angle_range(100, 1.0, start_rad=0.1)
+    assert ha[0] == pytest.approx(0.1)
+    np.testing.assert_allclose(np.diff(ha), EARTH_ROTATION_RATE, rtol=1e-12)
+
+
+def test_hour_angle_range_validation():
+    with pytest.raises(ValueError):
+        hour_angle_range(0, 1.0)
+
+
+def test_synthesize_uvw_shape_validation():
+    with pytest.raises(ValueError):
+        synthesize_uvw(np.zeros((3, 2)), np.array([0.0]), 0.0)
+
+
+def test_synthesize_matches_rotation_matrix_single():
+    bvec = np.array([[100.0, -200.0, 300.0]])
+    ha, dec = 0.7, -0.3
+    uvw = synthesize_uvw(bvec, np.array([ha]), dec)
+    expected = uvw_rotation_matrix(ha, dec) @ bvec[0]
+    np.testing.assert_allclose(uvw[0, 0], expected, atol=1e-12)

@@ -1,0 +1,42 @@
+"""Unit tests for :mod:`repro.constants`."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    SPEED_OF_LIGHT,
+    metres_to_wavelengths,
+    wavenumbers,
+)
+
+
+def test_speed_of_light_value():
+    assert SPEED_OF_LIGHT == pytest.approx(2.99792458e8)
+
+
+def test_wavenumbers_scalar_relation():
+    freqs = np.array([150e6])
+    k = wavenumbers(freqs)
+    # lambda = c/f ~ 2 m at 150 MHz; k = 2 pi / lambda
+    assert k[0] == pytest.approx(2 * np.pi * 150e6 / SPEED_OF_LIGHT)
+
+
+def test_wavenumbers_monotone_in_frequency():
+    freqs = np.linspace(100e6, 200e6, 16)
+    k = wavenumbers(freqs)
+    assert np.all(np.diff(k) > 0)
+
+
+def test_metres_to_wavelengths_roundtrip():
+    uvw = np.array([[100.0, -50.0, 25.0]])
+    wl = metres_to_wavelengths(uvw, 150e6)
+    assert wl.shape == uvw.shape
+    np.testing.assert_allclose(wl * SPEED_OF_LIGHT / 150e6, uvw)
+
+
+def test_metres_to_wavelengths_broadcasts_channels():
+    u = np.array([1000.0, 2000.0])  # (2,)
+    freqs = np.array([100e6, 200e6, 300e6])  # (3,)
+    wl = metres_to_wavelengths(u[:, np.newaxis], freqs[np.newaxis, :])
+    assert wl.shape == (2, 3)
+    assert wl[1, 2] == pytest.approx(2000.0 * 300e6 / SPEED_OF_LIGHT)

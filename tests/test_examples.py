@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples must run and self-verify.
+
+Each example asserts its own quality gates internally (source positions,
+flux errors, residual nulls); these tests run a fast subset end to end in a
+subprocess so a broken public API or a regression in any example is caught
+by ``pytest tests/``.  The slowest examples are exercised by their own
+dedicated integration tests instead (imaging cycle, W-stacking, selfcal all
+have equivalents under tests/).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 420) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_examples_exist():
+    expected = {
+        "quickstart.py", "ska1_low_imaging.py", "aterm_correction.py",
+        "compare_gridders.py", "performance_model.py",
+        "widefield_wstacking.py", "selfcal.py", "spectral_mfs.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout
+
+
+def test_performance_model_runs():
+    result = _run("performance_model.py")
+    assert result.returncode == 0, result.stderr
+    assert "PASCAL" in result.stdout
+    assert "GF/W" in result.stdout or "GFlops" in result.stdout or "GF" in result.stdout
+
+
+@pytest.mark.slow
+def test_selfcal_runs():
+    result = _run("selfcal.py")
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout

@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.gridspec`."""
+
+import numpy as np
+import pytest
+
+from repro.gridspec import GridSpec
+
+
+@pytest.fixture
+def gs():
+    return GridSpec(grid_size=512, image_size=0.05)
+
+
+def test_pixel_scale_and_cell_size_are_reciprocal(gs):
+    # du * dl = 1 / grid_size: the centered-FFT resolution relation.
+    assert gs.cell_size * gs.pixel_scale == pytest.approx(1.0 / gs.grid_size)
+
+
+def test_rejects_odd_grid_size():
+    with pytest.raises(ValueError):
+        GridSpec(grid_size=511, image_size=0.05)
+
+
+def test_rejects_nonpositive_grid_size():
+    with pytest.raises(ValueError):
+        GridSpec(grid_size=0, image_size=0.05)
+
+
+def test_rejects_unphysical_image_size():
+    with pytest.raises(ValueError):
+        GridSpec(grid_size=512, image_size=2.5)
+    with pytest.raises(ValueError):
+        GridSpec(grid_size=512, image_size=0.0)
+
+
+def test_uv_to_pixel_origin_is_grid_centre(gs):
+    pu, pv = gs.uv_to_pixel(0.0, 0.0)
+    assert pu == gs.grid_size // 2
+    assert pv == gs.grid_size // 2
+
+
+def test_uv_pixel_roundtrip(gs):
+    u = np.array([-1000.0, 0.0, 333.3])
+    v = np.array([50.0, -20.0, 0.0])
+    pu, pv = gs.uv_to_pixel(u, v)
+    u2, v2 = gs.pixel_to_uv(pu, pv)
+    np.testing.assert_allclose(u2, u, atol=1e-9)
+    np.testing.assert_allclose(v2, v, atol=1e-9)
+
+
+def test_one_cell_equals_cell_size(gs):
+    pu0, _ = gs.uv_to_pixel(0.0, 0.0)
+    pu1, _ = gs.uv_to_pixel(gs.cell_size, 0.0)
+    assert pu1 - pu0 == pytest.approx(1.0)
+
+
+def test_coordinates_match_pixel_mapping(gs):
+    u = gs.u_coordinates()
+    # cell i sits at uv that maps back to pixel i
+    pu, _ = gs.uv_to_pixel(u, np.zeros_like(u))
+    np.testing.assert_allclose(pu, np.arange(gs.grid_size), atol=1e-6)
+
+
+def test_l_coordinates_centered(gs):
+    l = gs.l_coordinates()
+    assert l[gs.grid_size // 2] == 0.0
+    assert l[0] == pytest.approx(-gs.image_size / 2)
+
+
+def test_contains_uv_margin(gs):
+    edge_u = gs.max_uv - 0.5 * gs.cell_size  # just inside
+    assert gs.contains_uv(np.array([0.0]), np.array([0.0]))[0]
+    assert not gs.contains_uv(np.array([gs.max_uv + gs.cell_size]), np.array([0.0]))[0]
+    # a margin pushes the boundary inward
+    assert not gs.contains_uv(np.array([edge_u]), np.array([0.0]), margin_cells=4)[0]
+
+
+def test_allocate_grid_shape_dtype(gs):
+    grid = gs.allocate_grid()
+    assert grid.shape == (4, gs.grid_size, gs.grid_size)
+    assert grid.dtype == np.complex64
+    assert not grid.any()
