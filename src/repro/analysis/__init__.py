@@ -1,0 +1,40 @@
+"""idglint — codebase-specific static analysis and runtime shape contracts.
+
+Two halves, one invariant catalogue:
+
+* **Static**: an AST lint engine (:mod:`repro.analysis.engine`) with rules
+  IDG001–IDG006 (:mod:`repro.analysis.rules`) enforcing the dtype, hot-loop
+  and purity conventions the paper's performance argument rests on.  Run it
+  with ``python -m repro.analysis src/repro``; the pytest gate in
+  ``tests/analysis/test_lint_clean.py`` makes it part of tier-1.
+* **Runtime**: the opt-in :func:`shape_checked` decorator
+  (:mod:`repro.analysis.contracts`) validating ndim/axis-size relations
+  against the same shape grammar the docstrings use, enabled in tests and a
+  zero-cost no-op otherwise.
+"""
+
+from repro.analysis.contracts import (
+    ShapeContractError,
+    enable_shape_checks,
+    shape_checked,
+    shape_checks_enabled,
+)
+from repro.analysis.engine import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ShapeContractError",
+    "enable_shape_checks",
+    "shape_checked",
+    "shape_checks_enabled",
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]

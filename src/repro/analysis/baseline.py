@@ -1,0 +1,88 @@
+"""Baseline (grandfathering) support for idglint.
+
+A baseline is a committed JSON file recording known violations so the lint
+gate can fail on *new* debt only.  Entries are fingerprinted by
+``(path, code, snippet)`` — the stripped source line rather than the line
+number — so unrelated edits above a grandfathered violation do not churn the
+baseline.  Matching is multiset-style: two identical offending lines need two
+entries.
+
+``python -m repro.analysis --write-baseline`` regenerates the file;
+unmatched entries are reported as *stale* so the baseline shrinks as debt is
+paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import Violation
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+DEFAULT_BASELINE_NAME = "idglint-baseline.json"
+
+_VERSION = 1
+
+
+def _fingerprint(entry: dict) -> tuple[str, str, str]:
+    return (str(entry["path"]), str(entry["code"]), str(entry.get("snippet", "")))
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline version {data.get('version')!r}")
+    entries = data.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError("baseline 'entries' must be a list")
+    return entries
+
+
+def write_baseline(path: str | Path, violations: Iterable[Violation]) -> None:
+    entries = [
+        {
+            "path": v.path,
+            "code": v.code,
+            "line": v.line,
+            "snippet": v.snippet,
+            "message": v.message,
+        }
+        for v in sorted(violations)
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Sequence[dict]
+) -> tuple[list[Violation], list[dict]]:
+    """Split ``violations`` against the baseline.
+
+    Returns ``(new, stale)``: violations not covered by the baseline, and
+    baseline entries that no longer match anything (fixed or moved debt).
+    """
+    budget = Counter(_fingerprint(entry) for entry in entries)
+    new: list[Violation] = []
+    for violation in violations:
+        key = (violation.path, violation.code, violation.snippet)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            new.append(violation)
+    stale: list[dict] = []
+    remaining = dict(budget)
+    for entry in entries:
+        key = _fingerprint(entry)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            stale.append(entry)
+    return new, stale

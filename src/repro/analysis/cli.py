@@ -1,0 +1,152 @@
+"""The idglint command line: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean (all violations baselined), 1 — new violations,
+2 — usage error.  Stale baseline entries are reported but do not fail the
+run (use ``--fail-stale`` to make them fatal, e.g. in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import DEFAULT_CONFIG, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="idglint — codebase-specific static analysis for the IDG "
+        "reproduction (dtype, hot-loop, and shape-contract invariants)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="directory violation paths are reported relative to (default: .)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} under --root, "
+        "if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current violations to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--fail-stale", action="store_true",
+        help="exit 1 when the baseline contains stale (already-fixed) entries",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return Path(args.baseline)
+    candidate = Path(args.root) / DEFAULT_BASELINE_NAME
+    if candidate.exists() or args.write_baseline:
+        return candidate
+    return None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        from repro.analysis.rules import ALL_RULES
+
+        for rule in ALL_RULES:
+            print(f"{rule.CODE}  {rule.SUMMARY}")
+        return 0
+
+    select = None
+    if args.select:
+        select = tuple(code.strip().upper() for code in args.select.split(","))
+        from repro.analysis.rules import RULES_BY_CODE
+
+        unknown = [code for code in select if code not in RULES_BY_CODE]
+        if unknown:
+            print(
+                f"error: unknown rule code(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations = lint_paths(
+        args.paths, config=DEFAULT_CONFIG, root=args.root, select=select
+    )
+
+    baseline_path = _resolve_baseline_path(args)
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline requires a baseline path", file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, violations)
+        print(f"baseline written: {baseline_path} ({len(violations)} entries)")
+        return 0
+
+    entries = load_baseline(baseline_path) if baseline_path else []
+    new, stale = apply_baseline(violations, entries)
+
+    if args.format == "json":
+        payload = {
+            "violations": [v.to_json() for v in new],
+            "baselined": len(violations) - len(new),
+            "stale_baseline": stale,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for violation in new:
+            print(violation.format_text())
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry['path']}: {entry['code']} "
+                f"{entry.get('snippet', '')!r}"
+            )
+        summary = (
+            f"{len(new)} new violation(s), "
+            f"{len(violations) - len(new)} baselined, {len(stale)} stale"
+        )
+        print(summary if (new or stale or entries) else f"clean: {summary}")
+
+    if new:
+        return 1
+    if stale and args.fail_stale:
+        return 1
+    return 0

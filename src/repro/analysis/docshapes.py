@@ -1,0 +1,107 @@
+"""Extract shape specs from numpydoc docstrings.
+
+The codebase documents array shapes as double-backtick spans inside numpydoc
+``Parameters`` / ``Returns`` sections::
+
+    Parameters
+    ----------
+    visibilities:
+        ``(M, 2, 2)`` or ``(M, 4)`` complex visibilities of the block.
+    aterm_p, aterm_q:
+        Optional ``(N, N, 2, 2)`` Jones fields; ``None`` means identity.
+
+A backtick span counts as a shape only when the whole span is a parenthesised
+group that parses under the idglint shape grammar — prose parentheticals,
+``None``, code references and expressions like ``(u - u_mid, ...)`` are all
+rejected by the parser and ignored.  IDG006 compares the shapes found here
+against ``@shape_checked`` decorator specs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.shapes import ShapeSpecError, canonical_alternatives
+
+__all__ = ["docstring_shapes"]
+
+_BACKTICK_SPAN = re.compile(r"``([^`]+)``")
+_SECTION_UNDERLINE = re.compile(r"^-{3,}\s*$")
+_PARAM_HEADER = re.compile(
+    r"^(?P<names>[A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*:(?P<type>.*)$"
+)
+
+
+def _shape_set(text: str) -> frozenset[str]:
+    """Canonical shapes of every whole-span ``(...)`` backtick group."""
+    shapes: set[str] = set()
+    for span in _BACKTICK_SPAN.findall(text):
+        span = span.strip()
+        if not (span.startswith("(") and span.endswith(")")):
+            continue
+        try:
+            shapes.update(canonical_alternatives(span))
+        except ShapeSpecError:
+            continue
+    return frozenset(shapes)
+
+
+def _split_sections(doc: str) -> dict[str, list[str]]:
+    """numpydoc sections: name -> body lines (docstring already dedented)."""
+    lines = doc.splitlines()
+    sections: dict[str, list[str]] = {}
+    current: list[str] | None = None
+    i = 0
+    while i < len(lines):
+        if (
+            i + 1 < len(lines)
+            and _SECTION_UNDERLINE.match(lines[i + 1])
+            and lines[i].strip()
+            and not lines[i].startswith(" ")
+        ):
+            current = sections.setdefault(lines[i].strip(), [])
+            i += 2
+            continue
+        if current is not None:
+            current.append(lines[i])
+        i += 1
+    return sections
+
+
+def docstring_shapes(doc: str | None) -> tuple[dict[str, frozenset[str]], frozenset[str]]:
+    """Shapes documented per parameter, and in the Returns section.
+
+    Returns ``(param_shapes, return_shapes)`` where ``param_shapes`` maps each
+    documented parameter name to the canonical shape set found in its entry
+    (names sharing one entry share the set).  Parameters whose entry contains
+    no parseable shape are absent from the mapping.
+    """
+    if not doc:
+        return {}, frozenset()
+    sections = _split_sections(doc)
+
+    param_shapes: dict[str, frozenset[str]] = {}
+    body = sections.get("Parameters", [])
+    entry_names: list[str] = []
+    entry_lines: list[str] = []
+
+    def flush() -> None:
+        if not entry_names:
+            return
+        shapes = _shape_set("\n".join(entry_lines))
+        if shapes:
+            for name in entry_names:
+                param_shapes[name] = shapes
+
+    for line in body:
+        header = _PARAM_HEADER.match(line)
+        if header is not None and not line.startswith(" "):
+            flush()
+            entry_names = [n.strip() for n in header.group("names").split(",")]
+            entry_lines = [header.group("type")]
+        else:
+            entry_lines.append(line)
+    flush()
+
+    return_shapes = _shape_set("\n".join(sections.get("Returns", [])))
+    return param_shapes, return_shapes

@@ -1,0 +1,262 @@
+"""The idglint engine: file walking, rule dispatch, suppression comments.
+
+The engine is purely ``ast``-based (no imports of the linted code) so it can
+run over broken or heavy modules alike.  Each rule lives in its own module
+under :mod:`repro.analysis.rules` and exposes ``CODE``, ``SUMMARY`` and a
+``check(ctx)`` generator; the engine parses each file once, hands every rule
+the same :class:`FileContext`, and filters the resulting violations through
+per-line suppression comments::
+
+    table = np.empty(...)  # idglint: disable=IDG003  (bounded: 2 parts)
+
+``disable=all`` silences every rule on that line.  Remaining violations can
+be matched against a committed baseline (:mod:`repro.analysis.baseline`) so
+grandfathered debt fails no builds while new debt does.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LintConfig",
+    "DEFAULT_CONFIG",
+    "Violation",
+    "FileContext",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*idglint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Rule code used for files that fail to parse.
+PARSE_ERROR_CODE = "IDG000"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Codebase-specific knobs shared by every rule."""
+
+    #: Names ``numpy`` is imported under.
+    numpy_aliases: tuple[str, ...] = ("np", "numpy")
+    #: Path fragments marking *kernel* modules (IDG001/IDG005 scope).  A file
+    #: is kernel code when any fragment occurs in its posix relpath; ``""``
+    #: matches everything.
+    kernel_roots: tuple[str, ...] = ("core/", "kernels/", "aterms/")
+    #: Module(s) allowed to evaluate sine/cosine inside loops — the approved
+    #: phasor kernels (IDG002 scope).  Matched with ``relpath.endswith``.
+    phasor_modules: tuple[str, ...] = (
+        "core/gridder.py",
+        "core/degridder.py",
+        "kernels/wkernel.py",
+    )
+    #: Files exempt from IDG001 (they *define* the dtype policy).
+    dtype_policy_modules: tuple[str, ...] = ("constants.py",)
+    trig_names: tuple[str, ...] = ("exp", "sin", "cos")
+    alloc_names: tuple[str, ...] = (
+        "zeros",
+        "empty",
+        "ones",
+        "full",
+        "concatenate",
+        "stack",
+        "zeros_like",
+        "empty_like",
+        "ones_like",
+        "full_like",
+    )
+    dtype_literals: tuple[str, ...] = ("complex64", "complex128")
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule code anchored to a file position.
+
+    ``snippet`` is the stripped source line, used as the (line-number-free)
+    fingerprint for baseline matching.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str = ""
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    def __init__(self, relpath: str, source: str, config: LintConfig) -> None:
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.config = config
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # ------------------------------------------------------------ scoping
+    def is_kernel_module(self) -> bool:
+        return any(root in self.relpath for root in self.config.kernel_roots)
+
+    def is_phasor_module(self) -> bool:
+        return any(self.relpath.endswith(m) for m in self.config.phasor_modules)
+
+    def is_dtype_policy_module(self) -> bool:
+        return any(self.relpath.endswith(m) for m in self.config.dtype_policy_modules)
+
+    # ------------------------------------------------------------ AST helpers
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = node
+        while current in self._parents:
+            current = self._parents[current]
+            yield current
+
+    def enclosing_loop(self, node: ast.AST) -> ast.AST | None:
+        """Nearest enclosing ``for``/``while``, stopping at function scopes
+        (a loop in an *outer* function does not make a nested function hot)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                return ancestor
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return None
+        return None
+
+    def numpy_attr(self, node: ast.AST) -> str | None:
+        """``"exp"`` for an ``np.exp`` / ``numpy.exp`` attribute node."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.config.numpy_aliases
+        ):
+            return node.attr
+        return None
+
+    def violation(self, node: ast.AST, code: str, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Violation(self.relpath, line, col, code, message, snippet)
+
+
+def suppressed_codes(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule codes suppressed on that line."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+            out[lineno] = codes
+    return out
+
+
+def _active_rules(select: tuple[str, ...] | None = None):
+    from repro.analysis.rules import ALL_RULES
+
+    if select is None:
+        return ALL_RULES
+    wanted = {code.strip().upper() for code in select}
+    return tuple(rule for rule in ALL_RULES if rule.CODE in wanted)
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    config: LintConfig = DEFAULT_CONFIG,
+    select: tuple[str, ...] | None = None,
+) -> list[Violation]:
+    """Lint one in-memory source file; suppressions applied, sorted by position."""
+    try:
+        ctx = FileContext(relpath, source, config)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                relpath.replace("\\", "/"),
+                exc.lineno or 1,
+                (exc.offset or 0) + 1 if exc.offset is not None else 1,
+                PARSE_ERROR_CODE,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    violations: list[Violation] = []
+    for rule in _active_rules(select):
+        violations.extend(rule.check(ctx))
+    suppressions = suppressed_codes(ctx.lines)
+    kept = []
+    for violation in violations:
+        codes = suppressions.get(violation.line, ())
+        if violation.code in codes or "ALL" in codes:
+            continue
+        kept.append(violation)
+    return sorted(kept)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.suffix == ".py":
+            files.append(path)
+    # de-duplicate while preserving order
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    root: str | Path | None = None,
+    select: tuple[str, ...] | None = None,
+) -> list[Violation]:
+    """Lint files/directories; paths in violations are relative to ``root``
+    (default: the current working directory) so baselines are portable."""
+    root_path = Path(root) if root is not None else Path.cwd()
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        violations.extend(
+            lint_source(source, _relpath(path, root_path), config, select)
+        )
+    return sorted(violations)

@@ -1,0 +1,32 @@
+"""The idglint rule catalogue.
+
+Each rule is one module exposing ``CODE`` (its error code), ``SUMMARY`` (a
+one-line description) and ``check(ctx)`` yielding
+:class:`repro.analysis.engine.Violation` objects for one parsed file.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+from repro.analysis.rules import (
+    idg001_dtype_literals,
+    idg002_trig_in_loop,
+    idg003_alloc_in_loop,
+    idg004_mutable_state,
+    idg005_return_annotations,
+    idg006_doc_shapes,
+)
+
+ALL_RULES = (
+    idg001_dtype_literals,
+    idg002_trig_in_loop,
+    idg003_alloc_in_loop,
+    idg004_mutable_state,
+    idg005_return_annotations,
+    idg006_doc_shapes,
+)
+
+RULES_BY_CODE: Final = {rule.CODE: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE"]

@@ -1,0 +1,38 @@
+"""IDG002 — sine/cosine evaluation inside Python loops.
+
+Sine/cosine is the first-class cost of image-domain gridding (the paper's
+modified roofline treats it as its own operation class), and the codebase
+concentrates every phasor evaluation in three approved modules where the
+``exp`` feeds a BLAS-dispatched matrix product.  An ``np.exp`` / ``np.sin`` /
+``np.cos`` inside a ``for``/``while`` loop anywhere else is either a
+per-visibility Python loop (the exact anti-pattern the vectorised kernels
+exist to avoid) or setup code that should say so with a suppression comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Violation
+
+CODE = "IDG002"
+SUMMARY = (
+    "np.exp/np.sin/np.cos inside a loop outside the approved phasor modules"
+)
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.is_phasor_module():
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.numpy_attr(node.func)
+        if name in ctx.config.trig_names and ctx.enclosing_loop(node) is not None:
+            yield ctx.violation(
+                node,
+                CODE,
+                f"np.{name} inside a loop outside the approved phasor modules; "
+                "hoist it, vectorise the loop, or suppress with a justification",
+            )

@@ -1,0 +1,33 @@
+"""IDG003 — array allocation inside loops.
+
+Work-item loops run tens of thousands of times per gridding pass; an
+``np.zeros``/``np.empty``/``np.concatenate`` (and friends) inside one turns a
+bounded working set into per-iteration allocator traffic.  The kernels
+preallocate outputs outside their loops; this rule keeps it that way.  Loops
+that are provably tiny (a 2-part polynomial fit, a 3-arm layout generator)
+carry a ``# idglint: disable=IDG003`` with the bound in the comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Violation
+
+CODE = "IDG003"
+SUMMARY = "array-allocating numpy call inside a loop; preallocate outside"
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.numpy_attr(node.func)
+        if name in ctx.config.alloc_names and ctx.enclosing_loop(node) is not None:
+            yield ctx.violation(
+                node,
+                CODE,
+                f"np.{name} allocates inside a loop; preallocate outside the "
+                "loop (or suppress with the loop's bound if it is not hot)",
+            )

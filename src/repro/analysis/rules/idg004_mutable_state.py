@@ -1,0 +1,84 @@
+"""IDG004 — mutable default arguments and module-level mutable state.
+
+Kernels are meant to be pure functions of their inputs so they can be fanned
+out across processes (:mod:`repro.parallel`) without hidden coupling.  Two
+classic leaks are flagged:
+
+* mutable default arguments (``def f(x=[])`` — shared across calls);
+* module-level ``list``/``dict``/``set`` assignments — importable mutable
+  globals.  ``__all__``/dunders are exempt, as is anything annotated
+  ``Final`` (treated as a declared constant).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Violation
+
+CODE = "IDG004"
+SUMMARY = "mutable default argument or module-level mutable state"
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_BUILTINS = ("list", "dict", "set")
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_BUILTINS
+    )
+
+
+def _is_final(annotation: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == "Final"
+        for sub in ast.walk(annotation)
+    )
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    # mutable defaults, anywhere
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_value(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield ctx.violation(
+                        default,
+                        CODE,
+                        f"mutable default argument in {name}(); default to "
+                        "None and allocate inside the function",
+                    )
+    # module-level mutable assignments
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and _is_mutable_value(node.value):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            flagged = [n for n in names if not (n.startswith("__") and n.endswith("__"))]
+            if flagged:
+                yield ctx.violation(
+                    node,
+                    CODE,
+                    f"module-level mutable state {', '.join(flagged)}; use a "
+                    "tuple/frozen mapping or annotate it Final",
+                )
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and _is_mutable_value(node.value)
+            and isinstance(node.target, ast.Name)
+            and not (node.target.id.startswith("__") and node.target.id.endswith("__"))
+            and not _is_final(node.annotation)
+        ):
+            yield ctx.violation(
+                node,
+                CODE,
+                f"module-level mutable state {node.target.id}; use a "
+                "tuple/frozen mapping or annotate it Final",
+            )

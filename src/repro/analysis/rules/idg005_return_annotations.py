@@ -1,0 +1,44 @@
+"""IDG005 — public kernel functions must declare a return type.
+
+Every public entry point in a kernel module (``core/``, ``kernels/``,
+``aterms/``) is part of the dtype contract between pipeline stages — the
+gridder hands ``complex64`` subgrids to the FFT stage, the FFT stage to the
+adder.  A missing return annotation makes that contract docstring-only; this
+rule requires ``-> np.ndarray`` (or better) on each of them.  Private
+helpers, dunders and nested functions are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Violation
+
+CODE = "IDG005"
+SUMMARY = "public kernel function missing a return-type annotation"
+
+
+def _public_functions(ctx: FileContext) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    def from_body(body: list[ast.stmt]) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    yield node
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                yield from from_body(node.body)
+
+    yield from from_body(ctx.tree.body)
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    if not ctx.is_kernel_module():
+        return
+    for node in _public_functions(ctx):
+        if node.returns is None:
+            yield ctx.violation(
+                node,
+                CODE,
+                f"public kernel function {node.name}() has no return-type "
+                "annotation; dtype/shape contracts must be machine-readable",
+            )

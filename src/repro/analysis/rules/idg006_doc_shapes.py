@@ -1,0 +1,83 @@
+"""IDG006 — docstring shapes must agree with ``@shape_checked`` contracts.
+
+The runtime contract (:mod:`repro.analysis.contracts`) and the numpydoc
+``Parameters``/``Returns`` shapes describe the same thing; when they drift
+apart one of them is lying.  For every function decorated with
+``@shape_checked`` this rule parses the docstring's documented shapes
+(:mod:`repro.analysis.docshapes`) and compares them — canonicalised under the
+shape grammar — against the decorator's spec strings, per parameter and for
+the return value.  Parameters whose docstring entry documents no shape are
+skipped (the decorator is then the only source of truth); unparseable spec
+strings are flagged outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.docshapes import docstring_shapes
+from repro.analysis.engine import FileContext, Violation
+from repro.analysis.shapes import ShapeSpecError, canonical_alternatives
+
+CODE = "IDG006"
+SUMMARY = "numpydoc shape disagrees with the @shape_checked contract"
+
+_DECORATOR_NAME = "shape_checked"
+
+
+def _decorator_call(node: ast.FunctionDef | ast.AsyncFunctionDef) -> ast.Call | None:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name == _DECORATOR_NAME:
+            return decorator
+    return None
+
+
+def _spec_strings(call: ast.Call) -> dict[str, tuple[ast.expr, str]]:
+    specs: dict[str, tuple[ast.expr, str]] = {}
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            continue
+        if isinstance(keyword.value, ast.Constant) and isinstance(
+            keyword.value.value, str
+        ):
+            specs[keyword.arg] = (keyword.value, keyword.value.value)
+    return specs
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        call = _decorator_call(node)
+        if call is None:
+            continue
+        specs = _spec_strings(call)
+        doc_params, doc_returns = docstring_shapes(ast.get_docstring(node))
+        for name, (value_node, spec) in specs.items():
+            try:
+                declared = canonical_alternatives(spec)
+            except ShapeSpecError as exc:
+                yield ctx.violation(
+                    value_node,
+                    CODE,
+                    f"{node.name}(): unparseable shape spec for "
+                    f"{'return' if name == 'returns' else name!r}: {exc}",
+                )
+                continue
+            documented = (
+                doc_returns if name == "returns" else doc_params.get(name, frozenset())
+            )
+            if documented and documented != declared:
+                subject = "return value" if name == "returns" else f"parameter {name!r}"
+                yield ctx.violation(
+                    value_node,
+                    CODE,
+                    f"{node.name}(): docstring documents "
+                    f"{' | '.join(sorted(documented))} for {subject} but "
+                    f"@shape_checked declares {' | '.join(sorted(declared))}",
+                )

@@ -1,0 +1,196 @@
+"""The idglint shape grammar.
+
+A *shape spec* is a string describing the allowed shapes of an array, in the
+same notation the codebase's numpydoc docstrings already use::
+
+    (M, 3)                    fixed rank, symbol M bound on first use
+    (M, 2, 2) | (M, 4)        alternatives (either layout accepted)
+    (N**2, 3)                 integer power of a symbol (N bound by root)
+    (n_times * n_channels, 3) product of two symbols
+    (..., 2, 2)               leading ellipsis: any number of leading axes
+    (C,)                      1-tuple (trailing comma as in Python)
+
+Symbols bind on first use and must agree across every parameter of one call
+(and the return value), so ``lmn: (N**2, 3)`` and ``taper: (N, N)`` assert a
+relation between two arguments, not just their ranks.  Integer dimensions
+must match exactly.
+
+The grammar is deliberately tiny: it has to be readable inside a decorator,
+checkable at runtime in a few microseconds, and cross-checkable statically
+against docstrings by :mod:`repro.analysis.rules.idg006_doc_shapes`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "ELLIPSIS",
+    "ShapeSpecError",
+    "parse_shape_spec",
+    "canonical_alternatives",
+    "format_alternatives",
+    "match_shape",
+]
+
+#: Sentinel for a leading ``...`` (any number of leading axes).
+ELLIPSIS = "..."
+
+_NAME = r"[A-Za-z_]\w*"
+_RE_INT = re.compile(r"^\d+$")
+_RE_NAME = re.compile(rf"^{_NAME}$")
+_RE_POW = re.compile(rf"^({_NAME})\*\*(\d+)$")
+_RE_MUL = re.compile(rf"^({_NAME})\*({_NAME})$")
+
+
+class ShapeSpecError(ValueError):
+    """A shape spec string does not parse under the idglint shape grammar."""
+
+
+def _parse_dim(token: str, position: int):
+    token = token.replace(" ", "")
+    if token == ELLIPSIS:
+        if position != 0:
+            raise ShapeSpecError("'...' is only allowed as the leading dimension")
+        return ELLIPSIS
+    if _RE_INT.match(token):
+        return int(token)
+    if _RE_NAME.match(token):
+        return token
+    m = _RE_POW.match(token)
+    if m:
+        power = int(m.group(2))
+        if power < 1:
+            raise ShapeSpecError(f"power must be >= 1 in {token!r}")
+        return ("pow", m.group(1), power)
+    m = _RE_MUL.match(token)
+    if m:
+        return ("mul", m.group(1), m.group(2))
+    raise ShapeSpecError(f"invalid shape dimension {token!r}")
+
+
+def _parse_alternative(alt: str) -> tuple:
+    alt = alt.strip()
+    if not (alt.startswith("(") and alt.endswith(")")):
+        raise ShapeSpecError(f"shape must be parenthesised, got {alt!r}")
+    inner = alt[1:-1].strip()
+    if not inner:
+        return ()
+    tokens = [t.strip() for t in inner.split(",")]
+    if tokens and tokens[-1] == "":  # trailing comma, e.g. "(C,)"
+        tokens = tokens[:-1]
+    if any(t == "" for t in tokens):
+        raise ShapeSpecError(f"empty dimension in {alt!r}")
+    return tuple(_parse_dim(t, i) for i, t in enumerate(tokens))
+
+
+def parse_shape_spec(spec: str) -> list[tuple]:
+    """Parse ``spec`` into a list of alternative dimension tuples."""
+    alternatives = [_parse_alternative(a) for a in spec.split("|")]
+    if not alternatives:
+        raise ShapeSpecError("empty shape spec")
+    return alternatives
+
+
+def _format_dim(dim) -> str:
+    if isinstance(dim, tuple):
+        if dim[0] == "pow":
+            return f"{dim[1]}**{dim[2]}"
+        return f"{dim[1]}*{dim[2]}"
+    return str(dim)
+
+
+def _format_alternative(alt: tuple) -> str:
+    if len(alt) == 1 and alt[0] != ELLIPSIS:
+        return f"({_format_dim(alt[0])},)"
+    return "(" + ", ".join(_format_dim(d) for d in alt) + ")"
+
+
+def format_alternatives(alternatives: list[tuple]) -> str:
+    return " | ".join(_format_alternative(a) for a in alternatives)
+
+
+def canonical_alternatives(spec: str) -> frozenset[str]:
+    """Canonical rendering of each alternative, for spec-vs-doc comparison."""
+    return frozenset(_format_alternative(a) for a in parse_shape_spec(spec))
+
+
+def _integer_root(value: int, power: int) -> int | None:
+    if value < 0:
+        return None
+    if power == 2:
+        root = math.isqrt(value)
+        return root if root * root == value else None
+    root = round(value ** (1.0 / power))
+    for candidate in (root - 1, root, root + 1):
+        if candidate >= 0 and candidate**power == value:
+            return candidate
+    return None
+
+
+def _match_dim(dim, size: int, env: dict[str, int]) -> bool:
+    if isinstance(dim, int):
+        return size == dim
+    if isinstance(dim, str):
+        if dim in env:
+            return env[dim] == size
+        env[dim] = size
+        return True
+    kind, a, b = dim
+    if kind == "pow":
+        if a in env:
+            return env[a] ** b == size
+        root = _integer_root(size, b)
+        if root is None:
+            return False
+        env[a] = root
+        return True
+    # product a*b: bind whichever symbol is still free, if determinable
+    if a in env and b in env:
+        return env[a] * env[b] == size
+    if a in env:
+        if env[a] == 0:
+            return size == 0
+        if size % env[a]:
+            return False
+        env[b] = size // env[a]
+        return True
+    if b in env:
+        if env[b] == 0:
+            return size == 0
+        if size % env[b]:
+            return False
+        env[a] = size // env[b]
+        return True
+    return True  # neither symbol bound: any size is consistent
+
+
+def _match_alternative(shape: tuple[int, ...], alt: tuple, env: dict[str, int]) -> bool:
+    dims = alt
+    if dims and dims[0] == ELLIPSIS:
+        dims = dims[1:]
+        if len(shape) < len(dims):
+            return False
+        shape = shape[len(shape) - len(dims):]
+    elif len(shape) != len(dims):
+        return False
+    return all(_match_dim(d, s, env) for d, s in zip(dims, shape))
+
+
+def match_shape(
+    shape: tuple[int, ...], alternatives: list[tuple], env: dict[str, int]
+) -> bool:
+    """True if ``shape`` matches any alternative; binds symbols into ``env``.
+
+    Alternatives are tried in order against a copy of ``env``; the first
+    match commits its bindings, so symbols stay consistent across the
+    parameters of one call.
+    """
+    for alt in alternatives:
+        trial = dict(env)
+        if _match_alternative(tuple(shape), alt, trial):
+            env.clear()
+            env.update(trial)
+            return True
+    return False

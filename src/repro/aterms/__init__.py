@@ -16,6 +16,7 @@ from repro.aterms.jones import (
     apply_sandwich,
     hermitian,
     identity_jones,
+    identity_jones_field,
     jones_multiply,
 )
 from repro.aterms.generators import (
@@ -32,6 +33,7 @@ __all__ = [
     "apply_sandwich",
     "hermitian",
     "identity_jones",
+    "identity_jones_field",
     "jones_multiply",
     "ATermGenerator",
     "GaussianBeamATerm",

@@ -9,13 +9,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import shape_checked
+from repro.constants import ACCUM_DTYPE
 
-def identity_jones(shape: tuple[int, ...] = (), dtype=np.complex128) -> np.ndarray:
+
+def identity_jones(shape: tuple[int, ...] = (), dtype=ACCUM_DTYPE) -> np.ndarray:
     """Identity Jones field of shape ``shape + (2, 2)``."""
     out = np.zeros(shape + (2, 2), dtype=dtype)
     out[..., 0, 0] = 1.0
     out[..., 1, 1] = 1.0
     return out
+
+
+@shape_checked(returns="(n, n, 2, 2)")
+def identity_jones_field(n: int, dtype=ACCUM_DTYPE) -> np.ndarray:
+    """Identity Jones field over an ``(n, n)`` image raster.
+
+    The shared "no A-term" stand-in used by the gridder, degridder and
+    reference kernels whenever only one station of a pair has a field.
+    """
+    return identity_jones((n, n), dtype=dtype)
 
 
 def jones_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -28,6 +41,7 @@ def hermitian(a: np.ndarray) -> np.ndarray:
     return np.conj(np.swapaxes(a, -1, -2))
 
 
+@shape_checked(a_p="(..., 2, 2)", b="(..., 2, 2)", a_q="(..., 2, 2)", returns="(..., 2, 2)")
 def apply_sandwich(a_p: np.ndarray, b: np.ndarray, a_q: np.ndarray) -> np.ndarray:
     """``A_p @ B @ A_q^H`` — the measurement-equation corruption of brightness.
 
@@ -37,6 +51,7 @@ def apply_sandwich(a_p: np.ndarray, b: np.ndarray, a_q: np.ndarray) -> np.ndarra
     return jones_multiply(jones_multiply(a_p, b), hermitian(a_q))
 
 
+@shape_checked(a_p="(..., 2, 2)", s="(..., 2, 2)", a_q="(..., 2, 2)", returns="(..., 2, 2)")
 def apply_adjoint_sandwich(a_p: np.ndarray, s: np.ndarray, a_q: np.ndarray) -> np.ndarray:
     """``A_p^H @ S @ A_q`` — the adjoint correction applied by the gridder."""
     return jones_multiply(jones_multiply(hermitian(a_p), s), a_q)

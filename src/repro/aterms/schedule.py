@@ -32,7 +32,7 @@ class ATermSchedule:
         if self.update_interval < 0:
             raise ValueError("update_interval must be >= 0")
 
-    def interval_of(self, time_index: int | np.ndarray):
+    def interval_of(self, time_index: int | np.ndarray) -> int | np.ndarray:
         """A-term interval index for timestep(s)."""
         if self.update_interval == 0:
             return np.zeros_like(np.asarray(time_index)) if np.ndim(time_index) else 0

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Final
 
 import numpy as np
 
@@ -331,7 +332,7 @@ def _cmd_report(args) -> int:
     return 0
 
 
-_COMMANDS = {
+_COMMANDS: Final = {
     "simulate": _cmd_simulate,
     "report": _cmd_report,
     "flag": _cmd_flag,

@@ -16,6 +16,7 @@ single precision").
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 #: Speed of light in vacuum [m/s]; used to convert uvw metres -> wavelengths.
 SPEED_OF_LIGHT = 299_792_458.0
@@ -23,8 +24,19 @@ SPEED_OF_LIGHT = 299_792_458.0
 #: Default dtype for visibilities, subgrids and grids (paper: single precision).
 COMPLEX_DTYPE = np.complex64
 
+#: Accumulation dtype.  Kernels accumulate phasor sums in double precision and
+#: convert to :data:`COMPLEX_DTYPE` only on return, so the paper's
+#: single-precision storage never compounds rounding across visibilities.
+ACCUM_DTYPE = np.complex128
+
 #: Default dtype for real-valued auxiliary data (uvw, tapers, phases).
 FLOAT_DTYPE = np.float32
+
+#: Array aliases used in kernel signatures (kept loose on purpose: kernels
+#: accept either storage or accumulation precision and convert on return).
+ComplexArray = NDArray[np.complexfloating]
+FloatArray = NDArray[np.floating]
+IntArray = NDArray[np.integer]
 
 #: Number of polarisation products per visibility (2x2 Jones correlations:
 #: XX, XY, YX, YY).

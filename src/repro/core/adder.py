@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import shape_checked
 from repro.core.plan import Plan
 
 
@@ -30,6 +31,7 @@ def _pol_minor(subgrids_pol: np.ndarray) -> np.ndarray:
     return subgrids_pol.transpose(0, 2, 3, 1).reshape(k, n, n, 2, 2)
 
 
+@shape_checked(grid="(4, G, G)", subgrids_fourier="(k, N, N, 2, 2)")
 def add_subgrids(
     grid: np.ndarray,
     plan: Plan,
@@ -60,6 +62,7 @@ def add_subgrids(
         grid[:, cv : cv + n, cu : cu + n] += pol[k]
 
 
+@shape_checked(grid="(4, G, G)", returns="(k, N, N, 2, 2)")
 def split_subgrids(
     grid: np.ndarray,
     plan: Plan,

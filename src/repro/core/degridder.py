@@ -18,18 +18,27 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.aterms.jones import apply_sandwich
-from repro.constants import COMPLEX_DTYPE
-from repro.constants import SPEED_OF_LIGHT
+from repro.analysis.contracts import shape_checked
+from repro.aterms.jones import apply_sandwich, identity_jones_field
+from repro.constants import ACCUM_DTYPE, COMPLEX_DTYPE, SPEED_OF_LIGHT
 from repro.core.gridder import (
     DEFAULT_VIS_BATCH,
-    _identity_field,
+    PHASOR_RENORM_INTERVAL,
     relative_uvw_wavelengths,
     subgrid_lmn,
 )
 from repro.core.plan import Plan
 
 
+@shape_checked(
+    subgrid_image="(N, N, 2, 2)",
+    uvw_rel_wl="(M, 3)",
+    lmn="(N**2, 3)",
+    taper="(N, N)",
+    aterm_p="(N, N, 2, 2)",
+    aterm_q="(N, N, 2, 2)",
+    returns="(M, 2, 2)",
+)
 def degridder_subgrid(
     subgrid_image: np.ndarray,
     uvw_rel_wl: np.ndarray,
@@ -64,16 +73,16 @@ def degridder_subgrid(
     if lmn.shape != (n * n, 3):
         raise ValueError(f"lmn shape {lmn.shape} does not match subgrid size {n}")
 
-    corrected = subgrid_image.astype(np.complex128)
+    corrected = subgrid_image.astype(ACCUM_DTYPE)
     if aterm_p is not None or aterm_q is not None:
-        a_p = aterm_p if aterm_p is not None else _identity_field(n)
-        a_q = aterm_q if aterm_q is not None else _identity_field(n)
+        a_p = aterm_p if aterm_p is not None else identity_jones_field(n)
+        a_q = aterm_q if aterm_q is not None else identity_jones_field(n)
         corrected = apply_sandwich(a_p, corrected, a_q)
     corrected = corrected * taper[:, :, np.newaxis, np.newaxis]
     pixels_flat = corrected.reshape(n * n, 4)
 
     m_total = uvw_rel_wl.shape[0]
-    out = np.empty((m_total, 4), dtype=np.complex128)
+    out = np.empty((m_total, 4), dtype=ACCUM_DTYPE)
     for start in range(0, m_total, vis_batch):
         stop = min(start + vis_batch, m_total)
         phase = (-2.0 * np.pi) * (uvw_rel_wl[start:stop] @ lmn.T)  # (batch, N^2)
@@ -82,6 +91,17 @@ def degridder_subgrid(
     return out.reshape(m_total, 2, 2).astype(COMPLEX_DTYPE)
 
 
+@shape_checked(
+    subgrid_image="(N, N, 2, 2)",
+    uvw_m="(T, 3)",
+    scales="(C,)",
+    offset="(3,)",
+    lmn="(N**2, 3)",
+    taper="(N, N)",
+    aterm_p="(N, N, 2, 2)",
+    aterm_q="(N, N, 2, 2)",
+    returns="(T, C, 2, 2)",
+)
 def degridder_subgrid_fast(
     subgrid_image: np.ndarray,
     uvw_m: np.ndarray,
@@ -112,10 +132,10 @@ def degridder_subgrid_fast(
     else:
         ds = 0.0
 
-    corrected = subgrid_image.astype(np.complex128)
+    corrected = subgrid_image.astype(ACCUM_DTYPE)
     if aterm_p is not None or aterm_q is not None:
-        a_p = aterm_p if aterm_p is not None else _identity_field(n)
-        a_q = aterm_q if aterm_q is not None else _identity_field(n)
+        a_p = aterm_p if aterm_p is not None else identity_jones_field(n)
+        a_q = aterm_q if aterm_q is not None else identity_jones_field(n)
         corrected = apply_sandwich(a_p, corrected, a_q)
     corrected = corrected * taper[:, :, np.newaxis, np.newaxis]
     pixels_flat = corrected.reshape(n * n, 4)
@@ -126,10 +146,13 @@ def degridder_subgrid_fast(
     phasor = np.exp(-1j * (float(scales[0]) * base - offset_phase[:, np.newaxis]))
     step = np.exp(-1j * (ds * base)) if c_total > 1 else None
 
-    out = np.empty((t_total, c_total, 4), dtype=np.complex128)
+    out = np.empty((t_total, c_total, 4), dtype=ACCUM_DTYPE)
     for c in range(c_total):
         if c > 0:
             phasor = phasor * step
+            if c % PHASOR_RENORM_INTERVAL == 0:
+                # same magnitude-drift guard as the gridder fast path
+                phasor /= np.abs(phasor)
         out[:, c] = phasor.T @ pixels_flat
     return out.reshape(t_total, c_total, 2, 2).astype(COMPLEX_DTYPE)
 

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.aterms.jones import apply_adjoint_sandwich
-from repro.constants import COMPLEX_DTYPE, SPEED_OF_LIGHT
+from repro.analysis.contracts import shape_checked
+from repro.aterms.jones import apply_adjoint_sandwich, identity_jones_field
+from repro.constants import ACCUM_DTYPE, COMPLEX_DTYPE, SPEED_OF_LIGHT
 from repro.core.plan import Plan
 from repro.kernels.fft import image_coordinates
 from repro.kernels.wkernel import n_term
@@ -31,7 +32,15 @@ from repro.kernels.wkernel import n_term
 #: Default number of visibilities (timesteps x channels) per batch.
 DEFAULT_VIS_BATCH = 1024
 
+#: Channel interval at which the fast path renormalises its recurrent phasor.
+#: Each recurrence step multiplies by a unit-magnitude complex number whose
+#: rounding error compounds multiplicatively; dividing by ``|phasor|`` every
+#: 64 steps keeps wide-band (hundreds of channels) runs at single-precision
+#: accuracy for the cost of one |z| per pixel-timestep per interval.
+PHASOR_RENORM_INTERVAL = 64
 
+
+@shape_checked(returns="(N**2, 3)")
 def subgrid_lmn(subgrid_size: int, image_size: float) -> np.ndarray:
     """The ``(N**2, 3)`` matrix of (l, m, n) per subgrid pixel, row-major.
 
@@ -46,6 +55,11 @@ def subgrid_lmn(subgrid_size: int, image_size: float) -> np.ndarray:
     return np.stack([ll.ravel(), mm.ravel(), nn.ravel()], axis=1)
 
 
+@shape_checked(
+    uvw_m="(n_times, 3)",
+    frequencies_hz="(n_channels,)",
+    returns="(n_times * n_channels, 3)",
+)
 def relative_uvw_wavelengths(
     uvw_m: np.ndarray,
     frequencies_hz: np.ndarray,
@@ -76,6 +90,15 @@ def relative_uvw_wavelengths(
     return rel
 
 
+@shape_checked(
+    visibilities="(M, 2, 2) | (M, 4)",
+    uvw_rel_wl="(M, 3)",
+    lmn="(N**2, 3)",
+    taper="(N, N)",
+    aterm_p="(N, N, 2, 2)",
+    aterm_q="(N, N, 2, 2)",
+    returns="(N, N, 2, 2)",
+)
 def gridder_subgrid(
     visibilities: np.ndarray,
     uvw_rel_wl: np.ndarray,
@@ -120,7 +143,7 @@ def gridder_subgrid(
             f"uvw_rel_wl shape {uvw_rel_wl.shape} does not match {m_total} visibilities"
         )
 
-    acc = np.zeros((n_pixels2, 4), dtype=np.complex128)
+    acc = np.zeros((n_pixels2, 4), dtype=ACCUM_DTYPE)
     for start in range(0, m_total, vis_batch):
         stop = min(start + vis_batch, m_total)
         # (N^2, batch) phase; the exp() below is the sine/cosine workload the
@@ -131,20 +154,24 @@ def gridder_subgrid(
 
     subgrid = acc.reshape(n, n, 2, 2)
     if aterm_p is not None or aterm_q is not None:
-        a_p = aterm_p if aterm_p is not None else _identity_field(n)
-        a_q = aterm_q if aterm_q is not None else _identity_field(n)
+        a_p = aterm_p if aterm_p is not None else identity_jones_field(n)
+        a_q = aterm_q if aterm_q is not None else identity_jones_field(n)
         subgrid = apply_adjoint_sandwich(a_p, subgrid, a_q)
     subgrid *= taper[:, :, np.newaxis, np.newaxis]
     return subgrid.astype(COMPLEX_DTYPE)
 
 
-def _identity_field(n: int) -> np.ndarray:
-    out = np.zeros((n, n, 2, 2), dtype=np.complex128)
-    out[:, :, 0, 0] = 1.0
-    out[:, :, 1, 1] = 1.0
-    return out
-
-
+@shape_checked(
+    visibilities="(T, C, 2, 2)",
+    uvw_m="(T, 3)",
+    scales="(C,)",
+    offset="(3,)",
+    lmn="(N**2, 3)",
+    taper="(N, N)",
+    aterm_p="(N, N, 2, 2)",
+    aterm_q="(N, N, 2, 2)",
+    returns="(N, N, 2, 2)",
+)
 def gridder_subgrid_fast(
     visibilities: np.ndarray,
     uvw_m: np.ndarray,
@@ -203,16 +230,20 @@ def gridder_subgrid_fast(
     step = np.exp(1j * (ds * base)) if c_total > 1 else None
 
     vis = np.asarray(visibilities).reshape(t_total, c_total, 4)
-    acc = np.zeros((n_pixels2, 4), dtype=np.complex128)
+    acc = np.zeros((n_pixels2, 4), dtype=ACCUM_DTYPE)
     for c in range(c_total):
         if c > 0:
             phasor = phasor * step
+            if c % PHASOR_RENORM_INTERVAL == 0:
+                # the recurrence drifts off the unit circle multiplicatively;
+                # pull it back before the error reaches single precision
+                phasor /= np.abs(phasor)
         acc += phasor @ vis[:, c]
 
     subgrid = acc.reshape(n, n, 2, 2)
     if aterm_p is not None or aterm_q is not None:
-        a_p = aterm_p if aterm_p is not None else _identity_field(n)
-        a_q = aterm_q if aterm_q is not None else _identity_field(n)
+        a_p = aterm_p if aterm_p is not None else identity_jones_field(n)
+        a_q = aterm_q if aterm_q is not None else identity_jones_field(n)
         subgrid = apply_adjoint_sandwich(a_p, subgrid, a_q)
     subgrid *= taper[:, :, np.newaxis, np.newaxis]
     return subgrid.astype(COMPLEX_DTYPE)

@@ -23,6 +23,7 @@ imagers dropping out-of-range samples).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -144,7 +145,7 @@ class Plan:
         for i in range(self.n_subgrids):
             yield self.work_item(i)
 
-    def work_groups(self, group_size: int):
+    def work_groups(self, group_size: int) -> Iterator[tuple[int, int]]:
         """Iterate ``(start, stop)`` index ranges — the paper's work groups
         (Fig 6, level 2).  The last group may be smaller."""
         if group_size <= 0:

@@ -17,7 +17,8 @@ import math
 
 import numpy as np
 
-from repro.aterms.jones import apply_adjoint_sandwich, apply_sandwich
+from repro.aterms.jones import apply_adjoint_sandwich, apply_sandwich, identity_jones_field
+from repro.constants import ACCUM_DTYPE
 from repro.kernels.fft import image_coordinates
 
 
@@ -39,14 +40,14 @@ def reference_gridder(
     coords = image_coordinates(subgrid_size, image_size)
     m_total = uvw_rel_wl.shape[0]
     vis = np.asarray(visibilities).reshape(m_total, 2, 2)
-    subgrid = np.zeros((subgrid_size, subgrid_size, 2, 2), dtype=np.complex128)
+    subgrid = np.zeros((subgrid_size, subgrid_size, 2, 2), dtype=ACCUM_DTYPE)
 
     for y in range(subgrid_size):
         for x in range(subgrid_size):
             l = coords[x]
             m = coords[y]
             n = 1.0 - math.sqrt(max(0.0, 1.0 - l * l - m * m))
-            pixel = np.zeros((2, 2), dtype=np.complex128)
+            pixel = np.zeros((2, 2), dtype=ACCUM_DTYPE)  # idglint: disable=IDG003  (oracle: mirrors pseudocode)
             for k in range(m_total):
                 u, v, w = uvw_rel_wl[k]
                 # Line 7 of Algorithm 1: alpha = f(x, y) . g(u, v, w)
@@ -60,8 +61,7 @@ def reference_gridder(
 
     # apply_aterm(S); apply_spheroidal(S)  (adjoint direction)
     if aterm_p is not None or aterm_q is not None:
-        identity = np.zeros((subgrid_size, subgrid_size, 2, 2), dtype=np.complex128)
-        identity[:, :, 0, 0] = identity[:, :, 1, 1] = 1.0
+        identity = identity_jones_field(subgrid_size)
         a_p = aterm_p if aterm_p is not None else identity
         a_q = aterm_q if aterm_q is not None else identity
         subgrid = apply_adjoint_sandwich(a_p, subgrid, a_q)
@@ -81,21 +81,20 @@ def reference_degridder(
     subgrid_size = subgrid_image.shape[0]
     coords = image_coordinates(subgrid_size, image_size)
 
-    corrected = subgrid_image.astype(np.complex128)
+    corrected = subgrid_image.astype(ACCUM_DTYPE)
     # apply_spheroidal(S); apply_aterm(S)  (forward direction)
     if aterm_p is not None or aterm_q is not None:
-        identity = np.zeros((subgrid_size, subgrid_size, 2, 2), dtype=np.complex128)
-        identity[:, :, 0, 0] = identity[:, :, 1, 1] = 1.0
+        identity = identity_jones_field(subgrid_size)
         a_p = aterm_p if aterm_p is not None else identity
         a_q = aterm_q if aterm_q is not None else identity
         corrected = apply_sandwich(a_p, corrected, a_q)
     corrected = corrected * taper[:, :, np.newaxis, np.newaxis]
 
     m_total = uvw_rel_wl.shape[0]
-    out = np.zeros((m_total, 2, 2), dtype=np.complex128)
+    out = np.zeros((m_total, 2, 2), dtype=ACCUM_DTYPE)
     for k in range(m_total):
         u, v, w = uvw_rel_wl[k]
-        acc = np.zeros((2, 2), dtype=np.complex128)
+        acc = np.zeros((2, 2), dtype=ACCUM_DTYPE)  # idglint: disable=IDG003  (oracle: mirrors pseudocode)
         for y in range(subgrid_size):
             for x in range(subgrid_size):
                 l = coords[x]

@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import shape_checked
 from repro.kernels.fft import centered_fft2, centered_ifft2
 
 
+@shape_checked(subgrid_images="(..., N, N, 2, 2)", returns="(..., N, N, 2, 2)")
 def subgrids_to_fourier(subgrid_images: np.ndarray) -> np.ndarray:
     """Forward transform: image-domain subgrids -> uv-domain subgrids.
 
@@ -42,6 +44,7 @@ def subgrids_to_fourier(subgrid_images: np.ndarray) -> np.ndarray:
     return np.moveaxis(transformed, (0, 1), (-2, -1)).astype(subgrid_images.dtype)
 
 
+@shape_checked(subgrid_fourier="(..., N, N, 2, 2)", returns="(..., N, N, 2, 2)")
 def subgrids_to_image(subgrid_fourier: np.ndarray) -> np.ndarray:
     """Reverse transform: uv-domain subgrids -> image-domain subgrids.
 

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import ACCUM_DTYPE
+
 from repro.aterms.generators import ATermGenerator
 from repro.aterms.schedule import ATermSchedule
 from repro.constants import COMPLEX_DTYPE, SPEED_OF_LIGHT
@@ -159,7 +161,7 @@ class WStackedIDG:
         """
         gs = self.idg.gridspec
         g = gs.grid_size
-        accum = np.zeros((4, g, g), dtype=np.complex128)
+        accum = np.zeros((4, g, g), dtype=ACCUM_DTYPE)
         total = 0.0
         for layer in layers:
             grid = self.idg.grid(layer.plan, uvw_m, visibilities, aterms=aterms)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constants import ACCUM_DTYPE
 from repro.kernels.fft import centered_fft2
 from repro.kernels.spheroidal import spheroidal_taper
 from repro.kernels.wkernel import w_kernel_image
@@ -91,13 +92,13 @@ def _oversample_image_function(
     if support > n:
         raise ValueError(f"support {support} exceeds image raster {n}")
     big = n * oversample
-    padded = np.zeros((big, big), dtype=np.complex128)
+    padded = np.zeros((big, big), dtype=ACCUM_DTYPE)
     lo = big // 2 - n // 2
     padded[lo : lo + n, lo : lo + n] = image_func
     uv_fine = centered_fft2(padded)
 
     centre = big // 2
-    table = np.empty((oversample, oversample, support, support), dtype=np.complex128)
+    table = np.empty((oversample, oversample, support, support), dtype=ACCUM_DTYPE)
     cells = np.arange(support) - support // 2
     for rv in range(oversample):
         # map table index back to signed sub-cell shift in [-O/2, O/2)

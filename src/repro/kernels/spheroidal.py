@@ -62,10 +62,10 @@ def evaluate_prolate_spheroidal(nu: np.ndarray) -> np.ndarray:
             continue
         nu_part = nu[mask]
         delta = nu_part * nu_part - edges_hi[part] * edges_hi[part]
-        top = np.zeros_like(nu_part)
+        top = np.zeros_like(nu_part)  # idglint: disable=IDG003  (bounded: 2 parts)
         for k in range(_P.shape[1] - 1, -1, -1):
             top = top * delta + _P[part, k]
-        bot = np.zeros_like(nu_part)
+        bot = np.zeros_like(nu_part)  # idglint: disable=IDG003  (bounded: 2 parts)
         for k in range(_Q.shape[1] - 1, -1, -1):
             bot = bot * delta + _Q[part, k]
         out[mask] = top / bot

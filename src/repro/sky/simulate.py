@@ -84,13 +84,13 @@ def predict_baseline(
         delay_m = uvw_m[t0:t1] @ lmn.T
         # phase: (T', C, K)
         phase = -2.0 * np.pi * delay_m[:, np.newaxis, :] * scale[np.newaxis, :, np.newaxis]
-        phasor = np.exp(1j * phase)
+        phasor = np.exp(1j * phase)  # idglint: disable=IDG002  (oracle: direct measurement equation)
         if extended:
             # Gaussian visibility envelope exp(-2 pi^2 sigma^2 (u^2 + v^2)),
             # analytic FT of a circular Gaussian (see GaussianSource)
             uv2_m = (uvw_m[t0:t1, 0] ** 2 + uvw_m[t0:t1, 1] ** 2)  # (T',)
             uv2 = uv2_m[:, np.newaxis] * scale[np.newaxis, :] ** 2  # (T', C)
-            envelope = np.exp(
+            envelope = np.exp(  # idglint: disable=IDG002  (oracle: analytic Gaussian envelope)
                 -2.0 * np.pi**2
                 * sky.sigma[np.newaxis, np.newaxis, :] ** 2
                 * uv2[:, :, np.newaxis]
@@ -163,7 +163,7 @@ def predict_visibilities(
         if use_aterms:
             p, q = int(baselines[b, 0]), int(baselines[b, 1])
             # corrupted brightness per interval, expanded to per-time
-            corrupted_by_interval = np.stack(
+            corrupted_by_interval = np.stack(  # idglint: disable=IDG003  (bounded: n_intervals)
                 [
                     apply_sandwich(jones[(p, itv)], sky.brightness, jones[(q, itv)])
                     for itv in range(n_intervals)

@@ -38,8 +38,8 @@ def random_sky(
         if rng.uniform() < polarized_fraction:
             frac = rng.uniform(0.0, 0.3)
             angle_pol = rng.uniform(0, np.pi)
-            q = flux[k] * frac * np.cos(2 * angle_pol)
-            u = flux[k] * frac * np.sin(2 * angle_pol)
+            q = flux[k] * frac * np.cos(2 * angle_pol)  # idglint: disable=IDG002  (setup: per-source)
+            u = flux[k] * frac * np.sin(2 * angle_pol)  # idglint: disable=IDG002  (setup: per-source)
             brightness[k] = brightness_from_stokes(flux[k], q, u)
         else:
             brightness[k] = brightness_unpolarized_unit(flux[k])

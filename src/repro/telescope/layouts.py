@@ -67,11 +67,12 @@ def ska1_low_like_layout(
             if count == 0:
                 continue
             t = np.linspace(0.0, 1.0, count, endpoint=True)
-            radius = r0 * np.exp(growth * t)
+            radius = r0 * np.exp(growth * t)  # idglint: disable=IDG002  (setup: per-arm, not per-visibility)
             angle = 2.0 * np.pi * arm / n_arms + 1.5 * np.pi * t
             angle = angle + rng.normal(scale=0.03, size=count)
             radius = radius * (1.0 + rng.normal(scale=0.05, size=count))
-            arm_positions.append(np.stack([radius * np.cos(angle), radius * np.sin(angle)], axis=1))
+            enu = np.stack([radius * np.cos(angle), radius * np.sin(angle)], axis=1)  # idglint: disable=IDG002,IDG003  (setup: per-arm)
+            arm_positions.append(enu)
     xy = np.concatenate([core] + arm_positions, axis=0) if arm_positions else core
     return _as_enu(xy)
 
@@ -123,9 +124,10 @@ def vla_like_layout(
             continue
         k = np.arange(1, count + 1, dtype=np.float64)
         radius = arm_length_m * (k / count) ** power
-        angle = np.full(count, 2.0 * np.pi * arm / 3.0 + np.pi / 2.0)
+        angle = np.full(count, 2.0 * np.pi * arm / 3.0 + np.pi / 2.0)  # idglint: disable=IDG003  (setup: 3 arms)
         angle = angle + rng.normal(scale=1e-3, size=count)
-        xy.append(np.stack([radius * np.cos(angle), radius * np.sin(angle)], axis=1))
+        enu = np.stack([radius * np.cos(angle), radius * np.sin(angle)], axis=1)  # idglint: disable=IDG002,IDG003  (setup: 3 arms)
+        xy.append(enu)
     return _as_enu(np.concatenate(xy, axis=0))
 
 

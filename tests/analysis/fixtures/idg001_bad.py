@@ -1,0 +1,7 @@
+"""IDG001 fixture: raw complex dtype literals in kernel code."""
+import numpy as np
+
+
+def make_subgrid(n: int) -> np.ndarray:
+    acc = np.zeros((n, n), dtype=np.complex128)
+    return acc.astype(np.complex64)

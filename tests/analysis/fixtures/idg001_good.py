@@ -1,0 +1,9 @@
+"""IDG001 fixture: dtype policy routed through repro.constants."""
+import numpy as np
+
+from repro.constants import ACCUM_DTYPE, COMPLEX_DTYPE
+
+
+def make_subgrid(n: int) -> np.ndarray:
+    acc = np.zeros((n, n), dtype=ACCUM_DTYPE)
+    return acc.astype(COMPLEX_DTYPE)

@@ -1,0 +1,11 @@
+"""IDG002 fixture: per-visibility sine/cosine inside a Python loop."""
+import numpy as np
+
+
+def accumulate(phases: np.ndarray) -> complex:
+    total = 0.0 + 0.0j
+    for phase in phases:
+        total += np.cos(phase) + 1j * np.sin(phase)
+    while abs(total) > 1e6:
+        total *= np.exp(-1.0)
+    return total

@@ -1,0 +1,7 @@
+"""IDG002 fixture: phasors evaluated vectorised, outside any loop."""
+import numpy as np
+
+
+def accumulate(phases: np.ndarray) -> complex:
+    phasor = np.exp(1j * phases)
+    return complex(phasor.sum())

@@ -1,0 +1,11 @@
+"""IDG003 fixture: array allocation inside a per-work-item loop."""
+import numpy as np
+
+
+def process(work_items: list) -> list:
+    totals = []
+    for item in work_items:
+        buffer = np.zeros(item)
+        parts = np.concatenate([buffer, buffer])
+        totals.append(parts.sum())
+    return totals

@@ -1,0 +1,11 @@
+"""IDG003 fixture: buffers preallocated outside the loop."""
+import numpy as np
+
+
+def process(work_items: list) -> np.ndarray:
+    out = np.empty(len(work_items))
+    buffer = np.zeros(max(work_items, default=1))
+    for k, item in enumerate(work_items):
+        buffer[:item] = item
+        out[k] = buffer[:item].sum()
+    return out

@@ -1,0 +1,9 @@
+"""IDG004 fixture: mutable defaults and module-level mutable state."""
+
+CACHE = {}
+REGISTRY = list()
+
+
+def append_result(value: float, results=[]) -> list:
+    results.append(value)
+    return results

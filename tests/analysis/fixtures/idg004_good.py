@@ -1,0 +1,14 @@
+"""IDG004 fixture: constants declared Final, defaults immutable."""
+from typing import Final
+
+CACHE: Final = {"capacity": 128}
+NAMES = ("xx", "xy", "yx", "yy")
+
+__all__ = ["append_result"]
+
+
+def append_result(value: float, results: list | None = None) -> list:
+    if results is None:
+        results = []
+    results.append(value)
+    return results

@@ -1,0 +1,15 @@
+"""IDG005 fixture: public kernel function without a return annotation."""
+import numpy as np
+
+
+def gridder_entry(visibilities):
+    return np.asarray(visibilities)
+
+
+class KernelStage:
+    def run(self, block):
+        return block
+
+
+def _private_helper(x):
+    return x

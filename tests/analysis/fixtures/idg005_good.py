@@ -1,0 +1,15 @@
+"""IDG005 fixture: public kernel functions declare their return types."""
+import numpy as np
+
+
+def gridder_entry(visibilities) -> np.ndarray:
+    return np.asarray(visibilities)
+
+
+class KernelStage:
+    def run(self, block) -> np.ndarray:
+        return block
+
+
+def _private_helper(x):
+    return x

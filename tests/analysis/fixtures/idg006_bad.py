@@ -1,0 +1,18 @@
+"""IDG006 fixture: docstring shapes disagree with the @shape_checked spec."""
+from repro.analysis.contracts import shape_checked
+
+
+@shape_checked(uvw="(M, 4)", returns="(M, 2)")
+def transform(uvw):
+    """Phase-shift one visibility block.
+
+    Parameters
+    ----------
+    uvw:
+        ``(M, 3)`` relative coordinates in wavelengths.
+
+    Returns
+    -------
+    ``(M, 2, 2)`` predicted visibilities.
+    """
+    return uvw

@@ -1,0 +1,19 @@
+"""IDG006 fixture: docstring shapes agree with the @shape_checked spec."""
+from repro.analysis.contracts import shape_checked
+
+
+@shape_checked(uvw="(M, 3)", returns="(M, 2, 2)")
+def transform(uvw):
+    """Phase-shift one visibility block.
+
+    Parameters
+    ----------
+    uvw:
+        ``(M, 3)`` relative coordinates in wavelengths
+        (prose parentheticals like this one are ignored).
+
+    Returns
+    -------
+    ``(M, 2, 2)`` predicted visibilities.
+    """
+    return uvw

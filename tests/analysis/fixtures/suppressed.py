@@ -1,0 +1,9 @@
+"""Suppression fixture: inline disables silence specific codes."""
+import numpy as np
+
+
+def process(work_items: list) -> None:
+    for item in work_items:
+        buffer = np.zeros(item)  # idglint: disable=IDG003
+        np.cos(buffer)  # idglint: disable=all
+        np.sin(buffer)  # idglint: disable=IDG001,IDG002

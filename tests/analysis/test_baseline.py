@@ -1,0 +1,136 @@
+"""Baseline round-trip / stale detection, and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import Violation
+
+
+def _violation(path: str = "core/mod.py", line: int = 10, code: str = "IDG003",
+               snippet: str = "buf = np.zeros(n)") -> Violation:
+    return Violation(path=path, line=line, col=9, code=code,
+                     message="array allocation inside loop", snippet=snippet)
+
+
+class TestBaselineFile:
+    def test_write_then_load_roundtrip(self, tmp_path: Path) -> None:
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_violation()])
+        entries = load_baseline(path)
+        assert len(entries) == 1
+        assert entries[0]["path"] == "core/mod.py"
+        assert entries[0]["code"] == "IDG003"
+        assert entries[0]["snippet"] == "buf = np.zeros(n)"
+
+    def test_load_rejects_unknown_version(self, tmp_path: Path) -> None:
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_matching_ignores_line_numbers(self) -> None:
+        entries = [{"path": "core/mod.py", "code": "IDG003",
+                    "snippet": "buf = np.zeros(n)", "line": 10}]
+        # same line of code drifted 30 lines down: still baselined
+        new, stale = apply_baseline([_violation(line=40)], entries)
+        assert new == [] and stale == []
+
+    def test_new_violation_not_covered(self) -> None:
+        entries = [{"path": "core/mod.py", "code": "IDG003",
+                    "snippet": "buf = np.zeros(n)", "line": 10}]
+        v = _violation(snippet="other = np.empty(n)")
+        new, stale = apply_baseline([v], entries)
+        assert new == [v]
+        assert len(stale) == 1  # the old entry matched nothing
+
+    def test_multiset_matching_needs_one_entry_per_occurrence(self) -> None:
+        entries = [{"path": "core/mod.py", "code": "IDG003",
+                    "snippet": "buf = np.zeros(n)"}]
+        duplicates = [_violation(line=10), _violation(line=20)]
+        new, stale = apply_baseline(duplicates, entries)
+        assert len(new) == 1 and stale == []
+
+    def test_stale_entries_reported_when_debt_fixed(self) -> None:
+        entries = [{"path": "core/mod.py", "code": "IDG003",
+                    "snippet": "buf = np.zeros(n)"}]
+        new, stale = apply_baseline([], entries)
+        assert new == [] and stale == entries
+
+
+class TestCli:
+    @pytest.fixture()
+    def project(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "dirty.py").write_text(
+            "import numpy as np\n"
+            "def f(items: list) -> None:\n"
+            "    for item in items:\n"
+            "        buf = np.zeros(item)\n"
+        )
+        return tmp_path
+
+    def test_new_violations_exit_1(self, project: Path, capsys) -> None:
+        code = main([str(project / "pkg"), "--root", str(project),
+                     "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "pkg/dirty.py:4" in out and "IDG003" in out
+
+    def test_clean_tree_exits_0(self, tmp_path: Path, capsys) -> None:
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "clean.py").write_text("X: int = 1\n")
+        code = main([str(pkg), "--root", str(tmp_path), "--no-baseline"])
+        assert code == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_write_baseline_then_rerun_is_clean(self, project: Path, capsys) -> None:
+        baseline = project / "idglint-baseline.json"
+        assert main([str(project / "pkg"), "--root", str(project),
+                     "--write-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        code = main([str(project / "pkg"), "--root", str(project)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_fail_stale_exits_1_after_debt_fixed(self, project: Path, capsys) -> None:
+        assert main([str(project / "pkg"), "--root", str(project),
+                     "--write-baseline"]) == 0
+        (project / "pkg" / "dirty.py").write_text("X: int = 1\n")
+        capsys.readouterr()
+        assert main([str(project / "pkg"), "--root", str(project)]) == 0
+        assert main([str(project / "pkg"), "--root", str(project),
+                     "--fail-stale"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_json_format(self, project: Path, capsys) -> None:
+        code = main([str(project / "pkg"), "--root", str(project),
+                     "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["baselined"] == 0
+        assert [v["code"] for v in payload["violations"]] == ["IDG003"]
+
+    def test_select_filters_rules(self, project: Path, capsys) -> None:
+        code = main([str(project / "pkg"), "--root", str(project),
+                     "--no-baseline", "--select", "IDG001"])
+        assert code == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self, tmp_path: Path, capsys) -> None:
+        assert main([str(tmp_path / "nope"), "--no-baseline"]) == 2
+
+    def test_list_rules_prints_catalogue(self, capsys) -> None:
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for idx in range(1, 7):
+            assert f"IDG00{idx}" in out

@@ -1,0 +1,140 @@
+"""Runtime behaviour of the @shape_checked decorator.
+
+``tests/conftest.py`` sets ``IDGLINT_SHAPE_CHECKS=1`` before any repro
+import, so decorating inside these tests produces *enforcing* wrappers; the
+disabled-mode test forces checks off for the duration of one decoration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.contracts import (
+    ShapeContractError,
+    enable_shape_checks,
+    shape_checked,
+    shape_checks_enabled,
+)
+
+
+def test_checks_enabled_by_test_harness() -> None:
+    assert shape_checks_enabled()
+
+
+def test_accepts_matching_shapes() -> None:
+    @shape_checked(uvw="(M, 3)", returns="(M,)")
+    def norms(uvw: np.ndarray) -> np.ndarray:
+        return np.sqrt((uvw**2).sum(axis=1))
+
+    out = norms(np.zeros((5, 3)))
+    assert out.shape == (5,)
+
+
+def test_rejects_wrong_argument_shape() -> None:
+    @shape_checked(uvw="(M, 3)")
+    def f(uvw: np.ndarray) -> None:
+        return None
+
+    with pytest.raises(ShapeContractError, match="argument 'uvw'"):
+        f(np.zeros((5, 4)))
+
+
+def test_symbols_bind_across_parameters() -> None:
+    @shape_checked(lmn="(N**2, 3)", taper="(N, N)")
+    def f(lmn: np.ndarray, taper: np.ndarray) -> None:
+        return None
+
+    f(np.zeros((16, 3)), np.zeros((4, 4)))  # N = 4, consistent
+    with pytest.raises(ShapeContractError, match="taper"):
+        f(np.zeros((16, 3)), np.zeros((5, 5)))  # N = 4 vs 5
+
+
+def test_return_value_uses_same_bindings() -> None:
+    @shape_checked(taper="(N, N)", returns="(N, N, 2, 2)")
+    def f(taper: np.ndarray, n_out: int) -> np.ndarray:
+        return np.zeros((n_out, n_out, 2, 2))
+
+    f(np.zeros((4, 4)), 4)
+    with pytest.raises(ShapeContractError, match="return value"):
+        f(np.zeros((4, 4)), 5)
+
+
+def test_alternatives_accept_either_layout() -> None:
+    @shape_checked(vis="(M, 2, 2) | (M, 4)")
+    def f(vis: np.ndarray) -> None:
+        return None
+
+    f(np.zeros((7, 2, 2)))
+    f(np.zeros((7, 4)))
+    with pytest.raises(ShapeContractError):
+        f(np.zeros((7, 3)))
+
+
+def test_ellipsis_spec_accepts_any_leading_axes() -> None:
+    @shape_checked(jones="(..., 2, 2)")
+    def f(jones: np.ndarray) -> None:
+        return None
+
+    f(np.zeros((2, 2)))
+    f(np.zeros((9, 9, 2, 2)))
+    with pytest.raises(ShapeContractError):
+        f(np.zeros((9, 2, 3)))
+
+
+def test_product_spec_binds_factors() -> None:
+    @shape_checked(uvw="(n_times, 3)", flat="(n_times * n_channels, 3)")
+    def f(uvw: np.ndarray, flat: np.ndarray) -> None:
+        return None
+
+    f(np.zeros((3, 3)), np.zeros((12, 3)))
+    with pytest.raises(ShapeContractError, match="flat"):
+        f(np.zeros((5, 3)), np.zeros((12, 3)))  # 12 not divisible by 5
+
+
+def test_none_arguments_are_skipped() -> None:
+    @shape_checked(aterm="(N, N, 2, 2)")
+    def f(aterm: np.ndarray | None = None) -> None:
+        return None
+
+    f(None)
+    f()
+
+
+def test_spec_name_must_exist_in_signature() -> None:
+    with pytest.raises(TypeError, match="not in signature"):
+        @shape_checked(nope="(M, 3)")
+        def f(uvw: np.ndarray) -> None:
+            return None
+
+
+def test_disabled_mode_returns_function_unchanged() -> None:
+    enable_shape_checks(False)
+    try:
+        def raw(uvw: np.ndarray) -> None:
+            return None
+
+        decorated = shape_checked(uvw="(M, 3)")(raw)
+        assert decorated is raw
+        assert decorated.__shape_spec__ == {"params": {"uvw": "(M, 3)"}, "returns": None}
+        decorated(np.zeros((5, 99)))  # no enforcement
+    finally:
+        contracts._forced = None  # restore defer-to-environment
+
+
+def test_spec_recorded_on_wrapper_when_enabled() -> None:
+    @shape_checked(uvw="(M, 3)", returns="(M,)")
+    def f(uvw: np.ndarray) -> np.ndarray:
+        return uvw[:, 0]
+
+    assert f.__shape_spec__ == {"params": {"uvw": "(M, 3)"}, "returns": "(M,)"}
+
+
+def test_error_message_reports_bindings() -> None:
+    @shape_checked(lmn="(N**2, 3)", taper="(N, N)")
+    def f(lmn: np.ndarray, taper: np.ndarray) -> None:
+        return None
+
+    with pytest.raises(ShapeContractError, match=r"bound: N=4"):
+        f(np.zeros((16, 3)), np.zeros((3, 3)))

@@ -1,0 +1,62 @@
+"""Docstring shape extraction used by IDG006."""
+
+from __future__ import annotations
+
+from repro.analysis.docshapes import docstring_shapes
+
+DOC = """Grid one visibility block.
+
+Parameters
+----------
+visibilities:
+    ``(M, 2, 2)`` or ``(M, 4)`` complex visibilities.
+aterm_p, aterm_q:
+    Optional ``(N, N, 2, 2)`` Jones fields; ``None`` means identity.
+frequencies_hz:
+    ``(n_channels,)`` channel frequencies in Hz.
+w_offset:
+    Scalar w offset (no shape documented).
+
+Returns
+-------
+np.ndarray
+    ``(N, N, 2, 2)`` accumulated subgrid image.
+"""
+
+
+def test_extracts_param_shapes() -> None:
+    params, _ = docstring_shapes(DOC)
+    assert params["visibilities"] == frozenset({"(M, 2, 2)", "(M, 4)"})
+    assert params["frequencies_hz"] == frozenset({"(n_channels,)"})
+
+
+def test_shared_entry_names_share_shapes() -> None:
+    params, _ = docstring_shapes(DOC)
+    assert params["aterm_p"] == params["aterm_q"] == frozenset({"(N, N, 2, 2)"})
+
+
+def test_params_without_shapes_are_absent() -> None:
+    params, _ = docstring_shapes(DOC)
+    assert "w_offset" not in params
+
+
+def test_extracts_return_shapes() -> None:
+    _, returns = docstring_shapes(DOC)
+    assert returns == frozenset({"(N, N, 2, 2)"})
+
+
+def test_prose_parentheticals_and_none_ignored() -> None:
+    doc = """Do things.
+
+Parameters
+----------
+x:
+    ``(M, 3)`` coordinates; ``None`` resets (and ``(u - u_mid)`` is prose).
+"""
+    params, _ = docstring_shapes(doc)
+    assert params["x"] == frozenset({"(M, 3)"})
+
+
+def test_no_docstring() -> None:
+    assert docstring_shapes(None) == ({}, frozenset())
+    assert docstring_shapes("just a summary line") == ({}, frozenset())

@@ -1,0 +1,63 @@
+"""Tier-1 gate: the repo's own source must lint clean against its baseline.
+
+This is the enforcement point for the idglint invariants (dtype policy,
+hot-loop hygiene, shape-contract/doc agreement): any new violation in
+``src/repro`` fails the suite until fixed or deliberately baselined with
+``python -m repro.analysis --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "idglint-baseline.json"
+
+
+def _format(violations) -> str:
+    return "\n".join(v.format_text() for v in violations)
+
+
+def test_repo_source_lints_clean() -> None:
+    violations = lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+    entries = load_baseline(BASELINE) if BASELINE.exists() else []
+    new, stale = apply_baseline(violations, entries)
+    assert not new, f"new idglint violations:\n{_format(new)}"
+    assert not stale, f"stale baseline entries (fixed debt — prune them): {stale}"
+
+
+def test_baseline_is_empty() -> None:
+    """The repo carries zero grandfathered lint debt; keep it that way."""
+    assert load_baseline(BASELINE) == []
+
+
+def test_cli_entry_point_exits_clean() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 new violation(s)" in proc.stdout
+
+
+def test_cli_json_output_parses(tmp_path: Path) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro",
+         "--format", "json"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["violations"] == []
+    assert payload["stale_baseline"] == []

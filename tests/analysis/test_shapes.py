@@ -1,0 +1,115 @@
+"""Unit tests for the idglint shape grammar (parse / canonicalise / match)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.shapes import (
+    ELLIPSIS,
+    ShapeSpecError,
+    canonical_alternatives,
+    format_alternatives,
+    match_shape,
+    parse_shape_spec,
+)
+
+
+class TestParsing:
+    def test_fixed_and_symbolic_dims(self) -> None:
+        assert parse_shape_spec("(M, 3)") == [("M", 3)]
+
+    def test_alternatives(self) -> None:
+        assert parse_shape_spec("(M, 2, 2) | (M, 4)") == [("M", 2, 2), ("M", 4)]
+
+    def test_power(self) -> None:
+        assert parse_shape_spec("(N**2, 3)") == [(("pow", "N", 2), 3)]
+
+    def test_product(self) -> None:
+        assert parse_shape_spec("(n_times * n_channels, 3)") == [
+            (("mul", "n_times", "n_channels"), 3)
+        ]
+
+    def test_leading_ellipsis(self) -> None:
+        assert parse_shape_spec("(..., 2, 2)") == [(ELLIPSIS, 2, 2)]
+
+    def test_one_tuple(self) -> None:
+        assert parse_shape_spec("(C,)") == [("C",)]
+
+    def test_scalar_shape(self) -> None:
+        assert parse_shape_spec("()") == [()]
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["M, 3", "(M, ..., 2)", "(M, )(", "(M + 3,)", "(2**N,)", "(, 3)"],
+    )
+    def test_rejects_malformed_specs(self, bad: str) -> None:
+        with pytest.raises(ShapeSpecError):
+            parse_shape_spec(bad)
+
+    def test_canonical_alternatives_normalise_whitespace(self) -> None:
+        assert canonical_alternatives("( M,3 )|( M , 4 )") == canonical_alternatives(
+            "(M, 3) | (M, 4)"
+        )
+
+    def test_format_roundtrip(self) -> None:
+        for spec in ["(M, 3)", "(N**2, 3)", "(a*b, 3)", "(..., 2, 2)", "(C,)"]:
+            assert format_alternatives(parse_shape_spec(spec)) == spec
+
+
+class TestMatching:
+    def _match(self, shape, spec, env=None):
+        env = {} if env is None else env
+        ok = match_shape(shape, parse_shape_spec(spec), env)
+        return ok, env
+
+    def test_binds_symbol_on_first_use(self) -> None:
+        ok, env = self._match((7, 3), "(M, 3)")
+        assert ok and env == {"M": 7}
+
+    def test_symbol_must_stay_consistent(self) -> None:
+        env = {"M": 7}
+        ok, env = self._match((8, 3), "(M, 3)", env)
+        assert not ok
+
+    def test_env_shared_across_calls(self) -> None:
+        env: dict[str, int] = {}
+        assert match_shape((16, 3), parse_shape_spec("(N**2, 3)"), env)
+        assert env == {"N": 4}
+        assert match_shape((4, 4), parse_shape_spec("(N, N)"), env)
+        assert not match_shape((5, 5), parse_shape_spec("(N, N)"), env)
+
+    def test_power_requires_perfect_root(self) -> None:
+        ok, _ = self._match((15, 3), "(N**2, 3)")
+        assert not ok
+
+    def test_product_binds_free_symbol(self) -> None:
+        env = {"n_times": 3}
+        ok, env = self._match((12, 3), "(n_times * n_channels, 3)", env)
+        assert ok and env["n_channels"] == 4
+
+    def test_product_requires_divisibility(self) -> None:
+        env = {"n_times": 5}
+        ok, _ = self._match((12, 3), "(n_times * n_channels, 3)", env)
+        assert not ok
+
+    def test_ellipsis_matches_any_leading_axes(self) -> None:
+        for shape in [(2, 2), (9, 2, 2), (3, 4, 2, 2)]:
+            ok, _ = self._match(shape, "(..., 2, 2)")
+            assert ok, shape
+        ok, _ = self._match((2,), "(..., 2, 2)")
+        assert not ok
+
+    def test_alternatives_first_match_commits(self) -> None:
+        ok, env = self._match((5, 4), "(M, 2, 2) | (M, 4)")
+        assert ok and env == {"M": 5}
+
+    def test_rank_mismatch_fails(self) -> None:
+        ok, _ = self._match((5, 3, 1), "(M, 3)")
+        assert not ok
+
+    def test_failed_alternative_does_not_pollute_env(self) -> None:
+        env: dict[str, int] = {}
+        # first alternative binds M=5 then fails on the 3rd dim; the second
+        # alternative must start from a clean copy.
+        ok = match_shape((5, 2, 7), parse_shape_spec("(M, 2, 2) | (M, 2, K)"), env)
+        assert ok and env == {"M": 5, "K": 7}

@@ -7,6 +7,13 @@ must treat them as read-only.
 
 from __future__ import annotations
 
+import os
+
+# Runtime shape contracts (repro.analysis.contracts) are decoration-time
+# gated; enable them before any repro module is imported so every kernel
+# call in the suite is validated against its @shape_checked spec.
+os.environ.setdefault("IDGLINT_SHAPE_CHECKS", "1")
+
 import numpy as np
 import pytest
 
