@@ -25,6 +25,29 @@ from typing import Final
 import numpy as np
 
 
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    """Executor selection shared by the gridding/degridding commands."""
+    parser.add_argument(
+        "--executor", choices=["serial", "threads", "streaming"],
+        default="serial",
+        help="serial IDG, flat thread pool (ParallelIDG), or the streaming "
+        "stage-graph runtime (StreamingIDG)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads (threads executor; default: all cores)",
+    )
+    parser.add_argument(
+        "--n-buffers", type=int, default=3,
+        help="streaming executor: work groups in flight "
+        "(1 = serial schedule, 3 = triple buffering)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="streaming executor: write a chrome://tracing JSON of the run",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -58,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     img.add_argument("--subgrid-size", type=int, default=24)
     img.add_argument("--weighting", choices=["natural", "uniform"],
                      default="natural")
+    _add_executor_args(img)
 
     clean = sub.add_parser("clean", help="run the CLEAN major cycle")
     clean.add_argument("dataset")
@@ -73,6 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     pred.add_argument("model", help="model image (.npz with 'model' of shape (G, G))")
     pred.add_argument("output", help="output dataset (.npz)")
     pred.add_argument("--subgrid-size", type=int, default=24)
+    _add_executor_args(pred)
 
     flag = sub.add_parser("flag", help="sigma-clip RFI flagging")
     flag.add_argument("dataset")
@@ -168,6 +193,31 @@ def _make_idg(dataset, grid_size, subgrid_size):
     return idg, gridspec
 
 
+def _make_executor(idg, args):
+    """The gridding/degridding engine selected by ``--executor``."""
+    if args.executor == "threads":
+        from repro.parallel.executor import ParallelIDG
+
+        return ParallelIDG(idg, n_workers=args.workers)
+    if args.executor == "streaming":
+        from repro.runtime import RuntimeConfig, StreamingIDG
+
+        return StreamingIDG(idg, RuntimeConfig(n_buffers=args.n_buffers))
+    return idg
+
+
+def _report_run(engine, args) -> None:
+    """After a streaming run: print the telemetry digest, export the trace."""
+    telemetry = getattr(engine, "last_telemetry", None)
+    if telemetry is None:
+        return
+    print(telemetry.summary())
+    if args.trace:
+        telemetry.write_chrome_trace(args.trace)
+        print(f"chrome trace written to {args.trace} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+
+
 def _cmd_image(args) -> int:
     from repro.data.io import load_dataset
     from repro.imaging.image import dirty_image_from_grid, stokes_i_image
@@ -185,7 +235,9 @@ def _cmd_image(args) -> int:
         vis = apply_weights(vis, weights)
         weight_sum = float(weights.sum())
 
-    grid = idg.grid(plan, ds.uvw_m, vis)
+    engine = _make_executor(idg, args)
+    grid = engine.grid(plan, ds.uvw_m, vis)
+    _report_run(engine, args)
     image = stokes_i_image(
         dirty_image_from_grid(grid, gridspec, weight_sum=weight_sum)
     )
@@ -233,7 +285,9 @@ def _cmd_predict(args) -> int:
     model4[3] = model
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
     grid = model_image_to_grid(model4, gridspec)
-    predicted = idg.degrid(plan, ds.uvw_m, grid)
+    engine = _make_executor(idg, args)
+    predicted = engine.degrid(plan, ds.uvw_m, grid)
+    _report_run(engine, args)
     save_dataset(ds.with_visibilities(predicted), args.output)
     print(f"wrote predicted visibilities to {args.output}")
     return 0

@@ -39,6 +39,26 @@ from repro.gridspec import GridSpec
 from repro.kernels.spheroidal import taper_for
 
 
+def mask_flagged(
+    visibilities: np.ndarray, flags: np.ndarray | None
+) -> np.ndarray:
+    """Zero flagged samples (RFI etc.) before gridding.
+
+    ``flags`` is an optional ``(n_baselines, n_times, n_channels)`` boolean
+    mask; flagged samples are gridded as zeros — remember to subtract their
+    count from the image's ``weight_sum``.  Returns ``visibilities``
+    unchanged when ``flags`` is ``None``.
+    """
+    if flags is None:
+        return visibilities
+    flags = np.asarray(flags, dtype=bool)
+    if flags.shape != visibilities.shape[:3]:
+        raise ValueError(
+            f"flags shape {flags.shape} != {visibilities.shape[:3]}"
+        )
+    return np.where(flags[..., np.newaxis, np.newaxis], 0, visibilities)
+
+
 @dataclass(frozen=True)
 class IDGConfig:
     """Tunable parameters of the IDG pipeline.
@@ -183,15 +203,7 @@ class IDG:
         The ``(4, G, G)`` master grid.
         """
         self._check_shapes(plan, uvw_m, visibilities)
-        if flags is not None:
-            flags = np.asarray(flags, dtype=bool)
-            if flags.shape != visibilities.shape[:3]:
-                raise ValueError(
-                    f"flags shape {flags.shape} != {visibilities.shape[:3]}"
-                )
-            visibilities = np.where(
-                flags[..., np.newaxis, np.newaxis], 0, visibilities
-            )
+        visibilities = mask_flagged(visibilities, flags)
         if grid is None:
             grid = self.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         fields = self.aterm_fields(plan, aterms)

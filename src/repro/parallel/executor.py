@@ -1,16 +1,24 @@
 """Thread-parallel IDG pipeline (paper Section V-B).
 
 ``ParallelIDG`` wraps a :class:`repro.core.IDG` and distributes work groups
-over a thread pool: every worker grids/degrids its own work groups (the BLAS
-matrix products and FFTs inside release the GIL), and the results are merged
-with the lock-free row-partitioned adder.  Degridding needs no merging at
-all — work items write disjoint visibility blocks — mirroring the paper's
-observation that the splitter/degridder side is trivially parallel.
+over a flat thread pool: every worker grids/degrids its own work groups (the
+BLAS matrix products and FFTs inside release the GIL), and the results are
+merged with the lock-free row-partitioned adder as each worker completes.
+Degridding needs no merging at all — work items write disjoint visibility
+blocks — mirroring the paper's observation that the splitter/degridder side
+is trivially parallel.
+
+.. note::
+   This is the simple data-parallel executor kept for the Section V-B CPU
+   comparison.  The pipelined successor — overlapping gridder, FFT and adder
+   stages through bounded buffers, with telemetry — is
+   :class:`repro.runtime.StreamingIDG`; prefer it for new code.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+from concurrent.futures import ThreadPoolExecutor, as_completed
 
 import numpy as np
 
@@ -34,10 +42,13 @@ class ParallelIDG:
     idg:
         The configured single-threaded pipeline to parallelise.
     n_workers:
-        Worker threads (the paper uses all logical cores).
+        Worker threads; defaults to every logical core (the paper uses all
+        of them).
     """
 
-    def __init__(self, idg: IDG, n_workers: int = 4):
+    def __init__(self, idg: IDG, n_workers: int | None = None):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.idg = idg
@@ -50,7 +61,12 @@ class ParallelIDG:
         visibilities: np.ndarray,
         aterms: ATermGenerator | None = None,
     ) -> np.ndarray:
-        """Parallel equivalent of :meth:`repro.core.IDG.grid`."""
+        """Parallel equivalent of :meth:`repro.core.IDG.grid`.
+
+        Subgrid batches are merged onto the master grid as each worker
+        completes (``as_completed``), overlapping adder work with the
+        remaining gridding instead of waiting for the whole pool.
+        """
         idg = self.idg
         fields = idg.aterm_fields(plan, aterms)
         group_size = idg.config.work_group_size
@@ -71,13 +87,15 @@ class ParallelIDG:
 
         grid = idg.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            results = pool.map(worker, range(self.n_workers))
-            batches = [batch for worker_batches in results for batch in worker_batches]
-        # Merge with the lock-free row-parallel adder (Section V-B-d).
-        for start, fourier in batches:
-            add_subgrids_row_parallel(
-                grid, plan, fourier, start=start, n_workers=self.n_workers
-            )
+            futures = [pool.submit(worker, w) for w in range(self.n_workers)]
+            for future in as_completed(futures):
+                # Merge with the lock-free row-parallel adder (Section
+                # V-B-d) while the remaining workers keep gridding; a worker
+                # exception surfaces here at the earliest completion.
+                for start, fourier in future.result():
+                    add_subgrids_row_parallel(
+                        grid, plan, fourier, start=start, n_workers=self.n_workers
+                    )
         return grid
 
     def degrid(
@@ -111,6 +129,7 @@ class ParallelIDG:
                 )
 
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            for result in pool.map(worker, range(self.n_workers)):
-                pass
+            futures = [pool.submit(worker, w) for w in range(self.n_workers)]
+            for future in as_completed(futures):
+                future.result()  # surface worker exceptions promptly
         return out

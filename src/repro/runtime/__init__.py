@@ -1,0 +1,33 @@
+"""Streaming pipeline runtime (executable Fig 7).
+
+An executable stage-graph runtime for the IDG pipeline: producer/consumer
+stages connected by bounded channels with real backpressure, a credit gate
+bounding the work groups in flight (``n_buffers``), built-in telemetry with a
+Chrome-trace exporter, and graceful error propagation.
+
+* :class:`StreamingIDG` / :class:`RuntimeConfig` — the drop-in pipelined
+  ``grid``/``degrid``;
+* :class:`StageGraph` — the generic pipeline executor;
+* :class:`Channel` / :class:`CreditGate` — the bounded-buffer primitives;
+* :class:`Telemetry` — spans, gauges, counters, ``chrome://tracing`` export.
+"""
+
+from repro.runtime.graph import StageGraph
+from repro.runtime.queues import Channel, ChannelClosed, CreditGate, PipelineAborted
+from repro.runtime.streaming import RuntimeConfig, StreamingIDG, modeled_schedule_jobs
+from repro.runtime.telemetry import GaugeSample, QueueStats, Span, Telemetry
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "CreditGate",
+    "GaugeSample",
+    "PipelineAborted",
+    "QueueStats",
+    "RuntimeConfig",
+    "Span",
+    "StageGraph",
+    "StreamingIDG",
+    "Telemetry",
+    "modeled_schedule_jobs",
+]

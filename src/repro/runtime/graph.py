@@ -1,0 +1,227 @@
+"""Executable stage graph: threads + bounded channels + error propagation.
+
+A :class:`StageGraph` is a small dataflow runtime: a source stage emits
+sequence-numbered work items, interior stages transform them, and a sink
+stage retires them.  Adjacent stages are linked by bounded
+:class:`~repro.runtime.queues.Channel` objects of capacity ``n_buffers``, so
+a slow downstream stage exerts real backpressure on its producers — the
+executable counterpart of the discrete-event schedule in
+:mod:`repro.perfmodel.streams`.
+
+Execution model
+---------------
+* every stage runs ``workers`` dedicated threads (the heavy stage bodies —
+  BLAS products, FFTs — release the GIL, so stages genuinely overlap);
+* items are ``(seq, payload)`` pairs; stage functions have the uniform
+  signature ``fn(seq, payload) -> payload`` (multi-worker stages may deliver
+  out of order — order-sensitive sinks reorder on ``seq``);
+* a stage's output channel closes when *all* its workers have finished, which
+  cascades shutdown down the pipeline;
+* any stage exception aborts every channel and registered abortable, all
+  threads unwind promptly (no deadlock, no orphaned producer), and
+  :meth:`StageGraph.run` re-raises the first error.
+
+Telemetry is built in: each worker records a span per item, channels record
+depth/occupancy, and :meth:`StageGraph.run` folds the channel statistics into
+the run's :class:`~repro.runtime.telemetry.Telemetry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Protocol
+
+from repro.runtime.queues import Channel, ChannelClosed, PipelineAborted
+from repro.runtime.telemetry import Telemetry, monotonic
+
+
+class Abortable(Protocol):
+    """Anything with an ``abort()`` — channels, credit gates."""
+
+    def abort(self) -> None: ...
+
+
+@dataclass
+class _Stage:
+    """One node of the graph (internal)."""
+
+    name: str
+    fn: Callable[[int, Any], Any] | None  # None for the source
+    workers: int
+    source: Iterator[Any] | None = None
+    in_channel: Channel | None = None
+    out_channel: Channel | None = None
+    threads: list[threading.Thread] = field(default_factory=list)
+
+
+class StageGraph:
+    """A linear pipeline of stages connected by bounded channels.
+
+    Parameters
+    ----------
+    name:
+        Pipeline label (used in thread names).
+    n_buffers:
+        Capacity of every inter-stage channel.  With the conventional
+        credit-gated source this is the paper's device-buffer-set count:
+        1 degenerates to a serial schedule, 3 is triple buffering.
+    telemetry:
+        Optional shared recorder; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self, name: str = "pipeline", n_buffers: int = 3, telemetry: Telemetry | None = None
+    ) -> None:
+        if n_buffers <= 0:
+            raise ValueError("n_buffers must be positive")
+        self.name = name
+        self.n_buffers = n_buffers
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._stages: list[_Stage] = []
+        self._channels: list[Channel] = []
+        self._abortables: list[Abortable] = []
+        self._error: BaseException | None = None
+        self._error_lock = threading.Lock()
+        self._ran = False
+
+    # ------------------------------------------------------------- building
+
+    def add_source(self, name: str, items: Iterable[Any]) -> None:
+        """Set the producer stage: emits ``(seq, item)`` for each item."""
+        if self._stages:
+            raise ValueError("source must be the first stage")
+        self._stages.append(_Stage(name=name, fn=None, workers=1, source=iter(items)))
+
+    def add_stage(self, name: str, fn: Callable[[int, Any], Any], workers: int = 1) -> None:
+        """Append a transform stage, linked to its predecessor by a bounded
+        channel of capacity ``n_buffers``."""
+        if not self._stages:
+            raise ValueError("add a source before any stage")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        prev = self._stages[-1]
+        channel = Channel(
+            name=f"{prev.name}->{name}",
+            capacity=self.n_buffers,
+            n_producers=prev.workers,
+            telemetry=self.telemetry,
+        )
+        prev.out_channel = channel
+        self._channels.append(channel)
+        self._stages.append(_Stage(name=name, fn=fn, workers=workers, in_channel=channel))
+
+    def add_sink(self, name: str, fn: Callable[[int, Any], Any], workers: int = 1) -> None:
+        """Append the terminal stage (same as :meth:`add_stage`; results are
+        discarded — the sink retires items by side effect)."""
+        self.add_stage(name, fn, workers=workers)
+
+    def add_abortable(self, obj: Abortable) -> None:
+        """Register an external primitive (e.g. a credit gate) to abort on
+        failure alongside the graph's own channels."""
+        self._abortables.append(obj)
+
+    # ------------------------------------------------------------ execution
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        self.abort()
+
+    def abort(self) -> None:
+        """Abort every channel and registered abortable (idempotent)."""
+        for channel in self._channels:
+            channel.abort()
+        for obj in self._abortables:
+            obj.abort()
+
+    def _run_source(self, stage: _Stage) -> None:
+        assert stage.source is not None
+        out = stage.out_channel
+        worker = f"{stage.name}-0"
+        seq = 0
+        try:
+            while True:
+                t0 = monotonic()
+                try:
+                    item = next(stage.source)  # includes any credit-gate wait
+                except StopIteration:
+                    break
+                self.telemetry.record_span(stage.name, seq, t0, monotonic(), worker)
+                if out is not None:
+                    out.put((seq, item))
+                seq += 1
+        except (PipelineAborted, ChannelClosed):
+            pass
+        except BaseException as exc:  # noqa: B036 — propagate any failure
+            self._fail(exc)
+        finally:
+            if out is not None:
+                out.producer_done()
+
+    def _run_worker(self, stage: _Stage, worker_id: int) -> None:
+        assert stage.fn is not None and stage.in_channel is not None
+        worker = f"{stage.name}-{worker_id}"
+        out = stage.out_channel
+        try:
+            while True:
+                try:
+                    seq, payload = stage.in_channel.get()
+                except (ChannelClosed, PipelineAborted):
+                    break
+                t0 = monotonic()
+                try:
+                    result = stage.fn(seq, payload)
+                except PipelineAborted:
+                    break
+                except BaseException as exc:  # noqa: B036 — propagate any failure
+                    self._fail(exc)
+                    break
+                self.telemetry.record_span(stage.name, seq, t0, monotonic(), worker)
+                if out is not None:
+                    try:
+                        out.put((seq, result))
+                    except PipelineAborted:
+                        break
+        finally:
+            if out is not None:
+                out.producer_done()
+
+    def run(self) -> Telemetry:
+        """Execute the pipeline to completion; returns the run's telemetry.
+
+        Re-raises the first stage exception after every thread has unwound
+        and every queue has been drained or aborted.
+        """
+        if self._ran:
+            raise RuntimeError("StageGraph.run may only be called once")
+        if len(self._stages) < 2:
+            raise ValueError("pipeline needs a source and at least one stage")
+        self._ran = True
+
+        for stage in self._stages:
+            n = 1 if stage.source is not None else stage.workers
+            for worker_id in range(n):
+                target = (
+                    self._run_source
+                    if stage.source is not None
+                    else self._run_worker
+                )
+                args = (stage,) if stage.source is not None else (stage, worker_id)
+                thread = threading.Thread(
+                    target=target,
+                    args=args,
+                    name=f"{self.name}:{stage.name}-{worker_id}",
+                    daemon=True,
+                )
+                stage.threads.append(thread)
+                thread.start()
+        for stage in self._stages:
+            for thread in stage.threads:
+                thread.join()
+        for channel in self._channels:
+            self.telemetry.record_queue(channel.stats())
+        if self._error is not None:
+            raise self._error
+        return self.telemetry

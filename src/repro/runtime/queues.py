@@ -1,0 +1,223 @@
+"""Bounded channels and buffer credits for the streaming runtime.
+
+Two synchronisation primitives, both abortable so a failing stage can tear
+the whole pipeline down without deadlocking:
+
+* :class:`Channel` — a bounded multi-producer/multi-consumer queue linking
+  two stages.  ``put`` blocks while the channel is full, which is what makes
+  backpressure *real*: a slow adder stalls the gridder through the channel,
+  exactly like a full device-buffer set stalls the HtoD stream in Fig 7.
+* :class:`CreditGate` — the paper's ``n_buffers`` device-buffer sets.  The
+  plan splitter acquires one credit per work group before emitting it and the
+  terminal stage releases the credit when the group is fully retired, so at
+  most ``n_buffers`` groups are in flight end to end (1 = serial schedule,
+  3 = triple buffering).
+
+Both integrate with :class:`repro.runtime.telemetry.Telemetry`: channels
+record depth gauges, blocked-time totals and a time-averaged occupancy;
+the gate records an in-flight gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.runtime.telemetry import QueueStats, Telemetry, monotonic
+
+
+class ChannelClosed(Exception):
+    """Raised by :meth:`Channel.get` when the channel is drained and closed."""
+
+
+class PipelineAborted(RuntimeError):
+    """Raised by blocked channel/gate operations when the pipeline aborts."""
+
+
+class Channel:
+    """A bounded, closeable, abortable queue between two pipeline stages.
+
+    Parameters
+    ----------
+    name:
+        Label used in telemetry (conventionally ``"upstream->downstream"``).
+    capacity:
+        Maximum queued items; ``put`` blocks when reached (backpressure).
+    n_producers:
+        Number of upstream workers; the channel closes when each has called
+        :meth:`producer_done` and all queued items have been consumed.
+    telemetry:
+        Optional recorder for depth gauges.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        n_producers: int = 1,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if n_producers <= 0:
+            raise ValueError("n_producers must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._telemetry = telemetry
+        self._items: deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._producers_left = n_producers
+        self._aborted = False
+        # lifetime statistics (guarded by self._cond)
+        self._n_put = 0
+        self._n_get = 0
+        self._max_depth = 0
+        self._blocked_put = 0.0
+        self._blocked_get = 0.0
+        self._depth_integral = 0.0
+        self._born = monotonic()
+        self._last_change = self._born
+
+    # ------------------------------------------------------------- internal
+
+    def _advance_clock(self) -> None:
+        """Accumulate the depth-time integral (caller holds the lock)."""
+        now = monotonic()
+        self._depth_integral += len(self._items) * (now - self._last_change)
+        self._last_change = now
+
+    def _record_depth(self) -> None:
+        if self._telemetry is not None:
+            self._telemetry.record_gauge(f"queue:{self.name}", len(self._items))
+
+    # ------------------------------------------------------------ queue ops
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, blocking while the channel is full."""
+        t0 = monotonic()
+        with self._cond:
+            while len(self._items) >= self.capacity and not self._aborted:
+                self._cond.wait()
+            if self._aborted:
+                raise PipelineAborted(f"channel {self.name} aborted")
+            self._advance_clock()
+            self._blocked_put += monotonic() - t0
+            self._items.append(item)
+            self._n_put += 1
+            self._max_depth = max(self._max_depth, len(self._items))
+            self._cond.notify_all()
+        self._record_depth()
+
+    def get(self) -> Any:
+        """Dequeue one item; blocks while empty, raises when drained+closed."""
+        t0 = monotonic()
+        with self._cond:
+            while not self._items and self._producers_left > 0 and not self._aborted:
+                self._cond.wait()
+            if self._aborted:
+                raise PipelineAborted(f"channel {self.name} aborted")
+            if not self._items:
+                raise ChannelClosed(self.name)
+            self._advance_clock()
+            self._blocked_get += monotonic() - t0
+            item = self._items.popleft()
+            self._n_get += 1
+            self._cond.notify_all()
+        self._record_depth()
+        return item
+
+    def producer_done(self) -> None:
+        """Signal that one upstream worker will produce no more items."""
+        with self._cond:
+            self._producers_left -= 1
+            if self._producers_left <= 0:
+                self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Fail-fast: wake every blocked ``put``/``get`` with an error."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._producers_left <= 0 and not self._items
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def stats(self) -> QueueStats:
+        """Lifetime statistics (time-averaged occupancy in [0, 1])."""
+        with self._cond:
+            self._advance_clock()
+            elapsed = self._last_change - self._born
+            occupancy = (
+                self._depth_integral / (elapsed * self.capacity) if elapsed > 0 else 0.0
+            )
+            return QueueStats(
+                name=self.name,
+                capacity=self.capacity,
+                n_put=self._n_put,
+                n_get=self._n_get,
+                max_depth=self._max_depth,
+                blocked_put_seconds=self._blocked_put,
+                blocked_get_seconds=self._blocked_get,
+                occupancy=occupancy,
+            )
+
+
+class CreditGate:
+    """Counting semaphore bounding the work groups in flight (``n_buffers``).
+
+    The producer acquires one credit per emitted work group; the terminal
+    stage releases it once the group is fully retired.  Abortable, so a
+    failing pipeline never leaves the producer blocked.
+    """
+
+    def __init__(
+        self, credits: int, telemetry: Telemetry | None = None, name: str = "in_flight"
+    ) -> None:
+        if credits <= 0:
+            raise ValueError("credits must be positive")
+        self.credits = credits
+        self.name = name
+        self._telemetry = telemetry
+        self._available = credits
+        self._cond = threading.Condition()
+        self._aborted = False
+
+    def acquire(self) -> None:
+        """Take one credit, blocking until one is free."""
+        with self._cond:
+            while self._available <= 0 and not self._aborted:
+                self._cond.wait()
+            if self._aborted:
+                raise PipelineAborted(f"gate {self.name} aborted")
+            self._available -= 1
+            in_flight = self.credits - self._available
+        if self._telemetry is not None:
+            self._telemetry.record_gauge(self.name, in_flight)
+
+    def release(self) -> None:
+        """Return one credit (a work group fully retired)."""
+        with self._cond:
+            self._available += 1
+            in_flight = self.credits - self._available
+            self._cond.notify_all()
+        if self._telemetry is not None:
+            self._telemetry.record_gauge(self.name, in_flight)
+
+    def abort(self) -> None:
+        """Wake any blocked :meth:`acquire` with an error."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    def in_flight(self) -> int:
+        with self._cond:
+            return self.credits - self._available

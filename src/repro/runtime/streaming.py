@@ -1,0 +1,325 @@
+"""Streaming IDG: the pipeline of Fig 4 run as an executable stage graph.
+
+``StreamingIDG`` is a drop-in equivalent of :class:`repro.core.IDG`'s
+``grid``/``degrid`` that executes the paper's schedule for real instead of
+simulating it (:mod:`repro.perfmodel.streams`):
+
+* gridding:    plan splitter -> gridder worker(s) -> subgrid FFT -> adder,
+* degridding:  plan splitter -> subgrid splitter -> subgrid iFFT ->
+  degridder worker(s),
+
+with every hop a bounded channel and a global credit gate holding at most
+``n_buffers`` work groups in flight — ``n_buffers=1`` degenerates to the
+serial schedule, ``n_buffers=3`` is the paper's triple buffering (Fig 7).
+The stage bodies are the *same kernels* the serial pipeline uses
+(:func:`~repro.core.gridder.grid_work_group`,
+:func:`~repro.core.degridder.degrid_work_group`, the batched subgrid FFTs and
+the row-parallel adder), so results are bit-identical to ``IDG``: the adder
+stage applies batches in plan order (a reorder buffer absorbs out-of-order
+completion when ``gridder_workers > 1``), and degridding work items write
+disjoint visibility blocks.
+
+Every run produces a :class:`~repro.runtime.telemetry.Telemetry` (span
+timings, queue occupancy, visibilities/sec) exportable as a Chrome trace —
+see ``benchmarks/bench_runtime_overlap.py`` for the measured-vs-modeled
+comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.aterms.generators import ATermGenerator
+from repro.constants import COMPLEX_DTYPE
+from repro.core.adder import split_subgrids
+from repro.core.degridder import degrid_work_group
+from repro.core.gridder import grid_work_group
+from repro.core.pipeline import IDG, mask_flagged
+from repro.core.plan import Plan
+from repro.core.subgrid_fft import subgrids_to_fourier, subgrids_to_image
+from repro.parallel.partition import add_subgrids_row_parallel
+from repro.runtime.graph import StageGraph
+from repro.runtime.queues import CreditGate
+from repro.runtime.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunable parameters of the streaming runtime.
+
+    Attributes
+    ----------
+    n_buffers:
+        Work groups allowed in flight end to end, and the capacity of every
+        inter-stage channel (1 = serial schedule, 3 = the paper's triple
+        buffering).
+    gridder_workers:
+        Threads in the gridder stage (its BLAS products release the GIL).
+    fft_workers:
+        Threads in the subgrid FFT/iFFT stage.
+    adder_row_workers:
+        Row bands of the lock-free adder (`1` uses the serial fast path,
+        which is bit-identical to :func:`repro.core.adder.add_subgrids`).
+    degridder_workers:
+        Threads in the degridder stage (work items write disjoint blocks,
+        so no synchronisation is needed).
+    emulate_pcie_gbs:
+        When set, insert ``htod``/``dtoh`` transfer stages that occupy the
+        link for ``bytes / bandwidth`` seconds of real wall time without
+        holding the CPU (``time.sleep``) — the host-side stand-in for the
+        PCIe copies the paper's three-stream schedule hides (Fig 7), on a
+        machine with no accelerator.  ``None`` (default) adds no transfer
+        stages.
+    """
+
+    n_buffers: int = 3
+    gridder_workers: int = 1
+    fft_workers: int = 1
+    adder_row_workers: int = 1
+    degridder_workers: int = 1
+    emulate_pcie_gbs: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "n_buffers", "gridder_workers", "fft_workers",
+            "adder_row_workers", "degridder_workers",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.emulate_pcie_gbs is not None and self.emulate_pcie_gbs <= 0:
+            raise ValueError("emulate_pcie_gbs must be positive")
+
+
+def chunk_transfer_bytes(plan: Plan, start: int, stop: int) -> tuple[float, float]:
+    """(bytes in, bytes out) of one gridding work group over the emulated
+    device link: the work items' visibilities and uvw in, their uv-domain
+    subgrids out (degridding is the mirror image)."""
+    rows = plan.items[start:stop]
+    n_timesteps = int((rows["time_end"] - rows["time_start"]).sum())
+    itemsize = np.dtype(COMPLEX_DTYPE).itemsize
+    bytes_in = float(n_timesteps) * (plan.n_channels * 4 * itemsize + 3 * 8)
+    bytes_out = float(stop - start) * plan.subgrid_size**2 * 4 * itemsize
+    return bytes_in, bytes_out
+
+
+class StreamingIDG:
+    """Pipelined gridding/degridding over a bounded stage graph.
+
+    Parameters
+    ----------
+    idg:
+        The configured serial pipeline supplying kernels, taper and plan
+        geometry.
+    config:
+        Runtime parameters (buffer count, per-stage worker counts).
+
+    The telemetry of the most recent run is kept on ``last_telemetry``.
+    """
+
+    def __init__(self, idg: IDG, config: RuntimeConfig | None = None) -> None:
+        self.idg = idg
+        self.config = config or RuntimeConfig()
+        self.last_telemetry: Telemetry | None = None
+
+    # ------------------------------------------------------------- internal
+
+    def _gated_chunks(
+        self, plan: Plan, gate: CreditGate
+    ) -> Iterator[tuple[int, int]]:
+        """Plan-chunk splitter: one credit per emitted work group."""
+        for chunk in plan.work_groups(self.idg.config.work_group_size):
+            gate.acquire()
+            yield chunk
+
+    def _transfer(self, nbytes: float) -> None:
+        """Occupy the emulated device link for ``nbytes`` without holding
+        the CPU (the DMA analogue; no-op when emulation is off)."""
+        gbs = self.config.emulate_pcie_gbs
+        if gbs is not None:
+            time.sleep(nbytes / (gbs * 1e9))
+
+    # ------------------------------------------------------------- gridding
+
+    def grid(
+        self,
+        plan: Plan,
+        uvw_m: np.ndarray,
+        visibilities: np.ndarray,
+        aterms: ATermGenerator | None = None,
+        grid: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """Pipelined equivalent of :meth:`repro.core.IDG.grid`.
+
+        Identical signature and bit-identical result; accepts an optional
+        ``telemetry`` recorder (also stored on ``last_telemetry``).
+        """
+        idg = self.idg
+        idg._check_shapes(plan, uvw_m, visibilities)
+        visibilities = mask_flagged(visibilities, flags)
+        if grid is None:
+            grid = idg.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
+        fields = idg.aterm_fields(plan, aterms)
+        out_grid = grid
+
+        tm = telemetry if telemetry is not None else Telemetry()
+        gate = CreditGate(self.config.n_buffers, telemetry=tm, name="in_flight")
+        pending: dict[int, tuple[int, np.ndarray]] = {}
+        next_seq = 0
+
+        def do_grid(seq: int, chunk: tuple[int, int]) -> tuple[int, np.ndarray]:
+            start, stop = chunk
+            subgrids = grid_work_group(
+                plan, start, stop, uvw_m, visibilities, idg.taper,
+                lmn=idg.lmn, aterm_fields=fields,
+                vis_batch=idg.config.vis_batch,
+                channel_recurrence=idg.config.channel_recurrence,
+            )
+            return (start, subgrids)
+
+        def do_fft(seq: int, payload: tuple[int, np.ndarray]) -> tuple[int, np.ndarray]:
+            start, subgrids = payload
+            return (start, subgrids_to_fourier(subgrids))
+
+        def do_add(seq: int, payload: tuple[int, np.ndarray]) -> None:
+            # Apply batches in plan order so the floating-point accumulation
+            # order — and hence the result — is bit-identical to the serial
+            # adder, even when gridder workers complete out of order.
+            nonlocal next_seq
+            pending[seq] = payload
+            while next_seq in pending:
+                start, fourier = pending.pop(next_seq)
+                add_subgrids_row_parallel(
+                    out_grid, plan, fourier, start=start,
+                    n_workers=self.config.adder_row_workers,
+                )
+                gate.release()
+                next_seq += 1
+
+        def do_htod(seq: int, chunk: tuple[int, int]) -> tuple[int, int]:
+            self._transfer(chunk_transfer_bytes(plan, *chunk)[0])
+            return chunk
+
+        def do_dtoh(seq: int, payload: tuple[int, np.ndarray]) -> tuple[int, np.ndarray]:
+            self._transfer(payload[1].nbytes)
+            return payload
+
+        graph = StageGraph("grid", n_buffers=self.config.n_buffers, telemetry=tm)
+        graph.add_abortable(gate)
+        graph.add_source("splitter", self._gated_chunks(plan, gate))
+        if self.config.emulate_pcie_gbs is not None:
+            graph.add_stage("htod", do_htod)
+        graph.add_stage("gridder", do_grid, workers=self.config.gridder_workers)
+        graph.add_stage("subgrid_fft", do_fft, workers=self.config.fft_workers)
+        if self.config.emulate_pcie_gbs is not None:
+            graph.add_stage("dtoh", do_dtoh)
+        graph.add_sink("adder", do_add)
+        tm.add_counter("visibilities", plan.statistics.n_visibilities_gridded)
+        tm.add_counter("work_groups", plan.n_subgrids)
+        graph.run()
+        self.last_telemetry = tm
+        return out_grid
+
+    # ----------------------------------------------------------- degridding
+
+    def degrid(
+        self,
+        plan: Plan,
+        uvw_m: np.ndarray,
+        grid: np.ndarray,
+        aterms: ATermGenerator | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """Pipelined equivalent of :meth:`repro.core.IDG.degrid`."""
+        idg = self.idg
+        fields = idg.aterm_fields(plan, aterms)
+        n_bl, n_times, _ = uvw_m.shape
+        out = np.zeros((n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE)
+
+        tm = telemetry if telemetry is not None else Telemetry()
+        gate = CreditGate(self.config.n_buffers, telemetry=tm, name="in_flight")
+
+        def do_split(
+            seq: int, chunk: tuple[int, int]
+        ) -> tuple[tuple[int, int], np.ndarray]:
+            start, stop = chunk
+            return (chunk, split_subgrids(grid, plan, start, stop))
+
+        def do_ifft(
+            seq: int, payload: tuple[tuple[int, int], np.ndarray]
+        ) -> tuple[tuple[int, int], np.ndarray]:
+            chunk, patches = payload
+            return (chunk, subgrids_to_image(patches))
+
+        emulate = self.config.emulate_pcie_gbs is not None
+
+        def do_degrid(
+            seq: int, payload: tuple[tuple[int, int], np.ndarray]
+        ) -> tuple[int, int]:
+            (start, stop), images = payload
+            # Work items cover disjoint (baseline, time, channel) blocks, so
+            # concurrent workers write `out` without synchronisation.
+            degrid_work_group(
+                plan, start, stop, images, uvw_m, out, idg.taper,
+                lmn=idg.lmn, aterm_fields=fields,
+                vis_batch=idg.config.vis_batch,
+                channel_recurrence=idg.config.channel_recurrence,
+            )
+            if not emulate:
+                gate.release()
+            return (start, stop)
+
+        def do_htod(
+            seq: int, payload: tuple[tuple[int, int], np.ndarray]
+        ) -> tuple[tuple[int, int], np.ndarray]:
+            self._transfer(payload[1].nbytes)
+            return payload
+
+        def do_dtoh(seq: int, chunk: tuple[int, int]) -> None:
+            self._transfer(chunk_transfer_bytes(plan, *chunk)[0])
+            gate.release()
+
+        graph = StageGraph("degrid", n_buffers=self.config.n_buffers, telemetry=tm)
+        graph.add_abortable(gate)
+        graph.add_source("splitter", self._gated_chunks(plan, gate))
+        graph.add_stage("subgrid_split", do_split)
+        if emulate:
+            graph.add_stage("htod", do_htod)
+        graph.add_stage("subgrid_ifft", do_ifft, workers=self.config.fft_workers)
+        if emulate:
+            graph.add_stage("degridder", do_degrid,
+                            workers=self.config.degridder_workers)
+            graph.add_sink("dtoh", do_dtoh)
+        else:
+            graph.add_sink("degridder", do_degrid, workers=self.config.degridder_workers)
+        tm.add_counter("visibilities", plan.statistics.n_visibilities_gridded)
+        tm.add_counter("work_groups", plan.n_subgrids)
+        graph.run()
+        self.last_telemetry = tm
+        return out
+
+
+def modeled_schedule_jobs(
+    telemetry: Telemetry, stages: tuple[Any, Any, Any]
+) -> list[Any]:
+    """Per-work-group durations of three streams from a measured run, in the
+    job format :func:`repro.perfmodel.streams.schedule_buffers` takes — the
+    bridge between a measured trace and the Fig 7 simulation.
+
+    Each of the three entries is a stage name or a tuple of stage names
+    whose per-item durations are summed (e.g. ``("htod", ("gridder",
+    "subgrid_fft"), "dtoh")`` folds the compute stages into one stream).
+    """
+    streams: list[list[float]] = []
+    for entry in stages:
+        names = (entry,) if isinstance(entry, str) else tuple(entry)
+        per_stage = [telemetry.stage_durations(name) for name in names]
+        n = min((len(d) for d in per_stage), default=0)
+        streams.append([sum(d[k] for d in per_stage) for k in range(n)])
+    n_jobs = min(len(s) for s in streams)
+    return [tuple(s[k] for s in streams) for k in range(n_jobs)]

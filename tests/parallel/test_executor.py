@@ -12,6 +12,21 @@ def test_n_workers_validation(small_idg):
         ParallelIDG(small_idg, n_workers=0)
 
 
+def test_n_workers_defaults_to_cpu_count(small_idg):
+    import os
+
+    assert ParallelIDG(small_idg).n_workers == (os.cpu_count() or 1)
+
+
+def test_worker_exceptions_surface(small_idg, small_plan, small_obs,
+                                   single_source_vis):
+    """A failing work group raises out of grid/degrid, not silently hangs."""
+    bad_vis = single_source_vis[:, :, :1]  # wrong channel count
+    par = ParallelIDG(small_idg.with_config(work_group_size=5), n_workers=2)
+    with pytest.raises(Exception):
+        par.grid(small_plan, small_obs.uvw_m, bad_vis)
+
+
 @pytest.mark.parametrize("n_workers", [1, 2, 4])
 def test_parallel_grid_matches_serial(small_idg, small_plan, small_obs,
                                       single_source_vis, n_workers):

@@ -1,0 +1,151 @@
+"""StageGraph execution: results, overlap plumbing, error propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import CreditGate, StageGraph, Telemetry
+
+
+def _run_with_watchdog(graph, timeout=30.0):
+    """Run a graph on a worker thread; fail the test on deadlock instead of
+    hanging the suite."""
+    result = {}
+
+    def target():
+        try:
+            result["telemetry"] = graph.run()
+        except BaseException as exc:  # noqa: B036 — test captures everything
+            result["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    assert not thread.is_alive(), "pipeline deadlocked"
+    return result
+
+
+def test_linear_pipeline_computes():
+    out = []
+    graph = StageGraph("p", n_buffers=2)
+    graph.add_source("src", range(10))
+    graph.add_stage("double", lambda seq, x: 2 * x)
+    graph.add_stage("inc", lambda seq, x: x + 1)
+    graph.add_sink("collect", lambda seq, x: out.append((seq, x)))
+    telemetry = graph.run()
+    assert sorted(out) == [(k, 2 * k + 1) for k in range(10)]
+    assert telemetry.stages == ("src", "double", "inc", "collect")
+    for stage in telemetry.stages:
+        assert len(telemetry.spans(stage)) == 10
+
+
+def test_multi_worker_stage_preserves_payloads():
+    lock = threading.Lock()
+    out = []
+
+    def slow_square(seq, x):
+        time.sleep(0.001 * (x % 3))
+        return x * x
+
+    def collect(seq, x):
+        with lock:
+            out.append((seq, x))
+
+    graph = StageGraph("p", n_buffers=4)
+    graph.add_source("src", range(20))
+    graph.add_stage("square", slow_square, workers=3)
+    graph.add_sink("collect", collect)
+    graph.run()
+    assert sorted(out) == [(k, k * k) for k in range(20)]
+
+
+def test_empty_source_completes():
+    graph = StageGraph("p")
+    graph.add_source("src", [])
+    graph.add_sink("sink", lambda seq, x: x)
+    telemetry = graph.run()
+    assert telemetry.spans() == ()
+
+
+def test_stage_error_propagates_and_unblocks():
+    def explode(seq, x):
+        if x == 5:
+            raise RuntimeError("work group 5 failed")
+        time.sleep(0.002)
+        return x
+
+    graph = StageGraph("p", n_buffers=2)
+    graph.add_source("src", range(100))
+    graph.add_stage("maybe", explode)
+    graph.add_sink("sink", lambda seq, x: x)
+    result = _run_with_watchdog(graph)
+    assert isinstance(result.get("error"), RuntimeError)
+    assert "work group 5" in str(result["error"])
+
+
+def test_sink_error_unblocks_gated_source():
+    """A failing terminal stage must tear down a credit-gated producer too."""
+    gate = CreditGate(2)
+
+    def gated():
+        for k in range(50):
+            gate.acquire()
+            yield k
+
+    def bad_sink(seq, x):
+        raise ValueError("sink down")  # never releases credits
+
+    graph = StageGraph("p", n_buffers=2)
+    graph.add_abortable(gate)
+    graph.add_source("src", gated())
+    graph.add_stage("id", lambda seq, x: x)
+    graph.add_sink("sink", bad_sink)
+    result = _run_with_watchdog(graph)
+    assert isinstance(result.get("error"), ValueError)
+
+
+def test_source_error_propagates():
+    def items():
+        yield 1
+        raise OSError("source died")
+
+    graph = StageGraph("p")
+    graph.add_source("src", items())
+    graph.add_sink("sink", lambda seq, x: x)
+    result = _run_with_watchdog(graph)
+    assert isinstance(result.get("error"), OSError)
+
+
+def test_run_collects_queue_stats():
+    graph = StageGraph("p", n_buffers=2, telemetry=Telemetry())
+    graph.add_source("src", range(5))
+    graph.add_sink("sink", lambda seq, x: x)
+    telemetry = graph.run()
+    assert [q.name for q in telemetry.queues] == ["src->sink"]
+    assert telemetry.queues[0].n_put == 5
+    assert telemetry.queues[0].n_get == 5
+
+
+def test_graph_validation():
+    graph = StageGraph("p")
+    with pytest.raises(ValueError):
+        graph.add_stage("s", lambda seq, x: x)  # no source yet
+    graph.add_source("src", [])
+    with pytest.raises(ValueError):
+        graph.add_source("src2", [])  # only one source
+    with pytest.raises(ValueError):
+        graph.add_stage("s", lambda seq, x: x, workers=0)
+    with pytest.raises(ValueError):
+        graph.run()  # no downstream stage
+    with pytest.raises(ValueError):
+        StageGraph("p", n_buffers=0)
+
+
+def test_run_is_single_shot():
+    graph = StageGraph("p")
+    graph.add_source("src", range(3))
+    graph.add_sink("sink", lambda seq, x: x)
+    graph.run()
+    with pytest.raises(RuntimeError):
+        graph.run()

@@ -1,0 +1,161 @@
+"""Channel and CreditGate semantics: backpressure, shutdown, abort."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import Channel, ChannelClosed, CreditGate, PipelineAborted
+from repro.runtime.telemetry import Telemetry
+
+
+def test_channel_fifo_and_close():
+    ch = Channel("t", capacity=4)
+    for k in range(3):
+        ch.put(k)
+    ch.producer_done()
+    assert [ch.get(), ch.get(), ch.get()] == [0, 1, 2]
+    with pytest.raises(ChannelClosed):
+        ch.get()
+    assert ch.closed
+
+
+def test_channel_validation():
+    with pytest.raises(ValueError):
+        Channel("t", capacity=0)
+    with pytest.raises(ValueError):
+        Channel("t", capacity=1, n_producers=0)
+
+
+def test_channel_backpressure_blocks_put():
+    ch = Channel("t", capacity=1)
+    ch.put(0)
+    unblocked = threading.Event()
+
+    def producer():
+        ch.put(1)  # must block until the consumer drains
+        unblocked.set()
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not unblocked.is_set(), "put returned despite a full channel"
+    assert ch.get() == 0
+    thread.join(5.0)
+    assert unblocked.is_set()
+    assert ch.get() == 1
+
+
+def test_channel_multiple_producers_close_after_last():
+    ch = Channel("t", capacity=8, n_producers=2)
+    ch.put("a")
+    ch.producer_done()
+    assert ch.get() == "a"
+    assert not ch.closed  # one producer still live
+    ch.producer_done()
+    with pytest.raises(ChannelClosed):
+        ch.get()
+
+
+def test_channel_abort_wakes_blocked_get():
+    ch = Channel("t", capacity=1)
+    result = {}
+
+    def consumer():
+        try:
+            ch.get()
+        except PipelineAborted as exc:
+            result["exc"] = exc
+
+    thread = threading.Thread(target=consumer, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    ch.abort()
+    thread.join(5.0)
+    assert not thread.is_alive()
+    assert isinstance(result["exc"], PipelineAborted)
+
+
+def test_channel_abort_wakes_blocked_put():
+    ch = Channel("t", capacity=1)
+    ch.put(0)
+    result = {}
+
+    def producer():
+        try:
+            ch.put(1)
+        except PipelineAborted as exc:
+            result["exc"] = exc
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    ch.abort()
+    thread.join(5.0)
+    assert not thread.is_alive()
+    assert isinstance(result["exc"], PipelineAborted)
+
+
+def test_channel_stats_and_gauges():
+    tm = Telemetry()
+    ch = Channel("grid->fft", capacity=2, telemetry=tm)
+    ch.put(0)
+    ch.put(1)
+    ch.get()
+    ch.get()
+    ch.producer_done()
+    stats = ch.stats()
+    assert stats.name == "grid->fft"
+    assert stats.capacity == 2
+    assert stats.n_put == 2 and stats.n_get == 2
+    assert stats.max_depth == 2
+    assert 0.0 <= stats.occupancy <= 1.0
+    # depth gauges were recorded for every put/get
+    names = {g.name for g in tm._gauges}
+    assert names == {"queue:grid->fft"}
+
+
+def test_credit_gate_bounds_in_flight():
+    gate = CreditGate(2)
+    gate.acquire()
+    gate.acquire()
+    assert gate.in_flight() == 2
+    acquired = threading.Event()
+
+    def third():
+        gate.acquire()
+        acquired.set()
+
+    thread = threading.Thread(target=third, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not acquired.is_set(), "gate handed out more credits than it has"
+    gate.release()
+    thread.join(5.0)
+    assert acquired.is_set()
+    assert gate.in_flight() == 2
+
+
+def test_credit_gate_abort_wakes_acquire():
+    gate = CreditGate(1)
+    gate.acquire()
+    result = {}
+
+    def blocked():
+        try:
+            gate.acquire()
+        except PipelineAborted as exc:
+            result["exc"] = exc
+
+    thread = threading.Thread(target=blocked, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    gate.abort()
+    thread.join(5.0)
+    assert not thread.is_alive()
+    assert isinstance(result["exc"], PipelineAborted)
+
+
+def test_credit_gate_validation():
+    with pytest.raises(ValueError):
+        CreditGate(0)

@@ -1,0 +1,214 @@
+"""StreamingIDG: bit-exact equivalence with the serial pipeline, error
+propagation without deadlock, and telemetry output."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.aterms.generators import GaussianBeamATerm
+from repro.runtime import RuntimeConfig, StreamingIDG, modeled_schedule_jobs
+import repro.runtime.streaming as streaming_module
+
+GRID_STAGES = ("splitter", "gridder", "subgrid_fft", "adder")
+DEGRID_STAGES = ("splitter", "subgrid_split", "subgrid_ifft", "degridder")
+
+
+@pytest.fixture(scope="module")
+def beam(small_gridspec):
+    return GaussianBeamATerm(fwhm=1.5 * small_gridspec.image_size)
+
+
+@pytest.fixture(scope="module")
+def serial_grid(small_idg, small_plan, small_obs, single_source_vis, beam):
+    return small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis, aterms=beam)
+
+
+def test_config_validation(small_idg):
+    with pytest.raises(ValueError):
+        RuntimeConfig(n_buffers=0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(gridder_workers=-1)
+    assert StreamingIDG(small_idg).config.n_buffers == 3
+
+
+@pytest.mark.parametrize("n_buffers", [1, 2, 3])
+def test_grid_bit_exact_with_aterms(small_idg, small_plan, small_obs,
+                                    single_source_vis, beam, serial_grid,
+                                    n_buffers):
+    engine = StreamingIDG(
+        small_idg.with_config(work_group_size=5),
+        RuntimeConfig(n_buffers=n_buffers),
+    )
+    streamed = engine.grid(
+        small_plan, small_obs.uvw_m, single_source_vis, aterms=beam
+    )
+    # Bit-exact, not merely close: the same kernels run on the same work
+    # groups and the adder applies batches in plan order.
+    assert np.array_equal(streamed, serial_grid)
+
+
+@pytest.mark.parametrize("n_buffers", [1, 2, 3])
+def test_degrid_bit_exact_with_aterms(small_idg, small_plan, small_obs,
+                                      beam, serial_grid, n_buffers):
+    serial = small_idg.degrid(small_plan, small_obs.uvw_m, serial_grid, aterms=beam)
+    engine = StreamingIDG(
+        small_idg.with_config(work_group_size=5),
+        RuntimeConfig(n_buffers=n_buffers, degridder_workers=2),
+    )
+    streamed = engine.degrid(small_plan, small_obs.uvw_m, serial_grid, aterms=beam)
+    assert np.array_equal(streamed, serial)
+
+
+def test_grid_bit_exact_multiworker(small_idg, small_plan, small_obs,
+                                    single_source_vis, beam, serial_grid):
+    """Out-of-order gridder completion is reordered before the adder."""
+    engine = StreamingIDG(
+        small_idg.with_config(work_group_size=3),
+        RuntimeConfig(n_buffers=4, gridder_workers=3, fft_workers=2),
+    )
+    streamed = engine.grid(
+        small_plan, small_obs.uvw_m, single_source_vis, aterms=beam
+    )
+    assert np.array_equal(streamed, serial_grid)
+
+
+def test_emulated_transfers_bit_exact_with_extra_stages(
+    small_idg, small_plan, small_obs, single_source_vis, beam, serial_grid
+):
+    """PCIe emulation inserts htod/dtoh stages without changing results."""
+    engine = StreamingIDG(
+        small_idg.with_config(work_group_size=5),
+        RuntimeConfig(n_buffers=3, emulate_pcie_gbs=1000.0),
+    )
+    streamed = engine.grid(
+        small_plan, small_obs.uvw_m, single_source_vis, aterms=beam
+    )
+    assert np.array_equal(streamed, serial_grid)
+    assert engine.last_telemetry.stages == (
+        "splitter", "htod", "gridder", "subgrid_fft", "dtoh", "adder"
+    )
+    degridded = engine.degrid(small_plan, small_obs.uvw_m, serial_grid, aterms=beam)
+    assert np.array_equal(
+        degridded, small_idg.degrid(small_plan, small_obs.uvw_m, serial_grid,
+                                    aterms=beam)
+    )
+    assert engine.last_telemetry.stages == (
+        "splitter", "subgrid_split", "htod", "subgrid_ifft", "degridder", "dtoh"
+    )
+
+
+def test_emulated_bandwidth_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(emulate_pcie_gbs=0.0)
+
+
+def test_chunk_transfer_bytes_positive(small_plan):
+    from repro.runtime.streaming import chunk_transfer_bytes
+
+    bytes_in, bytes_out = chunk_transfer_bytes(small_plan, 0, 5)
+    assert bytes_in > 0 and bytes_out > 0
+    n = small_plan.subgrid_size
+    assert bytes_out == 5 * n * n * 4 * 8  # five complex64 subgrid quads
+
+
+def test_grid_accepts_flags_and_existing_grid(small_idg, small_plan, small_obs,
+                                              single_source_vis):
+    flags = np.zeros(single_source_vis.shape[:3], dtype=bool)
+    flags[0, :, :] = True
+    serial = small_idg.grid(
+        small_plan, small_obs.uvw_m, single_source_vis, flags=flags
+    )
+    engine = StreamingIDG(small_idg.with_config(work_group_size=5))
+    out = small_idg.gridspec.allocate_grid(dtype=serial.dtype)
+    returned = engine.grid(
+        small_plan, small_obs.uvw_m, single_source_vis, grid=out, flags=flags
+    )
+    assert returned is out
+    assert np.array_equal(out, serial)
+
+
+def test_failing_work_group_propagates_without_deadlock(
+    small_idg, small_plan, small_obs, single_source_vis, monkeypatch
+):
+    """Satellite: inject a failing work group; the run must re-raise promptly
+    with every queue drained (no hung threads)."""
+    real = streaming_module.grid_work_group
+
+    def failing(plan, start, stop, *args, **kwargs):
+        if start >= 10:
+            raise RuntimeError(f"injected failure at work group {start}")
+        return real(plan, start, stop, *args, **kwargs)
+
+    monkeypatch.setattr(streaming_module, "grid_work_group", failing)
+    engine = StreamingIDG(
+        small_idg.with_config(work_group_size=5), RuntimeConfig(n_buffers=2)
+    )
+    result = {}
+
+    def target():
+        try:
+            engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+        except BaseException as exc:  # noqa: B036 — test captures everything
+            result["error"] = exc
+
+    before = threading.active_count()
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(60.0)
+    assert not thread.is_alive(), "streaming grid deadlocked after stage failure"
+    assert isinstance(result.get("error"), RuntimeError)
+    assert "injected failure" in str(result["error"])
+    assert threading.active_count() <= before + 1  # no orphaned stage threads
+
+
+def test_grid_shape_validation(small_idg, small_plan, small_obs, single_source_vis):
+    engine = StreamingIDG(small_idg)
+    with pytest.raises(ValueError):
+        engine.grid(small_plan, small_obs.uvw_m, single_source_vis[:, :, :1])
+
+
+def test_telemetry_spans_and_trace(small_idg, small_plan, small_obs,
+                                   single_source_vis):
+    engine = StreamingIDG(small_idg.with_config(work_group_size=5))
+    engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    telemetry = engine.last_telemetry
+    assert telemetry.stages == GRID_STAGES
+    n_groups = len(list(small_plan.work_groups(5)))
+    for stage in GRID_STAGES:
+        assert len(telemetry.spans(stage)) == n_groups
+    assert telemetry.counters["visibilities"] > 0
+    assert telemetry.throughput() > 0
+    # queue stats for both inter-stage hops plus gauges for the credit gate
+    assert {q.name for q in telemetry.queues} == {
+        "splitter->gridder", "gridder->subgrid_fft", "subgrid_fft->adder",
+    }
+    trace = json.loads(json.dumps(telemetry.chrome_trace()))
+    span_names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert set(GRID_STAGES) <= span_names
+    gauge_names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+    assert "in_flight" in gauge_names
+
+
+def test_degrid_telemetry_stages(small_idg, small_plan, small_obs, serial_grid):
+    engine = StreamingIDG(small_idg.with_config(work_group_size=5))
+    engine.degrid(small_plan, small_obs.uvw_m, serial_grid)
+    assert engine.last_telemetry.stages == DEGRID_STAGES
+
+
+def test_modeled_schedule_jobs_bridge(small_idg, small_plan, small_obs,
+                                      single_source_vis):
+    from repro.perfmodel.streams import schedule_buffers
+
+    engine = StreamingIDG(
+        small_idg.with_config(work_group_size=5), RuntimeConfig(n_buffers=1)
+    )
+    engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    jobs = modeled_schedule_jobs(
+        engine.last_telemetry, ("gridder", "subgrid_fft", "adder")
+    )
+    assert len(jobs) == len(list(small_plan.work_groups(5)))
+    assert all(h >= 0 and c >= 0 and d >= 0 for h, c, d in jobs)
+    schedule = schedule_buffers(jobs, n_buffers=3)
+    assert schedule.makespan > 0

@@ -81,6 +81,41 @@ def test_clean_command(sim_dataset, tmp_path, capsys):
     assert psf[128, 128] == pytest.approx(1.0)
 
 
+def test_image_streaming_matches_serial(sim_dataset, tmp_path, capsys):
+    """--executor streaming produces the identical image and writes a valid
+    chrome trace with spans for every pipeline stage."""
+    import json
+
+    serial_path = tmp_path / "serial.npz"
+    stream_path = tmp_path / "stream.npz"
+    trace_path = tmp_path / "trace.json"
+    assert main(["image", str(sim_dataset), str(serial_path),
+                 "--grid-size", "256"]) == 0
+    assert main(["image", str(sim_dataset), str(stream_path),
+                 "--grid-size", "256", "--executor", "streaming",
+                 "--n-buffers", "3", "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out and "chrome trace written" in out
+    with np.load(serial_path) as a, np.load(stream_path) as b:
+        np.testing.assert_array_equal(a["image"], b["image"])
+    with open(trace_path) as fh:
+        trace = json.load(fh)
+    span_names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert {"splitter", "gridder", "subgrid_fft", "adder"} <= span_names
+
+
+def test_image_threads_executor(sim_dataset, tmp_path):
+    serial_path = tmp_path / "serial.npz"
+    threads_path = tmp_path / "threads.npz"
+    assert main(["image", str(sim_dataset), str(serial_path),
+                 "--grid-size", "256"]) == 0
+    assert main(["image", str(sim_dataset), str(threads_path),
+                 "--grid-size", "256", "--executor", "threads",
+                 "--workers", "3"]) == 0
+    with np.load(serial_path) as a, np.load(threads_path) as b:
+        np.testing.assert_allclose(a["image"], b["image"], atol=2e-4)
+
+
 def test_predict_roundtrip(sim_dataset, tmp_path):
     """clean -> predict: predicted model visibilities correlate strongly
     with the simulated data."""
@@ -97,6 +132,13 @@ def test_predict_roundtrip(sim_dataset, tmp_path):
     y = pred[..., 0, 0].ravel()
     corr = np.abs(np.vdot(x, y)) / (np.linalg.norm(x) * np.linalg.norm(y))
     assert corr > 0.9
+    # the streaming executor degrids to the identical prediction
+    stream_path = tmp_path / "pred_stream.npz"
+    assert main(["predict", str(sim_dataset), str(clean_path),
+                 str(stream_path), "--executor", "streaming"]) == 0
+    np.testing.assert_array_equal(
+        load_dataset(stream_path).visibilities, pred
+    )
 
 
 def test_perfmodel_command(sim_dataset, capsys):
