@@ -1,0 +1,129 @@
+"""Per-backend kernel throughput, machine-readable.
+
+Times every registered kernel backend on the same work-group batch and
+writes ``benchmarks/results/BENCH_kernels.json`` — per-backend
+visibilities/s for gridding and degridding plus the configuration and host
+info needed to compare runs across machines — next to the usual ASCII
+table.  CI and the acceptance checks read the JSON; humans read the table.
+"""
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.backends import available_backends, get_backend
+from repro.backends.jit import HAVE_NUMBA, JitBackend
+
+from _util import RESULTS_DIR, print_series
+
+GROUP = 16
+REPEATS = 3
+
+
+def _visibilities_in(plan, stop):
+    return sum(
+        plan.work_item(i).n_times * plan.work_item(i).n_channels
+        for i in range(stop)
+    )
+
+
+def _time_best(fn):
+    """Best wall-clock of REPEATS runs, after one warmup (jit compiles)."""
+    fn()
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_backend_kernels(bench_plan, bench_obs, bench_vis, bench_idg):
+    plan, uvw = bench_plan, bench_obs.uvw_m
+    stop = min(GROUP, plan.n_subgrids)
+    n_vis = _visibilities_in(plan, stop)
+    assert n_vis > 0
+
+    backends = {}
+    rows = []
+    for name in available_backends():
+        backend = get_backend(name)
+        fallback = isinstance(backend, JitBackend) and backend.is_fallback
+
+        def run_grid(backend=backend):
+            return backend.grid_work_group(
+                plan, 0, stop, uvw, bench_vis, bench_idg.taper,
+                lmn=bench_idg.lmn,
+                channel_recurrence=bench_idg.config.channel_recurrence,
+            )
+
+        t_grid = _time_best(run_grid)
+        subgrids = run_grid()
+        images = backend.subgrids_to_image(backend.subgrids_to_fourier(subgrids))
+        out = np.zeros_like(bench_vis)
+
+        def run_degrid(backend=backend, images=images, out=out):
+            backend.degrid_work_group(
+                plan, 0, stop, images, uvw, out, bench_idg.taper,
+                lmn=bench_idg.lmn,
+                channel_recurrence=bench_idg.config.channel_recurrence,
+            )
+
+        t_degrid = _time_best(run_degrid)
+        backends[name] = {
+            "gridder_seconds": t_grid,
+            "gridder_visibilities_per_s": n_vis / t_grid,
+            "degridder_seconds": t_degrid,
+            "degridder_visibilities_per_s": n_vis / t_degrid,
+            "fallback_to": "vectorized" if fallback else None,
+        }
+        rows.append(
+            (name, n_vis / t_grid / 1e6, n_vis / t_degrid / 1e6,
+             "vectorized" if fallback else "-")
+        )
+
+    if HAVE_NUMBA and not backends["jit"]["fallback_to"]:
+        ratio = (
+            backends["jit"]["gridder_visibilities_per_s"]
+            / backends["vectorized"]["gridder_visibilities_per_s"]
+        )
+        backends["jit"]["speedup_vs_vectorized"] = ratio
+
+    payload = {
+        "benchmark": "backend_kernels",
+        "generated_by": "benchmarks/bench_backend_kernels.py",
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "numba_available": HAVE_NUMBA,
+        "config": {
+            "work_items": stop,
+            "n_visibilities": n_vis,
+            "subgrid_size": bench_idg.config.subgrid_size,
+            "kernel_support": bench_idg.config.kernel_support,
+            "time_max": bench_idg.config.time_max,
+            "channel_recurrence": bench_idg.config.channel_recurrence,
+            "n_baselines": int(uvw.shape[0]),
+            "n_times": int(uvw.shape[1]),
+            "n_channels": int(plan.n_channels),
+            "repeats": REPEATS,
+        },
+        "backends": backends,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_kernels.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_series(
+        "Backend kernel throughput",
+        ["backend", "grid Mvis/s", "degrid Mvis/s", "fallback"],
+        rows,
+    )
+    assert json.loads(path.read_text())["backends"].keys() == backends.keys()

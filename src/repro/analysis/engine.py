@@ -47,7 +47,13 @@ class LintConfig:
     #: Path fragments marking *kernel* modules (IDG001/IDG005 scope).  A file
     #: is kernel code when any fragment occurs in its posix relpath; ``""``
     #: matches everything.
-    kernel_roots: tuple[str, ...] = ("core/", "kernels/", "aterms/", "runtime/")
+    kernel_roots: tuple[str, ...] = (
+        "core/",
+        "kernels/",
+        "aterms/",
+        "runtime/",
+        "backends/",
+    )
     #: Module(s) allowed to evaluate sine/cosine inside loops — the approved
     #: phasor kernels (IDG002 scope).  Matched with ``relpath.endswith``.
     phasor_modules: tuple[str, ...] = (

@@ -1,0 +1,149 @@
+"""The kernel-backend interface: four entry points, one contract.
+
+The paper's core claim is that one IDG algorithm maps onto three
+architectures (HASWELL, FIJI, PASCAL) through architecture-specific kernels
+that stay *numerically interchangeable*.  :class:`KernelBackend` is this
+package's version of that seam: a backend supplies the four kernel entry
+points of the pipeline (Fig 4) —
+
+* **gridder**   — work-group batch of Algorithm 1,
+* **degridder** — work-group batch of Algorithm 2,
+* **subgrid FFT** — the batched image<->Fourier subgrid transforms,
+* **adder/splitter** — master-grid accumulation and extraction —
+
+and every executor (:class:`repro.core.IDG`,
+:class:`repro.parallel.ParallelIDG`, :class:`repro.runtime.StreamingIDG`)
+dispatches through whichever backend the :class:`~repro.core.pipeline.IDG`
+was configured with.  The equivalence contract — all registered backends
+agree pairwise to ``rtol = 1e-5`` on a shared corpus of plans, and each is
+self-adjoint across grid/degrid — is enforced by ``tests/backends/``; a new
+backend only has to register itself to be held to it.
+
+Backends must be stateless after construction (no per-call mutable members):
+``ParallelIDG`` and ``StreamingIDG`` call one instance from many threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adder import add_subgrids as _add_subgrids
+from repro.core.adder import split_subgrids as _split_subgrids
+from repro.core.plan import Plan
+from repro.core.subgrid_fft import subgrids_to_fourier as _subgrids_to_fourier
+from repro.core.subgrid_fft import subgrids_to_image as _subgrids_to_image
+
+#: Default number of visibilities per kernel batch (mirrors the core kernels).
+DEFAULT_VIS_BATCH = 1024
+
+
+class KernelBackend:
+    """Base class of all kernel backends.
+
+    Subclasses must implement :meth:`grid_work_group` and
+    :meth:`degrid_work_group` (the two compute-dominant kernels the paper
+    specialises per architecture) and may override the subgrid FFT and
+    adder/splitter entry points; the defaults delegate to the shared NumPy
+    implementations, matching the paper's use of vendor FFT libraries
+    (MKL/cuFFT/clFFT) across all three architectures.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------- gridder
+
+    def grid_work_group(
+        self,
+        plan: Plan,
+        start: int,
+        stop: int,
+        uvw_m: np.ndarray,
+        visibilities: np.ndarray,
+        taper: np.ndarray,
+        lmn: np.ndarray | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        vis_batch: int = DEFAULT_VIS_BATCH,
+        channel_recurrence: bool = False,
+    ) -> np.ndarray:
+        """Grid work items ``start .. stop-1`` (Algorithm 1, batched).
+
+        Same signature and semantics as
+        :func:`repro.core.gridder.grid_work_group`; returns the
+        ``(stop - start, N, N, 2, 2)`` image-domain subgrids.
+        ``channel_recurrence`` is advisory — a backend whose inner loop is
+        already organised around the channel-phasor recurrence (``jit``) may
+        ignore it, and the ``reference`` oracle always evaluates the direct
+        sum.
+        """
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- degridder
+
+    def degrid_work_group(
+        self,
+        plan: Plan,
+        start: int,
+        stop: int,
+        subgrid_images: np.ndarray,
+        uvw_m: np.ndarray,
+        visibilities_out: np.ndarray,
+        taper: np.ndarray,
+        lmn: np.ndarray | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        vis_batch: int = DEFAULT_VIS_BATCH,
+        channel_recurrence: bool = False,
+    ) -> None:
+        """Degrid work items ``start .. stop-1`` (Algorithm 2, batched).
+
+        Same signature and semantics as
+        :func:`repro.core.degridder.degrid_work_group`: predictions are
+        written into ``visibilities_out`` in place.
+        """
+        raise NotImplementedError
+
+    # --------------------------------------------------------- subgrid FFT
+
+    def subgrids_to_fourier(self, subgrid_images: np.ndarray) -> np.ndarray:
+        """Forward batched subgrid FFT (image -> uv domain, ``1/N**2``)."""
+        return _subgrids_to_fourier(subgrid_images)
+
+    def subgrids_to_image(self, subgrid_fourier: np.ndarray) -> np.ndarray:
+        """Adjoint batched subgrid FFT (uv -> image domain)."""
+        return _subgrids_to_image(subgrid_fourier)
+
+    # ------------------------------------------------------ adder/splitter
+
+    def add_subgrids(
+        self,
+        grid: np.ndarray,
+        plan: Plan,
+        subgrids_fourier: np.ndarray,
+        start: int = 0,
+        n_workers: int = 1,
+    ) -> None:
+        """Accumulate Fourier-domain subgrids onto the master grid in place.
+
+        ``n_workers > 1`` uses the lock-free row-partitioned adder (paper
+        Section V-B-d); ``1`` is the serial adder, bit-identical to
+        :func:`repro.core.adder.add_subgrids`.
+        """
+        if n_workers <= 1:
+            _add_subgrids(grid, plan, subgrids_fourier, start=start)
+        else:
+            from repro.parallel.partition import add_subgrids_row_parallel
+
+            add_subgrids_row_parallel(
+                grid, plan, subgrids_fourier, start=start, n_workers=n_workers
+            )
+
+    def split_subgrids(
+        self, grid: np.ndarray, plan: Plan, start: int, stop: int
+    ) -> np.ndarray:
+        """Extract the uv-domain subgrids of a work-item range (read-only)."""
+        return _split_subgrids(grid, plan, start, stop)
+
+    # ------------------------------------------------------------- utility
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

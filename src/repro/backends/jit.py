@@ -1,0 +1,342 @@
+"""The ``jit`` backend: the paper's Listing-1 loop, compiled with numba.
+
+Listing 1 of the paper restructures the gridder's inner loop for FMA
+throughput: the phase splits into a per-pixel *phase offset*
+``B[i] = 2 pi (l, m, n) . (u_mid, v_mid, w_off)`` and a per-(pixel, timestep)
+*phase index* ``A[i, t] = 2 pi (l, m, n) . uvw_m[t]``, so the visibility
+phase is the affine combination ``alpha = s_c * A[i, t] - B[i]`` with
+``s_c = f_c / c``.  For the evenly spaced channels of a subband
+``s_c = s_0 + c * ds``, which turns the channel loop into the phasor
+recurrence ``phasor_{c+1} = phasor_c * exp(i ds A)`` — one sine/cosine pair
+per (pixel, timestep) and pure FMAs per channel, the structure all three of
+the paper's architecture-specific kernels share.
+
+The loop bodies here (:func:`_gridder_accumulate_py`,
+:func:`_degridder_accumulate_py`) are written in the scalar style numba's
+``nopython`` mode compiles to exactly that FMA loop.  When numba is
+importable the backend runs the compiled kernels; otherwise it falls back to
+the ``vectorized`` backend with a logged warning, so the suite and the CLI
+keep working on hosts without numba (the pure-Python loop bodies stay
+importable either way and are differential-tested directly).
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+
+import numpy as np
+
+from repro.aterms.jones import apply_adjoint_sandwich, apply_sandwich, identity_jones_field
+from repro.backends.base import DEFAULT_VIS_BATCH, KernelBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.constants import ACCUM_DTYPE, COMPLEX_DTYPE, SPEED_OF_LIGHT
+from repro.core.gridder import PHASOR_RENORM_INTERVAL, subgrid_lmn
+from repro.core.plan import Plan
+
+logger = logging.getLogger(__name__)
+
+try:  # pragma: no cover - exercised via the no-numba CI job
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+#: True when the compiled kernels are available.
+HAVE_NUMBA = _numba is not None
+
+
+def _gridder_accumulate_py(
+    lmn: np.ndarray,
+    uvw_m: np.ndarray,
+    s0: float,
+    ds: float,
+    offset: np.ndarray,
+    vis: np.ndarray,
+    acc: np.ndarray,
+) -> None:
+    """Listing-1 gridder loop: ``acc[i, p] += sum_{t,c} e^{i alpha} V[t,c,p]``.
+
+    ``lmn`` is ``(N**2, 3)`` float64, ``uvw_m`` ``(T, 3)`` metres, ``vis``
+    ``(T, C, 4)`` complex, ``offset = (u_mid, v_mid, w_off)`` wavelengths,
+    ``s0``/``ds`` the first channel's ``f/c`` and the channel step; ``acc``
+    is the ``(N**2, 4)`` complex128 accumulator, updated in place.
+    """
+    n_pixels = lmn.shape[0]
+    n_times = uvw_m.shape[0]
+    n_channels = vis.shape[1]
+    two_pi = 2.0 * math.pi
+    for i in range(n_pixels):
+        l = lmn[i, 0]
+        m = lmn[i, 1]
+        n = lmn[i, 2]
+        # phase offset: per pixel, hoisted out of the visibility loops
+        phase_offset = two_pi * (l * offset[0] + m * offset[1] + n * offset[2])
+        acc0 = 0.0 + 0.0j
+        acc1 = 0.0 + 0.0j
+        acc2 = 0.0 + 0.0j
+        acc3 = 0.0 + 0.0j
+        for t in range(n_times):
+            # phase index: per (pixel, timestep), in metres
+            phase_index = two_pi * (
+                l * uvw_m[t, 0] + m * uvw_m[t, 1] + n * uvw_m[t, 2]
+            )
+            alpha0 = s0 * phase_index - phase_offset
+            phasor = complex(math.cos(alpha0), math.sin(alpha0))
+            dalpha = ds * phase_index
+            step = complex(math.cos(dalpha), math.sin(dalpha))
+            for c in range(n_channels):
+                if c > 0:
+                    phasor = phasor * step
+                    if c % PHASOR_RENORM_INTERVAL == 0:
+                        phasor = phasor / abs(phasor)
+                acc0 += phasor * vis[t, c, 0]
+                acc1 += phasor * vis[t, c, 1]
+                acc2 += phasor * vis[t, c, 2]
+                acc3 += phasor * vis[t, c, 3]
+        acc[i, 0] += acc0
+        acc[i, 1] += acc1
+        acc[i, 2] += acc2
+        acc[i, 3] += acc3
+
+
+def _degridder_accumulate_py(
+    lmn: np.ndarray,
+    uvw_m: np.ndarray,
+    s0: float,
+    ds: float,
+    offset: np.ndarray,
+    pixels: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Listing-1 degridder loop: ``out[t, c, p] += sum_i e^{-i alpha} S[i, p]``.
+
+    The exact phase conjugate of :func:`_gridder_accumulate_py`; ``pixels``
+    is the ``(N**2, 4)`` corrected subgrid, ``out`` the ``(T, C, 4)``
+    complex128 accumulator, updated in place.
+    """
+    n_pixels = lmn.shape[0]
+    n_times = uvw_m.shape[0]
+    n_channels = out.shape[1]
+    two_pi = 2.0 * math.pi
+    for i in range(n_pixels):
+        l = lmn[i, 0]
+        m = lmn[i, 1]
+        n = lmn[i, 2]
+        phase_offset = two_pi * (l * offset[0] + m * offset[1] + n * offset[2])
+        pix0 = pixels[i, 0]
+        pix1 = pixels[i, 1]
+        pix2 = pixels[i, 2]
+        pix3 = pixels[i, 3]
+        for t in range(n_times):
+            phase_index = two_pi * (
+                l * uvw_m[t, 0] + m * uvw_m[t, 1] + n * uvw_m[t, 2]
+            )
+            alpha0 = s0 * phase_index - phase_offset
+            phasor = complex(math.cos(alpha0), -math.sin(alpha0))
+            dalpha = ds * phase_index
+            step = complex(math.cos(dalpha), -math.sin(dalpha))
+            for c in range(n_channels):
+                if c > 0:
+                    phasor = phasor * step
+                    if c % PHASOR_RENORM_INTERVAL == 0:
+                        phasor = phasor / abs(phasor)
+                out[t, c, 0] += phasor * pix0
+                out[t, c, 1] += phasor * pix1
+                out[t, c, 2] += phasor * pix2
+                out[t, c, 3] += phasor * pix3
+
+
+if HAVE_NUMBA:  # compile the loop bodies; the _py originals stay importable
+    _gridder_accumulate = _numba.njit(cache=True, fastmath=True, nogil=True)(
+        _gridder_accumulate_py
+    )
+    _degridder_accumulate = _numba.njit(cache=True, fastmath=True, nogil=True)(
+        _degridder_accumulate_py
+    )
+else:
+    _gridder_accumulate = _gridder_accumulate_py
+    _degridder_accumulate = _degridder_accumulate_py
+
+
+def _channel_step(scales: np.ndarray) -> float:
+    """The uniform ``ds`` of a subband's ``f/c`` ladder (0 for one channel).
+
+    Raises ``ValueError`` for unevenly spaced channels — the recurrence
+    needs an arithmetic progression, like the core fast path.
+    """
+    if scales.size <= 1:
+        return 0.0
+    steps = np.diff(scales)
+    if not np.allclose(steps, steps[0], rtol=1e-9):
+        raise ValueError("channel scales must be evenly spaced for the jit backend")
+    return float(steps[0])
+
+
+class JitBackend(KernelBackend):
+    """Numba-compiled Listing-1 kernels; ``vectorized`` fallback without numba."""
+
+    name = "jit"
+
+    def __init__(self) -> None:
+        self._fallback: VectorizedBackend | None = None
+        self._warned = False
+        if not HAVE_NUMBA:
+            self._fallback = VectorizedBackend()
+
+    @property
+    def is_fallback(self) -> bool:
+        """True when this instance delegates to ``vectorized`` (no numba)."""
+        return self._fallback is not None
+
+    def _warn_fallback(self) -> None:
+        """Log the fallback once, on first *use* — registration at import
+        must stay silent for users who never select this backend.  A racing
+        duplicate warning from concurrent first calls is harmless."""
+        if not self._warned:
+            self._warned = True
+            logger.warning(
+                "numba is not importable; the 'jit' backend falls back to "
+                "the 'vectorized' backend (install numba for the compiled "
+                "Listing-1 kernels)"
+            )
+
+    # ------------------------------------------------------------- gridder
+
+    def grid_work_group(
+        self,
+        plan: Plan,
+        start: int,
+        stop: int,
+        uvw_m: np.ndarray,
+        visibilities: np.ndarray,
+        taper: np.ndarray,
+        lmn: np.ndarray | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        vis_batch: int = DEFAULT_VIS_BATCH,
+        channel_recurrence: bool = False,
+    ) -> np.ndarray:
+        if self._fallback is not None:
+            self._warn_fallback()
+            return self._fallback.grid_work_group(
+                plan, start, stop, uvw_m, visibilities, taper,
+                lmn=lmn, aterm_fields=aterm_fields, vis_batch=vis_batch,
+                channel_recurrence=channel_recurrence,
+            )
+        n = plan.subgrid_size
+        if lmn is None:
+            lmn = subgrid_lmn(n, plan.gridspec.image_size)
+        out = np.empty((stop - start, n, n, 2, 2), dtype=COMPLEX_DTYPE)
+        for k, index in enumerate(range(start, stop)):
+            out[k] = self._grid_item(
+                plan, index, uvw_m, visibilities, taper, lmn, aterm_fields
+            )
+        return out
+
+    def _grid_item(self, plan, index, uvw_m, visibilities, taper, lmn, aterm_fields):
+        n = plan.subgrid_size
+        item = plan.work_item(index)
+        u_mid, v_mid = plan.subgrid_centre_uv(index)
+        scales = (
+            plan.frequencies_hz[item.channel_start : item.channel_end]
+            / SPEED_OF_LIGHT
+        )
+        uvw_block = np.ascontiguousarray(
+            uvw_m[item.baseline, item.time_start : item.time_end], dtype=np.float64
+        )
+        vis_block = np.ascontiguousarray(
+            visibilities[
+                item.baseline,
+                item.time_start : item.time_end,
+                item.channel_start : item.channel_end,
+            ].reshape(item.n_times, item.n_channels, 4),
+            dtype=ACCUM_DTYPE,
+        )
+        offset = np.array([u_mid, v_mid, plan.w_offset], dtype=np.float64)
+        acc = np.zeros((n * n, 4), dtype=ACCUM_DTYPE)
+        _gridder_accumulate(
+            lmn, uvw_block, float(scales[0]), _channel_step(scales), offset,
+            vis_block, acc,
+        )
+        subgrid = acc.reshape(n, n, 2, 2)
+        a_p, a_q = _fields_for(aterm_fields, item)
+        if a_p is not None or a_q is not None:
+            a_p = a_p if a_p is not None else identity_jones_field(n)
+            a_q = a_q if a_q is not None else identity_jones_field(n)
+            subgrid = apply_adjoint_sandwich(a_p, subgrid, a_q)
+        subgrid *= taper[:, :, np.newaxis, np.newaxis]
+        return subgrid.astype(COMPLEX_DTYPE)
+
+    # ----------------------------------------------------------- degridder
+
+    def degrid_work_group(
+        self,
+        plan: Plan,
+        start: int,
+        stop: int,
+        subgrid_images: np.ndarray,
+        uvw_m: np.ndarray,
+        visibilities_out: np.ndarray,
+        taper: np.ndarray,
+        lmn: np.ndarray | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        vis_batch: int = DEFAULT_VIS_BATCH,
+        channel_recurrence: bool = False,
+    ) -> None:
+        if self._fallback is not None:
+            self._warn_fallback()
+            self._fallback.degrid_work_group(
+                plan, start, stop, subgrid_images, uvw_m, visibilities_out,
+                taper, lmn=lmn, aterm_fields=aterm_fields, vis_batch=vis_batch,
+                channel_recurrence=channel_recurrence,
+            )
+            return
+        n = plan.subgrid_size
+        if lmn is None:
+            lmn = subgrid_lmn(n, plan.gridspec.image_size)
+        for k, index in enumerate(range(start, stop)):
+            item = plan.work_item(index)
+            vis = self._degrid_item(
+                plan, index, subgrid_images[k], uvw_m, taper, lmn, aterm_fields
+            )
+            visibilities_out[
+                item.baseline,
+                item.time_start : item.time_end,
+                item.channel_start : item.channel_end,
+            ] = vis
+
+    def _degrid_item(self, plan, index, subgrid_image, uvw_m, taper, lmn, aterm_fields):
+        n = plan.subgrid_size
+        item = plan.work_item(index)
+        u_mid, v_mid = plan.subgrid_centre_uv(index)
+        scales = (
+            plan.frequencies_hz[item.channel_start : item.channel_end]
+            / SPEED_OF_LIGHT
+        )
+        uvw_block = np.ascontiguousarray(
+            uvw_m[item.baseline, item.time_start : item.time_end], dtype=np.float64
+        )
+        corrected = subgrid_image.astype(ACCUM_DTYPE)
+        a_p, a_q = _fields_for(aterm_fields, item)
+        if a_p is not None or a_q is not None:
+            a_p = a_p if a_p is not None else identity_jones_field(n)
+            a_q = a_q if a_q is not None else identity_jones_field(n)
+            corrected = apply_sandwich(a_p, corrected, a_q)
+        corrected = corrected * taper[:, :, np.newaxis, np.newaxis]
+        pixels = np.ascontiguousarray(corrected.reshape(n * n, 4))
+        offset = np.array([u_mid, v_mid, plan.w_offset], dtype=np.float64)
+        out = np.zeros((item.n_times, item.n_channels, 4), dtype=ACCUM_DTYPE)
+        _degridder_accumulate(
+            lmn, uvw_block, float(scales[0]), _channel_step(scales), offset,
+            pixels, out,
+        )
+        return out.reshape(item.n_times, item.n_channels, 2, 2).astype(COMPLEX_DTYPE)
+
+
+def _fields_for(aterm_fields, item):
+    """(A_p, A_q) Jones fields of a work item (``None`` = identity)."""
+    if aterm_fields is None:
+        return None, None
+    return (
+        aterm_fields.get((item.station_p, item.aterm_interval)),
+        aterm_fields.get((item.station_q, item.aterm_interval)),
+    )

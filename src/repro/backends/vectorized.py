@@ -1,0 +1,64 @@
+"""The ``vectorized`` backend: the package's BLAS fast path.
+
+This is the NumPy implementation the pipeline has always run — the phasor
+expressed as one complex ``(N**2, M) @ (M, 4)`` matrix product dispatched to
+``*gemm``, with the optional channel-phasor recurrence
+(:func:`repro.core.gridder.gridder_subgrid_fast`) that trades sine/cosine
+evaluations for FMAs exactly as the paper's Section V-B optimisation 2 does.
+It is the default backend and the performance yardstick the ``jit`` backend
+is measured against in ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import DEFAULT_VIS_BATCH, KernelBackend
+from repro.core.degridder import degrid_work_group as _degrid_work_group
+from repro.core.gridder import grid_work_group as _grid_work_group
+from repro.core.plan import Plan
+
+
+class VectorizedBackend(KernelBackend):
+    """BLAS-dispatched NumPy kernels (the paper's SIMD reduction, in gemm)."""
+
+    name = "vectorized"
+
+    def grid_work_group(
+        self,
+        plan: Plan,
+        start: int,
+        stop: int,
+        uvw_m: np.ndarray,
+        visibilities: np.ndarray,
+        taper: np.ndarray,
+        lmn: np.ndarray | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        vis_batch: int = DEFAULT_VIS_BATCH,
+        channel_recurrence: bool = False,
+    ) -> np.ndarray:
+        return _grid_work_group(
+            plan, start, stop, uvw_m, visibilities, taper,
+            lmn=lmn, aterm_fields=aterm_fields, vis_batch=vis_batch,
+            channel_recurrence=channel_recurrence,
+        )
+
+    def degrid_work_group(
+        self,
+        plan: Plan,
+        start: int,
+        stop: int,
+        subgrid_images: np.ndarray,
+        uvw_m: np.ndarray,
+        visibilities_out: np.ndarray,
+        taper: np.ndarray,
+        lmn: np.ndarray | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        vis_batch: int = DEFAULT_VIS_BATCH,
+        channel_recurrence: bool = False,
+    ) -> None:
+        _degrid_work_group(
+            plan, start, stop, subgrid_images, uvw_m, visibilities_out, taper,
+            lmn=lmn, aterm_fields=aterm_fields, vis_batch=vis_batch,
+            channel_recurrence=channel_recurrence,
+        )

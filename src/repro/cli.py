@@ -34,6 +34,12 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         "stage-graph runtime (StreamingIDG)",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel backend (reference, vectorized, jit, or any registered "
+        "name); default: the IDG_BACKEND environment variable, then "
+        "'vectorized'",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
         help="worker threads (threads executor; default: all cores)",
     )
@@ -180,7 +186,7 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _make_idg(dataset, grid_size, subgrid_size):
+def _make_idg(dataset, grid_size, subgrid_size, backend=None):
     from repro.constants import SPEED_OF_LIGHT
     from repro.core.pipeline import IDG, IDGConfig
     from repro.gridspec import GridSpec
@@ -189,7 +195,10 @@ def _make_idg(dataset, grid_size, subgrid_size):
     max_uv = max_uv_m * dataset.frequencies_hz.max() / SPEED_OF_LIGHT
     image_size = min(0.9 * grid_size / (2.0 * max_uv), 1.0)
     gridspec = GridSpec(grid_size=grid_size, image_size=image_size)
-    idg = IDG(gridspec, IDGConfig(subgrid_size=subgrid_size))
+    try:
+        idg = IDG(gridspec, IDGConfig(subgrid_size=subgrid_size, backend=backend))
+    except KeyError as exc:  # unknown --backend / IDG_BACKEND name
+        raise SystemExit(f"error: {exc.args[0]}") from exc
     return idg, gridspec
 
 
@@ -224,7 +233,9 @@ def _cmd_image(args) -> int:
     from repro.imaging.weighting import apply_weights, uniform_weights
 
     ds = load_dataset(args.dataset)
-    idg, gridspec = _make_idg(ds, args.grid_size, args.subgrid_size)
+    idg, gridspec = _make_idg(
+        ds, args.grid_size, args.subgrid_size, backend=args.backend
+    )
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
 
     vis = ds.visibilities
@@ -279,7 +290,7 @@ def _cmd_predict(args) -> int:
     with np.load(args.model) as archive:
         model = archive["model"]
     g = model.shape[-1]
-    idg, gridspec = _make_idg(ds, g, args.subgrid_size)
+    idg, gridspec = _make_idg(ds, g, args.subgrid_size, backend=args.backend)
     model4 = np.zeros((4, g, g), dtype=np.complex128)
     model4[0] = model
     model4[3] = model

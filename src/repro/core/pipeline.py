@@ -30,11 +30,8 @@ import numpy as np
 from repro.aterms.generators import ATermGenerator
 from repro.aterms.schedule import ATermSchedule
 from repro.constants import COMPLEX_DTYPE
-from repro.core.adder import add_subgrids, split_subgrids
-from repro.core.degridder import degrid_work_group
-from repro.core.gridder import grid_work_group, subgrid_lmn
+from repro.core.gridder import subgrid_lmn
 from repro.core.plan import Plan
-from repro.core.subgrid_fft import subgrids_to_fourier, subgrids_to_image
 from repro.gridspec import GridSpec
 from repro.kernels.spheroidal import taper_for
 
@@ -87,6 +84,13 @@ class IDGConfig:
         evenly spaced channels every subband here has) instead of one
         sincos per pixel-visibility.  ~n_channels fewer transcendental
         evaluations; bit-equivalent to well within single precision.
+    backend:
+        Named kernel backend dispatching the gridder/degridder/subgrid-FFT/
+        adder entry points (``"reference"``, ``"vectorized"``, ``"jit"``,
+        or any name registered with
+        :func:`repro.backends.register_backend`).  ``None`` (default)
+        consults the ``IDG_BACKEND`` environment variable, then falls back
+        to ``"vectorized"``.
     """
 
     subgrid_size: int = 24
@@ -97,6 +101,7 @@ class IDGConfig:
     vis_batch: int = 1024
     work_group_size: int = 256
     channel_recurrence: bool = True
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.subgrid_size <= 0 or self.subgrid_size % 2:
@@ -111,6 +116,8 @@ class IDG:
     """Image-Domain Gridding on a fixed master-grid geometry."""
 
     def __init__(self, gridspec: GridSpec, config: IDGConfig | None = None):
+        from repro.backends import resolve_backend
+
         self.gridspec = gridspec
         self.config = config or IDGConfig()
         n = self.config.subgrid_size
@@ -118,6 +125,8 @@ class IDG:
         self.taper = taper_for(n, self.config.taper, beta=self.config.taper_beta)
         #: (N**2, 3) pixel direction matrix shared by all work items.
         self.lmn = subgrid_lmn(n, gridspec.image_size)
+        #: The kernel backend every executor dispatches through.
+        self.backend = resolve_backend(self.config.backend)
 
     # ------------------------------------------------------------- planning
 
@@ -207,13 +216,16 @@ class IDG:
         if grid is None:
             grid = self.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         fields = self.aterm_fields(plan, aterms)
+        backend = self.backend
         for start, stop in plan.work_groups(self.config.work_group_size):
-            subgrids = grid_work_group(
+            subgrids = backend.grid_work_group(
                 plan, start, stop, uvw_m, visibilities, self.taper,
                 lmn=self.lmn, aterm_fields=fields, vis_batch=self.config.vis_batch,
                 channel_recurrence=self.config.channel_recurrence,
             )
-            add_subgrids(grid, plan, subgrids_to_fourier(subgrids), start=start)
+            backend.add_subgrids(
+                grid, plan, backend.subgrids_to_fourier(subgrids), start=start
+            )
         return grid
 
     # ----------------------------------------------------------- degridding
@@ -235,10 +247,12 @@ class IDG:
             (n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE
         )
         fields = self.aterm_fields(plan, aterms)
+        backend = self.backend
         for start, stop in plan.work_groups(self.config.work_group_size):
-            patches = split_subgrids(grid, plan, start, stop)
-            degrid_work_group(
-                plan, start, stop, subgrids_to_image(patches), uvw_m, out, self.taper,
+            patches = backend.split_subgrids(grid, plan, start, stop)
+            backend.degrid_work_group(
+                plan, start, stop, backend.subgrids_to_image(patches), uvw_m,
+                out, self.taper,
                 lmn=self.lmn, aterm_fields=fields, vis_batch=self.config.vis_batch,
                 channel_recurrence=self.config.channel_recurrence,
             )

@@ -24,14 +24,9 @@ import numpy as np
 
 from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
-from repro.core.adder import split_subgrids
-from repro.core.degridder import degrid_work_group
-from repro.core.gridder import grid_work_group
 from repro.core.pipeline import IDG
 from repro.core.plan import Plan
-from repro.core.subgrid_fft import subgrids_to_fourier, subgrids_to_image
 from repro.parallel.batching import interleaved_ranges
-from repro.parallel.partition import add_subgrids_row_parallel
 
 
 class ParallelIDG:
@@ -68,6 +63,7 @@ class ParallelIDG:
         remaining gridding instead of waiting for the whole pool.
         """
         idg = self.idg
+        backend = idg.backend
         fields = idg.aterm_fields(plan, aterms)
         group_size = idg.config.work_group_size
 
@@ -76,13 +72,13 @@ class ParallelIDG:
             for start, stop in interleaved_ranges(
                 plan.n_subgrids, group_size, worker_id, self.n_workers
             ):
-                subgrids = grid_work_group(
+                subgrids = backend.grid_work_group(
                     plan, start, stop, uvw_m, visibilities, idg.taper,
                     lmn=idg.lmn, aterm_fields=fields,
                     vis_batch=idg.config.vis_batch,
                     channel_recurrence=idg.config.channel_recurrence,
                 )
-                out.append((start, subgrids_to_fourier(subgrids)))
+                out.append((start, backend.subgrids_to_fourier(subgrids)))
             return out
 
         grid = idg.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
@@ -93,7 +89,7 @@ class ParallelIDG:
                 # V-B-d) while the remaining workers keep gridding; a worker
                 # exception surfaces here at the earliest completion.
                 for start, fourier in future.result():
-                    add_subgrids_row_parallel(
+                    backend.add_subgrids(
                         grid, plan, fourier, start=start, n_workers=self.n_workers
                     )
         return grid
@@ -111,6 +107,7 @@ class ParallelIDG:
         workers write into the shared output without synchronisation.
         """
         idg = self.idg
+        backend = idg.backend
         fields = idg.aterm_fields(plan, aterms)
         group_size = idg.config.work_group_size
         n_bl, n_times, _ = uvw_m.shape
@@ -120,9 +117,10 @@ class ParallelIDG:
             for start, stop in interleaved_ranges(
                 plan.n_subgrids, group_size, worker_id, self.n_workers
             ):
-                patches = split_subgrids(grid, plan, start, stop)
-                degrid_work_group(
-                    plan, start, stop, subgrids_to_image(patches), uvw_m, out,
+                patches = backend.split_subgrids(grid, plan, start, stop)
+                backend.degrid_work_group(
+                    plan, start, stop, backend.subgrids_to_image(patches),
+                    uvw_m, out,
                     idg.taper, lmn=idg.lmn, aterm_fields=fields,
                     vis_batch=idg.config.vis_batch,
                     channel_recurrence=idg.config.channel_recurrence,

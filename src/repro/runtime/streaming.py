@@ -35,13 +35,8 @@ import numpy as np
 
 from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
-from repro.core.adder import split_subgrids
-from repro.core.degridder import degrid_work_group
-from repro.core.gridder import grid_work_group
 from repro.core.pipeline import IDG, mask_flagged
 from repro.core.plan import Plan
-from repro.core.subgrid_fft import subgrids_to_fourier, subgrids_to_image
-from repro.parallel.partition import add_subgrids_row_parallel
 from repro.runtime.graph import StageGraph
 from repro.runtime.queues import CreditGate
 from repro.runtime.telemetry import Telemetry
@@ -160,6 +155,7 @@ class StreamingIDG:
         ``telemetry`` recorder (also stored on ``last_telemetry``).
         """
         idg = self.idg
+        backend = idg.backend
         idg._check_shapes(plan, uvw_m, visibilities)
         visibilities = mask_flagged(visibilities, flags)
         if grid is None:
@@ -174,7 +170,7 @@ class StreamingIDG:
 
         def do_grid(seq: int, chunk: tuple[int, int]) -> tuple[int, np.ndarray]:
             start, stop = chunk
-            subgrids = grid_work_group(
+            subgrids = backend.grid_work_group(
                 plan, start, stop, uvw_m, visibilities, idg.taper,
                 lmn=idg.lmn, aterm_fields=fields,
                 vis_batch=idg.config.vis_batch,
@@ -184,7 +180,7 @@ class StreamingIDG:
 
         def do_fft(seq: int, payload: tuple[int, np.ndarray]) -> tuple[int, np.ndarray]:
             start, subgrids = payload
-            return (start, subgrids_to_fourier(subgrids))
+            return (start, backend.subgrids_to_fourier(subgrids))
 
         def do_add(seq: int, payload: tuple[int, np.ndarray]) -> None:
             # Apply batches in plan order so the floating-point accumulation
@@ -194,7 +190,7 @@ class StreamingIDG:
             pending[seq] = payload
             while next_seq in pending:
                 start, fourier = pending.pop(next_seq)
-                add_subgrids_row_parallel(
+                backend.add_subgrids(
                     out_grid, plan, fourier, start=start,
                     n_workers=self.config.adder_row_workers,
                 )
@@ -237,6 +233,7 @@ class StreamingIDG:
     ) -> np.ndarray:
         """Pipelined equivalent of :meth:`repro.core.IDG.degrid`."""
         idg = self.idg
+        backend = idg.backend
         fields = idg.aterm_fields(plan, aterms)
         n_bl, n_times, _ = uvw_m.shape
         out = np.zeros((n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE)
@@ -248,13 +245,13 @@ class StreamingIDG:
             seq: int, chunk: tuple[int, int]
         ) -> tuple[tuple[int, int], np.ndarray]:
             start, stop = chunk
-            return (chunk, split_subgrids(grid, plan, start, stop))
+            return (chunk, backend.split_subgrids(grid, plan, start, stop))
 
         def do_ifft(
             seq: int, payload: tuple[tuple[int, int], np.ndarray]
         ) -> tuple[tuple[int, int], np.ndarray]:
             chunk, patches = payload
-            return (chunk, subgrids_to_image(patches))
+            return (chunk, backend.subgrids_to_image(patches))
 
         emulate = self.config.emulate_pcie_gbs is not None
 
@@ -264,7 +261,7 @@ class StreamingIDG:
             (start, stop), images = payload
             # Work items cover disjoint (baseline, time, channel) blocks, so
             # concurrent workers write `out` without synchronisation.
-            degrid_work_group(
+            backend.degrid_work_group(
                 plan, start, stop, images, uvw_m, out, idg.taper,
                 lmn=idg.lmn, aterm_fields=fields,
                 vis_batch=idg.config.vis_batch,

@@ -9,7 +9,6 @@ import pytest
 
 from repro.aterms.generators import GaussianBeamATerm
 from repro.runtime import RuntimeConfig, StreamingIDG, modeled_schedule_jobs
-import repro.runtime.streaming as streaming_module
 
 GRID_STAGES = ("splitter", "gridder", "subgrid_fft", "adder")
 DEGRID_STAGES = ("splitter", "subgrid_split", "subgrid_ifft", "degridder")
@@ -134,14 +133,15 @@ def test_failing_work_group_propagates_without_deadlock(
 ):
     """Satellite: inject a failing work group; the run must re-raise promptly
     with every queue drained (no hung threads)."""
-    real = streaming_module.grid_work_group
+    backend_cls = type(small_idg.backend)
+    real = backend_cls.grid_work_group
 
-    def failing(plan, start, stop, *args, **kwargs):
+    def failing(self, plan, start, stop, *args, **kwargs):
         if start >= 10:
             raise RuntimeError(f"injected failure at work group {start}")
-        return real(plan, start, stop, *args, **kwargs)
+        return real(self, plan, start, stop, *args, **kwargs)
 
-    monkeypatch.setattr(streaming_module, "grid_work_group", failing)
+    monkeypatch.setattr(backend_cls, "grid_work_group", failing)
     engine = StreamingIDG(
         small_idg.with_config(work_group_size=5), RuntimeConfig(n_buffers=2)
     )

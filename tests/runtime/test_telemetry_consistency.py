@@ -1,0 +1,95 @@
+"""Telemetry self-consistency: the numbers a run reports must add up.
+
+The streaming engine's telemetry drives the performance-model comparison
+(paper Fig 9/10), so its invariants are load-bearing: per-stage busy time
+can never exceed the run's wall clock, every item put into an inter-stage
+channel must come out again, and the visibility counter must match the
+plan's own statistics.
+"""
+
+import pytest
+
+from repro.runtime import RuntimeConfig, StreamingIDG
+
+GROUP = 5
+
+
+@pytest.fixture(scope="module")
+def grid_run(small_idg, small_plan, small_obs, single_source_vis):
+    """One streaming grid run (single worker per stage) plus its telemetry."""
+    engine = StreamingIDG(small_idg.with_config(work_group_size=GROUP))
+    engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    return engine.last_telemetry
+
+
+@pytest.fixture(scope="module")
+def degrid_run(small_idg, small_plan, small_obs, single_source_vis):
+    engine = StreamingIDG(
+        small_idg.with_config(work_group_size=GROUP), RuntimeConfig(n_buffers=2)
+    )
+    grid = small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    engine.degrid(small_plan, small_obs.uvw_m, grid)
+    return engine.last_telemetry
+
+
+@pytest.mark.parametrize("run", ["grid_run", "degrid_run"])
+def test_stage_busy_time_fits_in_makespan(run, request):
+    """With one worker per stage, a stage's span total cannot exceed the
+    wall clock (spans of one stage never overlap themselves)."""
+    telemetry = request.getfixturevalue(run)
+    makespan = telemetry.makespan()
+    assert makespan > 0
+    for stage in telemetry.stages:
+        busy = telemetry.stage_busy_seconds(stage)
+        assert 0 < busy <= makespan * (1 + 1e-9), (
+            f"{stage}: busy {busy}s exceeds makespan {makespan}s"
+        )
+        assert busy == pytest.approx(
+            sum(telemetry.stage_durations(stage))
+        )
+
+
+@pytest.mark.parametrize("run", ["grid_run", "degrid_run"])
+def test_spans_lie_within_the_run(run, request):
+    telemetry = request.getfixturevalue(run)
+    spans = telemetry.spans()
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    assert telemetry.makespan() == pytest.approx(t1 - t0)
+    for span in spans:
+        assert span.end >= span.start
+
+
+@pytest.mark.parametrize("run", ["grid_run", "degrid_run"])
+def test_every_stage_saw_every_work_group(run, request, small_plan):
+    telemetry = request.getfixturevalue(run)
+    n_groups = len(list(small_plan.work_groups(GROUP)))
+    for stage in telemetry.stages:
+        assert len(telemetry.spans(stage)) == n_groups, stage
+
+
+@pytest.mark.parametrize("run", ["grid_run", "degrid_run"])
+def test_queue_items_in_equals_items_out(run, request, small_plan):
+    """Every channel drains completely: puts == gets == work groups, and the
+    observed depth never exceeds the configured capacity."""
+    telemetry = request.getfixturevalue(run)
+    n_groups = len(list(small_plan.work_groups(GROUP)))
+    assert telemetry.queues, "no queue stats recorded"
+    for q in telemetry.queues:
+        assert q.n_put == q.n_get == n_groups, q.name
+        assert 0 < q.max_depth <= q.capacity, q.name
+        assert 0.0 <= q.occupancy <= 1.0, q.name
+        assert q.blocked_put_seconds >= 0 and q.blocked_get_seconds >= 0, q.name
+
+
+def test_visibility_counter_matches_plan(grid_run, small_plan):
+    assert (
+        grid_run.counters["visibilities"]
+        == small_plan.statistics.n_visibilities_gridded
+    )
+
+
+def test_throughput_consistent_with_counter_and_makespan(grid_run):
+    assert grid_run.throughput() == pytest.approx(
+        grid_run.counters["visibilities"] / grid_run.makespan()
+    )

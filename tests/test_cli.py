@@ -104,6 +104,28 @@ def test_image_streaming_matches_serial(sim_dataset, tmp_path, capsys):
     assert {"splitter", "gridder", "subgrid_fft", "adder"} <= span_names
 
 
+def test_image_backend_flag(sim_dataset, tmp_path, monkeypatch):
+    """--backend and IDG_BACKEND select the kernel backend; unknown names
+    exit with the registry's helpful message instead of a traceback."""
+    default_path = tmp_path / "default.npz"
+    jit_path = tmp_path / "jit.npz"
+    env_path = tmp_path / "env.npz"
+    assert main(["image", str(sim_dataset), str(default_path),
+                 "--grid-size", "256"]) == 0
+    assert main(["image", str(sim_dataset), str(jit_path),
+                 "--grid-size", "256", "--backend", "jit"]) == 0
+    monkeypatch.setenv("IDG_BACKEND", "vectorized")
+    assert main(["image", str(sim_dataset), str(env_path),
+                 "--grid-size", "256"]) == 0
+    with np.load(default_path) as a, np.load(jit_path) as b, \
+            np.load(env_path) as c:
+        np.testing.assert_allclose(b["image"], a["image"], atol=2e-4)
+        np.testing.assert_array_equal(c["image"], a["image"])
+    with pytest.raises(SystemExit, match="unknown kernel backend"):
+        main(["image", str(sim_dataset), str(tmp_path / "x.npz"),
+              "--grid-size", "256", "--backend", "cuda"])
+
+
 def test_image_threads_executor(sim_dataset, tmp_path):
     serial_path = tmp_path / "serial.npz"
     threads_path = tmp_path / "threads.npz"
