@@ -22,6 +22,11 @@ from _util import RESULTS_DIR, print_series
 GROUP = 16
 REPEATS = 3
 
+#: The batched-vs-per-item comparison uses more work items (batching pays
+#: off across items) and more repeats (CI asserts on the ratio).
+BATCHED_GROUP = 64
+BATCHED_REPEATS = 5
+
 
 def _visibilities_in(plan, stop):
     return sum(
@@ -39,6 +44,30 @@ def _time_best(fn):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _time_repeats(fn, repeats):
+    """All wall-clock samples of ``repeats`` runs, after one warmup."""
+    fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _stats(samples, n_vis):
+    best = min(samples)
+    mean = sum(samples) / len(samples)
+    variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return {
+        "seconds_best": best,
+        "seconds_mean": mean,
+        "seconds_all": samples,
+        "seconds_variance": variance,
+        "visibilities_per_s": n_vis / best,
+    }
 
 
 def test_bench_backend_kernels(bench_plan, bench_obs, bench_vis, bench_idg):
@@ -127,3 +156,103 @@ def test_bench_backend_kernels(bench_plan, bench_obs, bench_vis, bench_idg):
         rows,
     )
     assert json.loads(path.read_text())["backends"].keys() == backends.keys()
+
+
+def test_bench_batched_vs_per_item(bench_plan, bench_obs, bench_vis, bench_idg):
+    """Shape-bucketed batched execution vs the per-item kernels.
+
+    Times the ``vectorized`` backend both ways on the same work-group batch
+    and writes ``benchmarks/results/BENCH_batched.json`` with per-repeat
+    samples (so run-to-run variance is visible next to the ratio).  The CI
+    perf-smoke job asserts batched >= per-item from this payload.
+    """
+    from repro.parallel.bucketing import DEFAULT_BATCH_BYTES
+
+    plan, uvw = bench_plan, bench_obs.uvw_m
+    stop = min(BATCHED_GROUP, plan.n_subgrids)
+    n_vis = _visibilities_in(plan, stop)
+    assert n_vis > 0
+    backend = get_backend("vectorized")
+
+    modes = {}
+    for batched in (False, True):
+
+        def run_grid(batched=batched):
+            return backend.grid_work_group(
+                plan, 0, stop, uvw, bench_vis, bench_idg.taper,
+                lmn=bench_idg.lmn,
+                channel_recurrence=bench_idg.config.channel_recurrence,
+                batched=batched,
+            )
+
+        grid_samples = _time_repeats(run_grid, BATCHED_REPEATS)
+        subgrids = run_grid()
+        images = backend.subgrids_to_image(backend.subgrids_to_fourier(subgrids))
+        out = np.zeros_like(bench_vis)
+
+        def run_degrid(batched=batched, images=images, out=out):
+            backend.degrid_work_group(
+                plan, 0, stop, images, uvw, out, bench_idg.taper,
+                lmn=bench_idg.lmn,
+                channel_recurrence=bench_idg.config.channel_recurrence,
+                batched=batched,
+            )
+
+        degrid_samples = _time_repeats(run_degrid, BATCHED_REPEATS)
+        modes["batched" if batched else "per_item"] = {
+            "gridder": _stats(grid_samples, n_vis),
+            "degridder": _stats(degrid_samples, n_vis),
+        }
+
+    speedup = {
+        kernel: (
+            modes["batched"][kernel]["visibilities_per_s"]
+            / modes["per_item"][kernel]["visibilities_per_s"]
+        )
+        for kernel in ("gridder", "degridder")
+    }
+
+    payload = {
+        "benchmark": "batched_vs_per_item",
+        "generated_by": "benchmarks/bench_backend_kernels.py",
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "backend": "vectorized",
+            "work_items": stop,
+            "n_visibilities": n_vis,
+            "subgrid_size": bench_idg.config.subgrid_size,
+            "kernel_support": bench_idg.config.kernel_support,
+            "time_max": bench_idg.config.time_max,
+            "channel_recurrence": bench_idg.config.channel_recurrence,
+            "batch_bytes": DEFAULT_BATCH_BYTES,
+            "n_baselines": int(uvw.shape[0]),
+            "n_times": int(uvw.shape[1]),
+            "n_channels": int(plan.n_channels),
+            "repeats": BATCHED_REPEATS,
+        },
+        "modes": modes,
+        "speedup": speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_batched.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_series(
+        "Batched vs per-item kernel throughput (vectorized)",
+        ["mode", "grid Mvis/s", "degrid Mvis/s"],
+        [
+            (mode,
+             modes[mode]["gridder"]["visibilities_per_s"] / 1e6,
+             modes[mode]["degridder"]["visibilities_per_s"] / 1e6)
+            for mode in ("per_item", "batched")
+        ] + [("speedup", speedup["gridder"], speedup["degridder"])],
+    )
+    assert speedup["gridder"] >= 1.0 and speedup["degridder"] >= 1.0, (
+        f"batched slower than per-item: {speedup}"
+    )

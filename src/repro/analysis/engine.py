@@ -53,6 +53,7 @@ class LintConfig:
         "aterms/",
         "runtime/",
         "backends/",
+        "parallel/",
     )
     #: Module(s) allowed to evaluate sine/cosine inside loops — the approved
     #: phasor kernels (IDG002 scope).  Matched with ``relpath.endswith``.

@@ -65,6 +65,7 @@ class KernelBackend:
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
         vis_batch: int = DEFAULT_VIS_BATCH,
         channel_recurrence: bool = False,
+        batched: bool = False,
     ) -> np.ndarray:
         """Grid work items ``start .. stop-1`` (Algorithm 1, batched).
 
@@ -74,7 +75,10 @@ class KernelBackend:
         ``channel_recurrence`` is advisory — a backend whose inner loop is
         already organised around the channel-phasor recurrence (``jit``) may
         ignore it, and the ``reference`` oracle always evaluates the direct
-        sum.
+        sum.  ``batched`` is likewise advisory: it asks for the
+        shape-bucketed batch-of-subgrids execution
+        (:mod:`repro.parallel.bucketing`), which only ``vectorized``
+        implements; other backends keep their per-item loop.
         """
         raise NotImplementedError
 
@@ -93,12 +97,14 @@ class KernelBackend:
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
         vis_batch: int = DEFAULT_VIS_BATCH,
         channel_recurrence: bool = False,
+        batched: bool = False,
     ) -> None:
         """Degrid work items ``start .. stop-1`` (Algorithm 2, batched).
 
         Same signature and semantics as
         :func:`repro.core.degridder.degrid_work_group`: predictions are
-        written into ``visibilities_out`` in place.
+        written into ``visibilities_out`` in place.  ``batched`` is advisory
+        as in :meth:`grid_work_group`.
         """
         raise NotImplementedError
 

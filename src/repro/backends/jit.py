@@ -214,13 +214,14 @@ class JitBackend(KernelBackend):
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
         vis_batch: int = DEFAULT_VIS_BATCH,
         channel_recurrence: bool = False,
+        batched: bool = False,
     ) -> np.ndarray:
         if self._fallback is not None:
             self._warn_fallback()
             return self._fallback.grid_work_group(
                 plan, start, stop, uvw_m, visibilities, taper,
                 lmn=lmn, aterm_fields=aterm_fields, vis_batch=vis_batch,
-                channel_recurrence=channel_recurrence,
+                channel_recurrence=channel_recurrence, batched=batched,
             )
         n = plan.subgrid_size
         if lmn is None:
@@ -281,13 +282,14 @@ class JitBackend(KernelBackend):
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
         vis_batch: int = DEFAULT_VIS_BATCH,
         channel_recurrence: bool = False,
+        batched: bool = False,
     ) -> None:
         if self._fallback is not None:
             self._warn_fallback()
             self._fallback.degrid_work_group(
                 plan, start, stop, subgrid_images, uvw_m, visibilities_out,
                 taper, lmn=lmn, aterm_fields=aterm_fields, vis_batch=vis_batch,
-                channel_recurrence=channel_recurrence,
+                channel_recurrence=channel_recurrence, batched=batched,
             )
             return
         n = plan.subgrid_size

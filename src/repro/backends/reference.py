@@ -37,6 +37,7 @@ class ReferenceBackend(KernelBackend):
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
         vis_batch: int = DEFAULT_VIS_BATCH,
         channel_recurrence: bool = False,
+        batched: bool = False,
     ) -> np.ndarray:
         n = plan.subgrid_size
         image_size = plan.gridspec.image_size
@@ -73,6 +74,7 @@ class ReferenceBackend(KernelBackend):
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
         vis_batch: int = DEFAULT_VIS_BATCH,
         channel_recurrence: bool = False,
+        batched: bool = False,
     ) -> None:
         image_size = plan.gridspec.image_size
         for k, index in enumerate(range(start, stop)):

@@ -40,6 +40,15 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         "'vectorized'",
     )
     parser.add_argument(
+        "--batched", dest="batched", action="store_true", default=True,
+        help="shape-bucketed batched kernel execution (default; vectorized "
+        "backend only — others keep their per-item loop)",
+    )
+    parser.add_argument(
+        "--no-batched", dest="batched", action="store_false",
+        help="per-work-item kernel execution",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
         help="worker threads (threads executor; default: all cores)",
     )
@@ -186,7 +195,7 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _make_idg(dataset, grid_size, subgrid_size, backend=None):
+def _make_idg(dataset, grid_size, subgrid_size, backend=None, batched=True):
     from repro.constants import SPEED_OF_LIGHT
     from repro.core.pipeline import IDG, IDGConfig
     from repro.gridspec import GridSpec
@@ -196,7 +205,10 @@ def _make_idg(dataset, grid_size, subgrid_size, backend=None):
     image_size = min(0.9 * grid_size / (2.0 * max_uv), 1.0)
     gridspec = GridSpec(grid_size=grid_size, image_size=image_size)
     try:
-        idg = IDG(gridspec, IDGConfig(subgrid_size=subgrid_size, backend=backend))
+        idg = IDG(
+            gridspec,
+            IDGConfig(subgrid_size=subgrid_size, backend=backend, batched=batched),
+        )
     except KeyError as exc:  # unknown --backend / IDG_BACKEND name
         raise SystemExit(f"error: {exc.args[0]}") from exc
     return idg, gridspec
@@ -234,7 +246,8 @@ def _cmd_image(args) -> int:
 
     ds = load_dataset(args.dataset)
     idg, gridspec = _make_idg(
-        ds, args.grid_size, args.subgrid_size, backend=args.backend
+        ds, args.grid_size, args.subgrid_size, backend=args.backend,
+        batched=args.batched,
     )
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
 
@@ -290,7 +303,9 @@ def _cmd_predict(args) -> int:
     with np.load(args.model) as archive:
         model = archive["model"]
     g = model.shape[-1]
-    idg, gridspec = _make_idg(ds, g, args.subgrid_size, backend=args.backend)
+    idg, gridspec = _make_idg(
+        ds, g, args.subgrid_size, backend=args.backend, batched=args.batched
+    )
     model4 = np.zeros((4, g, g), dtype=np.complex128)
     model4[0] = model
     model4[3] = model

@@ -20,12 +20,15 @@ the paper's T_B x C_B batching that bounds the working set.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.analysis.contracts import shape_checked
 from repro.aterms.jones import apply_adjoint_sandwich, identity_jones_field
 from repro.constants import ACCUM_DTYPE, COMPLEX_DTYPE, SPEED_OF_LIGHT
 from repro.core.plan import Plan
+from repro.core.scratch import ScratchArena, thread_arena
 from repro.kernels.fft import image_coordinates
 from repro.kernels.wkernel import n_term
 
@@ -40,19 +43,34 @@ DEFAULT_VIS_BATCH = 1024
 PHASOR_RENORM_INTERVAL = 64
 
 
+@lru_cache(maxsize=32)
+def _subgrid_lmn_cached(subgrid_size: int, image_size: float) -> np.ndarray:
+    """Keyed cache behind :func:`subgrid_lmn`.
+
+    Every call site with the same (subgrid size, image size) — the ``IDG``
+    facade, work-group kernels called without a precomputed ``lmn``, w-stack
+    layers, tests — shares one immutable matrix instead of recomputing it;
+    the array is marked read-only because it is shared.
+    """
+    coords = image_coordinates(subgrid_size, image_size)
+    ll = np.broadcast_to(coords[np.newaxis, :], (subgrid_size, subgrid_size))
+    mm = np.broadcast_to(coords[:, np.newaxis], (subgrid_size, subgrid_size))
+    nn = n_term(ll, mm)
+    lmn = np.stack([ll.ravel(), mm.ravel(), nn.ravel()], axis=1)
+    lmn.setflags(write=False)
+    return lmn
+
+
 @shape_checked(returns="(N**2, 3)")
 def subgrid_lmn(subgrid_size: int, image_size: float) -> np.ndarray:
     """The ``(N**2, 3)`` matrix of (l, m, n) per subgrid pixel, row-major.
 
     Row ``y * N + x`` holds ``(l_x, m_y, n(l_x, m_y))`` for the coarse image
     raster spanning the full field of view.  This matrix is the fixed factor
-    of the phasor product and is computed once per (subgrid size, image size).
+    of the phasor product, computed once per (subgrid size, image size) and
+    cached; the returned array is shared and read-only.
     """
-    coords = image_coordinates(subgrid_size, image_size)
-    ll = np.broadcast_to(coords[np.newaxis, :], (subgrid_size, subgrid_size))
-    mm = np.broadcast_to(coords[:, np.newaxis], (subgrid_size, subgrid_size))
-    nn = n_term(ll, mm)
-    return np.stack([ll.ravel(), mm.ravel(), nn.ravel()], axis=1)
+    return _subgrid_lmn_cached(int(subgrid_size), float(image_size))
 
 
 @shape_checked(
@@ -231,13 +249,15 @@ def gridder_subgrid_fast(
 
     vis = np.asarray(visibilities).reshape(t_total, c_total, 4)
     acc = np.zeros((n_pixels2, 4), dtype=ACCUM_DTYPE)
+    magnitude = np.empty(phasor.shape) if c_total > PHASOR_RENORM_INTERVAL else None
     for c in range(c_total):
         if c > 0:
-            phasor = phasor * step
+            phasor *= step
             if c % PHASOR_RENORM_INTERVAL == 0:
                 # the recurrence drifts off the unit circle multiplicatively;
                 # pull it back before the error reaches single precision
-                phasor /= np.abs(phasor)
+                np.abs(phasor, out=magnitude)
+                phasor /= magnitude
         acc += phasor @ vis[:, c]
 
     subgrid = acc.reshape(n, n, 2, 2)
@@ -247,6 +267,200 @@ def gridder_subgrid_fast(
         subgrid = apply_adjoint_sandwich(a_p, subgrid, a_q)
     subgrid *= taper[:, :, np.newaxis, np.newaxis]
     return subgrid.astype(COMPLEX_DTYPE)
+
+
+def _phase_tensor(
+    lmn: np.ndarray, uvw_m: np.ndarray, arena: ScratchArena, key: str
+) -> np.ndarray:
+    """``(G, N**2, T)`` metre-domain phase ``2 pi lmn . uvw`` of a bucket —
+    the stacked analogue of the per-item ``base`` matrix, built with one
+    broadcast batched matmul into an arena buffer."""
+    g_total, t_total = uvw_m.shape[0], uvw_m.shape[1]
+    base = arena.take(key, (g_total, lmn.shape[0], t_total), np.float64)
+    np.matmul(lmn, np.swapaxes(uvw_m, 1, 2), out=base)
+    base *= 2.0 * np.pi
+    return base
+
+
+def _offset_phase_matrix(
+    lmn: np.ndarray, offsets: np.ndarray, arena: ScratchArena, key: str
+) -> np.ndarray:
+    """``(G, N**2)`` subgrid-offset phase ``2 pi lmn . offset`` per item."""
+    out = arena.take(key, (offsets.shape[0], lmn.shape[0]), np.float64)
+    np.matmul(offsets, lmn.T, out=out)
+    out *= 2.0 * np.pi
+    return out
+
+
+def _sincos_into(phase: np.ndarray, out: np.ndarray) -> None:
+    """``out = exp(1j * phase)`` without temporaries: cosine and sine are
+    written straight into the complex buffer's real/imaginary views (the
+    same two transcendental evaluations ``np.exp`` performs, minus its
+    allocations)."""
+    np.cos(phase, out=out.real)
+    np.sin(phase, out=out.imag)
+
+
+@shape_checked(
+    visibilities="(G, T, C, 4)",
+    uvw_m="(G, T, 3)",
+    scale0="(G,)",
+    offsets="(G, 3)",
+    lmn="(N**2, 3)",
+    taper="(N, N)",
+    aterm_p="(G, N, N, 2, 2)",
+    aterm_q="(G, N, N, 2, 2)",
+    returns="(G, N, N, 2, 2)",
+)
+def gridder_bucket_fast(
+    visibilities: np.ndarray,
+    uvw_m: np.ndarray,
+    scale0: np.ndarray,
+    ds: float,
+    offsets: np.ndarray,
+    lmn: np.ndarray,
+    taper: np.ndarray,
+    aterm_p: np.ndarray | None = None,
+    aterm_q: np.ndarray | None = None,
+    arena: ScratchArena | None = None,
+) -> np.ndarray:
+    """Algorithm 1 with the channel phasor recurrence, over a whole bucket.
+
+    The batched form of :func:`gridder_subgrid_fast`: ``G`` identically
+    shaped work items are evaluated together — one broadcast matmul for the
+    stacked metre-domain phase, one batched sine/cosine pair per (item,
+    pixel, timestep), and one stacked ``(G, N**2, T) @ (G, T, 4)`` matrix
+    product per channel step, with the recurrence multiply and its
+    renormalisation applied in place.  All working memory comes from the
+    scratch arena, so a steady stream of equal-shape buckets allocates
+    nothing.
+
+    Parameters
+    ----------
+    visibilities:
+        ``(G, T, C, 4)`` stacked visibility blocks.
+    uvw_m:
+        ``(G, T, 3)`` stacked uvw in metres.
+    scale0:
+        ``(G,)`` first-channel ``f/c`` per item (items of one shape bucket
+        may cover different channel windows).
+    ds:
+        Shared channel step of the ``f/c`` ladder (0 for one channel).
+    offsets:
+        ``(G, 3)`` per-item subgrid offsets ``u_mid, v_mid, w_offset`` in
+        wavelengths.
+    lmn, taper, aterm_p, aterm_q:
+        As in :func:`gridder_subgrid_fast`, with the A-term fields stacked
+        per item.
+    arena:
+        Scratch arena (defaults to the calling thread's).
+
+    Returns
+    -------
+    ``(G, N, N, 2, 2)`` complex128 image-domain subgrids.  The array is a
+    view into the arena — copy it out (the work-group drivers assign it
+    into their output array) before the next batched call on this thread.
+    """
+    g_total, t_total, c_total = visibilities.shape[:3]
+    n_pixels2 = lmn.shape[0]
+    n = int(np.sqrt(n_pixels2))
+    if arena is None:
+        arena = thread_arena()
+
+    base = _phase_tensor(lmn, uvw_m, arena, "bucket.base")
+    offset_phase = _offset_phase_matrix(lmn, offsets, arena, "bucket.offset_phase")
+    phase = arena.take("bucket.phase", (g_total, n_pixels2, t_total), np.float64)
+    phasor = arena.take("bucket.phasor", (g_total, n_pixels2, t_total), ACCUM_DTYPE)
+    np.multiply(base, scale0[:, np.newaxis, np.newaxis], out=phase)
+    phase -= offset_phase[:, :, np.newaxis]
+    _sincos_into(phase, phasor)
+    if c_total > 1:
+        step = arena.take("bucket.step", (g_total, n_pixels2, t_total), ACCUM_DTYPE)
+        np.multiply(base, ds, out=phase)
+        _sincos_into(phase, step)
+
+    acc = arena.take("gridder.acc", (g_total, n_pixels2, 4), ACCUM_DTYPE)
+    prod = arena.take("gridder.prod", (g_total, n_pixels2, 4), ACCUM_DTYPE)
+    np.matmul(phasor, visibilities[:, :, 0], out=acc)
+    for c in range(1, c_total):
+        np.multiply(phasor, step, out=phasor)
+        if c % PHASOR_RENORM_INTERVAL == 0:
+            # same magnitude-drift guard as the per-item fast path; the
+            # phase buffer doubles as the magnitude scratch here
+            np.abs(phasor, out=phase)
+            phasor /= phase
+        np.matmul(phasor, visibilities[:, :, c], out=prod)
+        acc += prod
+
+    subgrids = acc.reshape(g_total, n, n, 2, 2)
+    if aterm_p is not None or aterm_q is not None:
+        subgrids = apply_adjoint_sandwich(aterm_p, subgrids, aterm_q)
+    subgrids *= taper[np.newaxis, :, :, np.newaxis, np.newaxis]
+    return subgrids
+
+
+@shape_checked(
+    visibilities="(G, M, 4)",
+    uvw_rel_wl="(G, M, 3)",
+    lmn="(N**2, 3)",
+    taper="(N, N)",
+    aterm_p="(G, N, N, 2, 2)",
+    aterm_q="(G, N, N, 2, 2)",
+    returns="(G, N, N, 2, 2)",
+)
+def gridder_bucket(
+    visibilities: np.ndarray,
+    uvw_rel_wl: np.ndarray,
+    lmn: np.ndarray,
+    taper: np.ndarray,
+    aterm_p: np.ndarray | None = None,
+    aterm_q: np.ndarray | None = None,
+    arena: ScratchArena | None = None,
+) -> np.ndarray:
+    """Algorithm 1 as a direct sum, over a whole bucket.
+
+    The batched form of :func:`gridder_subgrid`: one broadcast matmul for
+    the stacked ``(G, N**2, M)`` phase, one batched sine/cosine evaluation,
+    and one stacked ``(G, N**2, M) @ (G, M, 4)`` matrix product.  Used when
+    the channel recurrence is disabled or inapplicable (unevenly spaced
+    channels).
+
+    Parameters
+    ----------
+    visibilities:
+        ``(G, M, 4)`` stacked flattened visibility blocks.
+    uvw_rel_wl:
+        ``(G, M, 3)`` stacked relative uvw in wavelengths.
+    lmn, taper, aterm_p, aterm_q:
+        As in :func:`gridder_bucket_fast`.
+    arena:
+        Scratch arena (defaults to the calling thread's).
+
+    Returns
+    -------
+    ``(G, N, N, 2, 2)`` complex128 subgrids (an arena view — see
+    :func:`gridder_bucket_fast`).
+    """
+    g_total, m_total = visibilities.shape[:2]
+    n_pixels2 = lmn.shape[0]
+    n = int(np.sqrt(n_pixels2))
+    if arena is None:
+        arena = thread_arena()
+
+    phase = arena.take("bucket.phase", (g_total, n_pixels2, m_total), np.float64)
+    np.matmul(lmn, np.swapaxes(uvw_rel_wl, 1, 2), out=phase)
+    phase *= 2.0 * np.pi
+    phasor = arena.take("bucket.phasor", (g_total, n_pixels2, m_total), ACCUM_DTYPE)
+    _sincos_into(phase, phasor)
+
+    acc = arena.take("gridder.acc", (g_total, n_pixels2, 4), ACCUM_DTYPE)
+    np.matmul(phasor, visibilities, out=acc)
+
+    subgrids = acc.reshape(g_total, n, n, 2, 2)
+    if aterm_p is not None or aterm_q is not None:
+        subgrids = apply_adjoint_sandwich(aterm_p, subgrids, aterm_q)
+    subgrids *= taper[np.newaxis, :, :, np.newaxis, np.newaxis]
+    return subgrids
 
 
 def grid_work_group(

@@ -1,0 +1,108 @@
+"""Scratch-buffer arenas: reusable workspace for the batched kernels.
+
+The batched gridder/degridder (:func:`repro.core.gridder.gridder_bucket_fast`
+and friends) work on stacked ``(G, N**2, T)`` phase/phasor tensors whose
+shapes repeat for every bucket of identically-shaped work items.  Allocating
+those tensors per bucket would put hundreds of megabytes per gridding pass
+through the allocator — the Python-level analogue of the device-buffer churn
+the paper's CUDA/OpenCL implementations avoid by reusing one set of device
+buffers across kernel launches.  A :class:`ScratchArena` keeps one growable
+buffer per *key* (a short string naming the buffer's role) and hands out
+correctly-shaped views, so steady-state gridding performs zero large
+allocations: a bucket either fits the existing buffer or grows it once,
+and every later bucket of equal or smaller shape reuses it.
+
+Arenas are **not** thread-safe and must never be shared between threads —
+two gridder workers writing phase tensors into the same buffer would corrupt
+each other's work items.  Kernels therefore obtain their arena through
+:func:`thread_arena`, which keeps one arena per thread (the executors —
+``ParallelIDG`` workers, ``StreamingIDG`` stage threads — each see their
+own), while the backends themselves stay stateless as the backend contract
+requires.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+
+__all__ = ["ScratchArena", "thread_arena", "clear_thread_arena"]
+
+
+class ScratchArena:
+    """Keyed, growable scratch buffers handing out shaped views.
+
+    Each key owns one flat backing buffer that only ever grows; ``take``
+    returns a view of the first ``prod(shape)`` elements reshaped to
+    ``shape``.  Views of the *same key* alias each other by design (a new
+    ``take`` invalidates the previous one); views of different keys never
+    alias.  Contents are unspecified on take — callers must fully overwrite
+    (or use explicit ``out=`` stores) before reading.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def take(self, key: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
+        """A ``shape``-shaped view of the buffer registered under ``key``.
+
+        Grows (reallocates) the backing buffer when ``shape`` needs more
+        elements than any previous request for this key, or when the dtype
+        changed; otherwise reuses the existing allocation.
+        """
+        n = math.prod(shape)
+        dtype = np.dtype(dtype)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.dtype != dtype or buffer.size < n:
+            buffer = np.empty(max(n, 1), dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer[:n].reshape(shape)
+
+    def zeros(self, key: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
+        """Like :meth:`take` but with the view zero-filled."""
+        view = self.take(key, shape, dtype)
+        view.fill(0)
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held across all backing buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Registered buffer keys, sorted (introspection/tests)."""
+        return tuple(sorted(self._buffers))
+
+    def clear(self) -> None:
+        """Drop every backing buffer (frees the memory once views die)."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScratchArena keys={len(self._buffers)} "
+            f"nbytes={self.nbytes}>"
+        )
+
+
+_thread_local = threading.local()
+
+
+def thread_arena() -> ScratchArena:
+    """The calling thread's private :class:`ScratchArena` (created on first
+    use).  Concurrent executor workers each get their own arena, so batched
+    kernels running in parallel never alias scratch memory."""
+    arena = getattr(_thread_local, "arena", None)
+    if arena is None:
+        arena = ScratchArena()
+        _thread_local.arena = arena
+    return arena
+
+
+def clear_thread_arena() -> None:
+    """Release the calling thread's arena buffers (tests, memory pressure)."""
+    arena = getattr(_thread_local, "arena", None)
+    if arena is not None:
+        arena.clear()

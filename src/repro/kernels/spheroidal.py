@@ -17,6 +17,8 @@ grid correction that must divide the dirty image after the final inverse FFT
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 # Rational-polynomial fit of the zeroth-order prolate spheroidal wave function
@@ -136,10 +138,30 @@ def grid_correction(n_pixels: int, taper: str = "spheroidal", beta: float = 9.0)
     return out
 
 
-def taper_for(n_pixels: int, taper: str = "spheroidal", beta: float = 9.0) -> np.ndarray:
-    """Return the 2-D taper array by name (dispatch helper used by the core)."""
+@lru_cache(maxsize=32)
+def _taper_cached(n_pixels: int, taper: str, beta: float) -> np.ndarray:
+    """Keyed cache behind :func:`taper_for`.
+
+    Every ``IDG`` facade, executor worker and test with the same
+    (size, family, beta) shares one immutable array instead of re-evaluating
+    the spheroidal rational fit; read-only because it is shared.
+    """
     if taper == "spheroidal":
-        return spheroidal_taper(n_pixels)
-    if taper == "kaiser-bessel":
-        return kaiser_bessel_taper(n_pixels, beta=beta)
-    raise ValueError(f"unknown taper {taper!r}; expected 'spheroidal' or 'kaiser-bessel'")
+        arr = spheroidal_taper(n_pixels)
+    elif taper == "kaiser-bessel":
+        arr = kaiser_bessel_taper(n_pixels, beta=beta)
+    else:
+        raise ValueError(
+            f"unknown taper {taper!r}; expected 'spheroidal' or 'kaiser-bessel'"
+        )
+    arr.setflags(write=False)
+    return arr
+
+
+def taper_for(n_pixels: int, taper: str = "spheroidal", beta: float = 9.0) -> np.ndarray:
+    """Return the 2-D taper array by name (dispatch helper used by the core).
+
+    Cached per ``(n_pixels, taper, beta)``; the returned array is shared and
+    read-only — copy before mutating.
+    """
+    return _taper_cached(int(n_pixels), taper, float(beta))

@@ -9,12 +9,22 @@ disjoint horizontal band of the grid.
 """
 
 from repro.parallel.batching import chunk_ranges, interleaved_ranges
+from repro.parallel.bucketing import (
+    Bucket,
+    bucket_work_items,
+    degrid_work_group_batched,
+    grid_work_group_batched,
+)
 from repro.parallel.partition import RowPartition, add_subgrids_row_parallel
 from repro.parallel.executor import ParallelIDG
 
 __all__ = [
     "chunk_ranges",
     "interleaved_ranges",
+    "Bucket",
+    "bucket_work_items",
+    "grid_work_group_batched",
+    "degrid_work_group_batched",
     "RowPartition",
     "add_subgrids_row_parallel",
     "ParallelIDG",

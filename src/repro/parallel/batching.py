@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 
 def chunk_ranges(total: int, n_chunks: int) -> list[tuple[int, int]]:
     """Split ``range(total)`` into up to ``n_chunks`` contiguous ranges whose
@@ -23,7 +25,9 @@ def chunk_ranges(total: int, n_chunks: int) -> list[tuple[int, int]]:
     return out
 
 
-def interleaved_ranges(total: int, group_size: int, worker: int, n_workers: int):
+def interleaved_ranges(
+    total: int, group_size: int, worker: int, n_workers: int
+) -> Iterator[tuple[int, int]]:
     """Yield the (start, stop) groups assigned to ``worker`` under round-robin
     distribution of fixed-size groups — the work-group to thread mapping of
     the paper's Fig 6."""

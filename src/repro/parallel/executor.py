@@ -77,6 +77,7 @@ class ParallelIDG:
                     lmn=idg.lmn, aterm_fields=fields,
                     vis_batch=idg.config.vis_batch,
                     channel_recurrence=idg.config.channel_recurrence,
+                    batched=idg.config.batched,
                 )
                 out.append((start, backend.subgrids_to_fourier(subgrids)))
             return out
@@ -124,6 +125,7 @@ class ParallelIDG:
                     idg.taper, lmn=idg.lmn, aterm_fields=fields,
                     vis_batch=idg.config.vis_batch,
                     channel_recurrence=idg.config.channel_recurrence,
+                    batched=idg.config.batched,
                 )
 
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:

@@ -175,6 +175,7 @@ class StreamingIDG:
                 lmn=idg.lmn, aterm_fields=fields,
                 vis_batch=idg.config.vis_batch,
                 channel_recurrence=idg.config.channel_recurrence,
+                batched=idg.config.batched,
             )
             return (start, subgrids)
 
@@ -266,6 +267,7 @@ class StreamingIDG:
                 lmn=idg.lmn, aterm_fields=fields,
                 vis_batch=idg.config.vis_batch,
                 channel_recurrence=idg.config.channel_recurrence,
+                batched=idg.config.batched,
             )
             if not emulate:
                 gate.release()

@@ -1,0 +1,114 @@
+"""Unit tests for the scratch-buffer arena behind the batched kernels."""
+
+import threading
+
+import numpy as np
+
+from repro.core.scratch import ScratchArena, clear_thread_arena, thread_arena
+
+
+def _base(view):
+    buffer = view
+    while buffer.base is not None:
+        buffer = buffer.base
+    return buffer
+
+
+def test_take_reuses_backing_buffer_across_calls():
+    arena = ScratchArena()
+    first = arena.take("phase", (4, 9), np.complex128)
+    second = arena.take("phase", (4, 9), np.complex128)
+    assert _base(first) is _base(second)
+    # a smaller request also reuses (and aliases the front of) the buffer
+    smaller = arena.take("phase", (2, 9), np.complex128)
+    assert _base(smaller) is _base(first)
+    assert smaller.shape == (2, 9)
+
+
+def test_take_grows_once_then_stays():
+    arena = ScratchArena()
+    arena.take("acc", (8,), np.float64)
+    nbytes_small = arena.nbytes
+    grown = arena.take("acc", (64,), np.float64)
+    assert arena.nbytes > nbytes_small
+    # equal and smaller requests after growth never reallocate
+    assert _base(arena.take("acc", (64,), np.float64)) is _base(grown)
+    assert _base(arena.take("acc", (3,), np.float64)) is _base(grown)
+    assert arena.nbytes == 64 * 8
+
+
+def test_dtype_change_reallocates():
+    arena = ScratchArena()
+    as_float = arena.take("buf", (16,), np.float64)
+    as_complex = arena.take("buf", (16,), np.complex128)
+    assert as_complex.dtype == np.complex128
+    assert _base(as_float) is not _base(as_complex)
+
+
+def test_distinct_keys_never_alias():
+    arena = ScratchArena()
+    a = arena.take("a", (32,), np.float64)
+    b = arena.take("b", (32,), np.float64)
+    a.fill(1.0)
+    b.fill(2.0)
+    assert not np.shares_memory(a, b)
+    np.testing.assert_array_equal(a, 1.0)
+
+
+def test_zeros_is_zero_filled_view():
+    arena = ScratchArena()
+    view = arena.take("z", (10,), np.complex128)
+    view.fill(3 + 4j)
+    zeroed = arena.zeros("z", (10,), np.complex128)
+    assert _base(zeroed) is _base(view)
+    np.testing.assert_array_equal(zeroed, 0)
+
+
+def test_keys_and_clear():
+    arena = ScratchArena()
+    arena.take("b", (4,), np.float64)
+    arena.take("a", (4,), np.float64)
+    assert arena.keys == ("a", "b")
+    arena.clear()
+    assert arena.keys == ()
+    assert arena.nbytes == 0
+
+
+def test_thread_arena_is_per_thread():
+    """Concurrent workers each see a private arena — same key, no aliasing."""
+    main = thread_arena()
+    assert thread_arena() is main  # stable within a thread
+
+    results = {}
+
+    def worker(name):
+        arena = thread_arena()
+        view = arena.take("shared-key", (1024,), np.float64)
+        view.fill(hash(name) % 97)
+        results[name] = (arena, view)
+
+    threads = [threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    arenas = [arena for arena, _ in results.values()] + [main]
+    assert len({id(a) for a in arenas}) == len(arenas)
+    views = [view for _, view in results.values()]
+    for i in range(len(views)):
+        for j in range(i + 1, len(views)):
+            assert not np.shares_memory(views[i], views[j])
+        np.testing.assert_array_equal(views[i], views[i][0])
+
+    for arena, _ in results.values():
+        arena.clear()
+
+
+def test_clear_thread_arena_releases_buffers():
+    arena = thread_arena()
+    arena.take("tmp", (256,), np.complex128)
+    assert arena.nbytes > 0
+    clear_thread_arena()
+    assert arena.nbytes == 0
+    assert thread_arena() is arena  # the arena object itself survives
