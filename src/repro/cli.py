@@ -61,6 +61,29 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         "--trace", default=None, metavar="PATH",
         help="streaming executor: write a chrome://tracing JSON of the run",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="fault tolerance: retries per work-group stage call before the "
+        "group is dead-lettered (0 = fail fast, the default)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="backoff before the first retry (doubles per retry, capped)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="streaming executor: snapshot the grid + completed work groups "
+        "to this .npz (atomic) while gridding",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=4, metavar="N",
+        help="work groups retired between checkpoint snapshots",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="streaming executor: resume gridding from a checkpoint written "
+        "by a previous run over the same dataset/plan (bit-exact)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -195,7 +218,8 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _make_idg(dataset, grid_size, subgrid_size, backend=None, batched=True):
+def _make_idg(dataset, grid_size, subgrid_size, backend=None, batched=True,
+              max_retries=0, retry_backoff=0.05):
     from repro.constants import SPEED_OF_LIGHT
     from repro.core.pipeline import IDG, IDGConfig
     from repro.gridspec import GridSpec
@@ -207,7 +231,9 @@ def _make_idg(dataset, grid_size, subgrid_size, backend=None, batched=True):
     try:
         idg = IDG(
             gridspec,
-            IDGConfig(subgrid_size=subgrid_size, backend=backend, batched=batched),
+            IDGConfig(subgrid_size=subgrid_size, backend=backend,
+                      batched=batched, max_retries=max_retries,
+                      retry_backoff_s=retry_backoff),
         )
     except KeyError as exc:  # unknown --backend / IDG_BACKEND name
         raise SystemExit(f"error: {exc.args[0]}") from exc
@@ -223,12 +249,25 @@ def _make_executor(idg, args):
     if args.executor == "streaming":
         from repro.runtime import RuntimeConfig, StreamingIDG
 
-        return StreamingIDG(idg, RuntimeConfig(n_buffers=args.n_buffers))
+        return StreamingIDG(idg, RuntimeConfig(
+            n_buffers=args.n_buffers,
+            checkpoint_path=getattr(args, "checkpoint", None),
+            checkpoint_interval=getattr(args, "checkpoint_interval", 4),
+            resume_from=getattr(args, "resume", None),
+        ))
+    if getattr(args, "checkpoint", None) or getattr(args, "resume", None):
+        raise SystemExit(
+            "error: --checkpoint/--resume require --executor streaming"
+        )
     return idg
 
 
 def _report_run(engine, args) -> None:
-    """After a streaming run: print the telemetry digest, export the trace."""
+    """After a tolerant/streaming run: print the fault report and telemetry
+    digest, export the trace."""
+    report = getattr(engine, "last_fault_report", None)
+    if report is not None and (report.n_retries or not report.ok):
+        print(report.summary())
     telemetry = getattr(engine, "last_telemetry", None)
     if telemetry is None:
         return
@@ -247,7 +286,8 @@ def _cmd_image(args) -> int:
     ds = load_dataset(args.dataset)
     idg, gridspec = _make_idg(
         ds, args.grid_size, args.subgrid_size, backend=args.backend,
-        batched=args.batched,
+        batched=args.batched, max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
     )
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
 
@@ -262,6 +302,11 @@ def _cmd_image(args) -> int:
     engine = _make_executor(idg, args)
     grid = engine.grid(plan, ds.uvw_m, vis)
     _report_run(engine, args)
+    report = getattr(engine, "last_fault_report", None)
+    if report is not None and not report.ok and args.weighting == "natural":
+        # Dead-lettered work groups never reached the grid; keep the image
+        # normalisation consistent with what was actually accumulated.
+        weight_sum = report.adjusted_weight_sum(weight_sum)
     image = stokes_i_image(
         dirty_image_from_grid(grid, gridspec, weight_sum=weight_sum)
     )
@@ -304,7 +349,8 @@ def _cmd_predict(args) -> int:
         model = archive["model"]
     g = model.shape[-1]
     idg, gridspec = _make_idg(
-        ds, g, args.subgrid_size, backend=args.backend, batched=args.batched
+        ds, g, args.subgrid_size, backend=args.backend, batched=args.batched,
+        max_retries=args.max_retries, retry_backoff=args.retry_backoff,
     )
     model4 = np.zeros((4, g, g), dtype=np.complex128)
     model4[0] = model

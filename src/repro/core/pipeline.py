@@ -100,6 +100,14 @@ class IDGConfig:
         :func:`repro.backends.register_backend`).  ``None`` (default)
         consults the ``IDG_BACKEND`` environment variable, then falls back
         to ``"vectorized"``.
+    max_retries:
+        Fault tolerance (DESIGN.md §11): retry attempts per work-group
+        stage call before the group is quarantined to a dead letter.  The
+        default 0 keeps the legacy fail-fast behaviour (first exception
+        propagates) with zero overhead.
+    retry_backoff_s:
+        Backoff before the first retry; subsequent retries back off
+        exponentially (see :class:`repro.runtime.recovery.RetryPolicy`).
     """
 
     subgrid_size: int = 24
@@ -112,6 +120,8 @@ class IDGConfig:
     channel_recurrence: bool = True
     batched: bool = True
     backend: str | None = None
+    max_retries: int = 0
+    retry_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.subgrid_size <= 0 or self.subgrid_size % 2:
@@ -120,6 +130,10 @@ class IDGConfig:
             raise ValueError("kernel_support must be in [0, subgrid_size)")
         if self.time_max <= 0 or self.vis_batch <= 0 or self.work_group_size <= 0:
             raise ValueError("time_max, vis_batch, work_group_size must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
 
 
 class IDG:
@@ -137,6 +151,9 @@ class IDG:
         self.lmn = subgrid_lmn(n, gridspec.image_size)
         #: The kernel backend every executor dispatches through.
         self.backend = resolve_backend(self.config.backend)
+        #: Fault report of the most recent tolerant grid/degrid call
+        #: (``None`` when the fault-tolerance layer was inactive).
+        self.last_fault_report = None
 
     # ------------------------------------------------------------- planning
 
@@ -186,6 +203,22 @@ class IDG:
             for station, interval in sorted(keys)
         }
 
+    def _work_group_runner(self, faults=None):
+        """A :class:`~repro.runtime.recovery.WorkGroupRunner` when fault
+        tolerance is active (``max_retries > 0`` or a fault plan is
+        installed), else ``None`` — the legacy fail-fast loop runs
+        unchanged.  Imported lazily: :mod:`repro.runtime` imports this
+        module at class-definition time."""
+        if self.config.max_retries <= 0 and faults is None:
+            return None
+        from repro.runtime.recovery import RetryPolicy, WorkGroupRunner
+
+        policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            backoff_s=self.config.retry_backoff_s,
+        )
+        return WorkGroupRunner(policy, faults=faults)
+
     # ------------------------------------------------------------- gridding
 
     def grid(
@@ -196,6 +229,7 @@ class IDG:
         aterms: ATermGenerator | None = None,
         grid: np.ndarray | None = None,
         flags: np.ndarray | None = None,
+        faults=None,
     ) -> np.ndarray:
         """Grid a visibility set onto the master grid.
 
@@ -216,10 +250,16 @@ class IDG:
             Optional ``(n_baselines, n_times, n_channels)`` data flags
             (RFI etc.); flagged samples are gridded as zeros — remember to
             subtract their count from the image's ``weight_sum``.
+        faults:
+            Optional :class:`~repro.runtime.faults.FaultPlan` for
+            deterministic fault injection (tests, benchmarks).
 
         Returns
         -------
-        The ``(4, G, G)`` master grid.
+        The ``(4, G, G)`` master grid.  With fault tolerance active
+        (``config.max_retries > 0`` or ``faults``), quarantined work groups
+        are excluded from it and reported on ``last_fault_report`` instead
+        of raising.
         """
         self._check_shapes(plan, uvw_m, visibilities)
         visibilities = mask_flagged(visibilities, flags)
@@ -227,16 +267,57 @@ class IDG:
             grid = self.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         fields = self.aterm_fields(plan, aterms)
         backend = self.backend
-        for start, stop in plan.work_groups(self.config.work_group_size):
-            subgrids = backend.grid_work_group(
-                plan, start, stop, uvw_m, visibilities, self.taper,
-                lmn=self.lmn, aterm_fields=fields, vis_batch=self.config.vis_batch,
-                channel_recurrence=self.config.channel_recurrence,
-                batched=self.config.batched,
+        runner = self._work_group_runner(faults)
+        self.last_fault_report = runner.report if runner is not None else None
+        groups = list(plan.work_groups(self.config.work_group_size))
+        if runner is not None:
+            runner.report.n_groups = len(groups)
+        for group, (start, stop) in enumerate(groups):
+            if runner is None:
+                subgrids = backend.grid_work_group(
+                    plan, start, stop, uvw_m, visibilities, self.taper,
+                    lmn=self.lmn, aterm_fields=fields, vis_batch=self.config.vis_batch,
+                    channel_recurrence=self.config.channel_recurrence,
+                    batched=self.config.batched,
+                )
+                backend.add_subgrids(
+                    grid, plan, backend.subgrids_to_fourier(subgrids), start=start
+                )
+                continue
+            from repro.runtime.recovery import Quarantined, group_visibility_count
+
+            n_vis = group_visibility_count(plan, start, stop)
+
+            def grid_body(start: int = start, stop: int = stop) -> np.ndarray:
+                return backend.grid_work_group(
+                    plan, start, stop, uvw_m, visibilities, self.taper,
+                    lmn=self.lmn, aterm_fields=fields, vis_batch=self.config.vis_batch,
+                    channel_recurrence=self.config.channel_recurrence,
+                    batched=self.config.batched,
+                )
+
+            subgrids = runner.run(
+                "gridder", group, grid_body,
+                start=start, stop=stop, n_visibilities=n_vis,
             )
-            backend.add_subgrids(
-                grid, plan, backend.subgrids_to_fourier(subgrids), start=start
+            if isinstance(subgrids, Quarantined):
+                continue
+            fourier = runner.run(
+                "subgrid_fft", group,
+                lambda subgrids=subgrids: backend.subgrids_to_fourier(subgrids),
+                start=start, stop=stop, n_visibilities=n_vis,
             )
+            if isinstance(fourier, Quarantined):
+                continue
+            result = runner.run(
+                "adder", group,
+                lambda start=start, fourier=fourier: backend.add_subgrids(
+                    grid, plan, fourier, start=start
+                ),
+                start=start, stop=stop, n_visibilities=n_vis,
+            )
+            if not isinstance(result, Quarantined):
+                runner.report.n_groups_completed += 1
         return grid
 
     # ----------------------------------------------------------- degridding
@@ -247,11 +328,14 @@ class IDG:
         uvw_m: np.ndarray,
         grid: np.ndarray,
         aterms: ATermGenerator | None = None,
+        faults=None,
     ) -> np.ndarray:
         """Predict visibilities from a model grid (degridding).
 
         Returns a ``(n_baselines, n_times, n_channels, 2, 2)`` array; entries
-        the plan flagged (unplaceable) are zero.
+        the plan flagged (unplaceable) are zero.  With fault tolerance
+        active, a quarantined work group leaves its visibility block zero
+        (the same convention) and is reported on ``last_fault_report``.
         """
         n_bl, n_times, _ = uvw_m.shape
         out = np.zeros(
@@ -259,15 +343,34 @@ class IDG:
         )
         fields = self.aterm_fields(plan, aterms)
         backend = self.backend
-        for start, stop in plan.work_groups(self.config.work_group_size):
-            patches = backend.split_subgrids(grid, plan, start, stop)
-            backend.degrid_work_group(
-                plan, start, stop, backend.subgrids_to_image(patches), uvw_m,
-                out, self.taper,
-                lmn=self.lmn, aterm_fields=fields, vis_batch=self.config.vis_batch,
-                channel_recurrence=self.config.channel_recurrence,
-                batched=self.config.batched,
+        runner = self._work_group_runner(faults)
+        self.last_fault_report = runner.report if runner is not None else None
+        groups = list(plan.work_groups(self.config.work_group_size))
+        if runner is not None:
+            runner.report.n_groups = len(groups)
+        for group, (start, stop) in enumerate(groups):
+            def degrid_body(start: int = start, stop: int = stop) -> None:
+                patches = backend.split_subgrids(grid, plan, start, stop)
+                backend.degrid_work_group(
+                    plan, start, stop, backend.subgrids_to_image(patches),
+                    uvw_m, out, self.taper,
+                    lmn=self.lmn, aterm_fields=fields,
+                    vis_batch=self.config.vis_batch,
+                    channel_recurrence=self.config.channel_recurrence,
+                    batched=self.config.batched,
+                )
+
+            if runner is None:
+                degrid_body()
+                continue
+            from repro.runtime.recovery import Quarantined, group_visibility_count
+
+            result = runner.run(
+                "degridder", group, degrid_body, start=start, stop=stop,
+                n_visibilities=group_visibility_count(plan, start, stop),
             )
+            if not isinstance(result, Quarantined):
+                runner.report.n_groups_completed += 1
         return out
 
     # ------------------------------------------------------------- utility

@@ -30,6 +30,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.aterms.schedule import ATermSchedule
+from repro.atomicio import atomic_savez_compressed
 from repro.constants import SPEED_OF_LIGHT
 from repro.gridspec import GridSpec
 
@@ -192,13 +193,14 @@ class Plan:
     # -------------------------------------------------------- serialisation
 
     def save(self, path) -> None:
-        """Write the plan to a compressed ``.npz``.
+        """Write the plan to a compressed ``.npz`` (atomically: temp file +
+        rename, so a crash mid-save never leaves a truncated plan).
 
         Plans for large observations take minutes to build (the greedy sweep
         visits every visibility); pipelines reuse one plan across many
         imaging cycles, so persisting it is worthwhile.
         """
-        np.savez_compressed(
+        atomic_savez_compressed(
             path,
             plan_version=np.int64(1),
             grid_size=np.int64(self.gridspec.grid_size),

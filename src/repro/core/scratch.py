@@ -12,38 +12,65 @@ correctly-shaped views, so steady-state gridding performs zero large
 allocations: a bucket either fits the existing buffer or grows it once,
 and every later bucket of equal or smaller shape reuses it.
 
+Buffers grow to the largest request ever seen, which is also a liability
+over a long imaging run: one unusually large bucket (say, the first major
+cycle before flagging) pins its peak footprint forever.  Arenas therefore
+track a per-key *high-water mark* — the largest request since the last trim
+— and :meth:`ScratchArena.trim` shrinks every backing buffer down to it
+(dropping keys that went entirely unused).  The imaging major cycle calls
+:func:`trim_thread_arenas` between cycles, so steady-state memory tracks the
+current working set instead of the historical peak.
+
 Arenas are **not** thread-safe and must never be shared between threads —
 two gridder workers writing phase tensors into the same buffer would corrupt
 each other's work items.  Kernels therefore obtain their arena through
 :func:`thread_arena`, which keeps one arena per thread (the executors —
 ``ParallelIDG`` workers, ``StreamingIDG`` stage threads — each see their
 own), while the backends themselves stay stateless as the backend contract
-requires.
+requires.  :func:`trim_thread_arenas` touches every thread's arena and must
+only run at quiescent points (between imaging cycles, after executor pools
+have retired their work), never concurrently with kernel execution.
 """
 
 from __future__ import annotations
 
 import math
 import threading
+import weakref
 
 import numpy as np
 
-__all__ = ["ScratchArena", "thread_arena", "clear_thread_arena"]
+__all__ = [
+    "ScratchArena",
+    "clear_thread_arena",
+    "thread_arena",
+    "trim_thread_arenas",
+]
 
 
 class ScratchArena:
     """Keyed, growable scratch buffers handing out shaped views.
 
-    Each key owns one flat backing buffer that only ever grows; ``take``
-    returns a view of the first ``prod(shape)`` elements reshaped to
-    ``shape``.  Views of the *same key* alias each other by design (a new
-    ``take`` invalidates the previous one); views of different keys never
-    alias.  Contents are unspecified on take — callers must fully overwrite
-    (or use explicit ``out=`` stores) before reading.
+    Each key owns one flat backing buffer that grows to the largest request
+    seen; ``take`` returns a view of the first ``prod(shape)`` elements
+    reshaped to ``shape``.  Views of the *same key* alias each other by
+    design (a new ``take`` invalidates the previous one); views of different
+    keys never alias.  Contents are unspecified on take — callers must fully
+    overwrite (or use explicit ``out=`` stores) before reading.
+    :meth:`trim` shrinks buffers back to the high-water mark of the current
+    workload phase.
     """
+
+    # Every live arena, so trim_thread_arenas can reach the per-thread
+    # arenas of pool workers without keeping dead threads' arenas alive.
+    _registry: "weakref.WeakSet[ScratchArena]" = weakref.WeakSet()
+    _registry_lock = threading.Lock()
 
     def __init__(self) -> None:
         self._buffers: dict[str, np.ndarray] = {}
+        self._watermarks: dict[str, int] = {}
+        with ScratchArena._registry_lock:
+            ScratchArena._registry.add(self)
 
     def take(self, key: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
         """A ``shape``-shaped view of the buffer registered under ``key``.
@@ -58,6 +85,8 @@ class ScratchArena:
         if buffer is None or buffer.dtype != dtype or buffer.size < n:
             buffer = np.empty(max(n, 1), dtype=dtype)
             self._buffers[key] = buffer
+        if n > self._watermarks.get(key, 0):
+            self._watermarks[key] = n
         return buffer[:n].reshape(shape)
 
     def zeros(self, key: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
@@ -76,9 +105,39 @@ class ScratchArena:
         """Registered buffer keys, sorted (introspection/tests)."""
         return tuple(sorted(self._buffers))
 
+    def trim(self) -> int:
+        """Shrink every buffer to its high-water mark since the last trim.
+
+        Keys that saw no ``take`` since the last trim (or creation) are
+        dropped entirely; oversized buffers are reallocated at exactly the
+        high-water size.  Resets the marks, so repeated trims track each
+        phase's working set.  Returns the number of bytes released.
+        Invalidates outstanding views — call only between workload phases.
+        """
+        freed = 0
+        for key in list(self._buffers):
+            buffer = self._buffers[key]
+            mark = self._watermarks.get(key, 0)
+            if mark == 0:
+                freed += buffer.nbytes
+                del self._buffers[key]
+            elif buffer.size > mark:
+                freed += (buffer.size - mark) * buffer.itemsize
+                self._buffers[key] = np.empty(mark, dtype=buffer.dtype)  # idglint: disable=IDG003  (bounded: one shrink per key per trim)
+        self._watermarks.clear()
+        return freed
+
+    def release(self) -> int:
+        """Drop every backing buffer and reset the high-water marks; returns
+        the bytes released (memory is freed once outstanding views die)."""
+        freed = self.nbytes
+        self._buffers.clear()
+        self._watermarks.clear()
+        return freed
+
     def clear(self) -> None:
         """Drop every backing buffer (frees the memory once views die)."""
-        self._buffers.clear()
+        self.release()
 
     def __repr__(self) -> str:
         return (
@@ -105,4 +164,16 @@ def clear_thread_arena() -> None:
     """Release the calling thread's arena buffers (tests, memory pressure)."""
     arena = getattr(_thread_local, "arena", None)
     if arena is not None:
-        arena.clear()
+        arena.release()
+
+
+def trim_thread_arenas() -> int:
+    """Trim *every* live arena (all threads) to its current high-water mark;
+    returns the total bytes released.
+
+    Only safe at quiescent points — the imaging major cycle calls this
+    between cycles, after the executors' pools have retired all work.
+    """
+    with ScratchArena._registry_lock:
+        arenas = list(ScratchArena._registry)
+    return sum(arena.trim() for arena in arenas)

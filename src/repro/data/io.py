@@ -2,7 +2,10 @@
 
 A single compressed ``.npz`` per dataset — the pragmatic stand-in for a
 MeasurementSet when the workload is synthetic.  The on-disk schema is
-versioned so future layouts can migrate.
+versioned so future layouts can migrate.  Writes are atomic (temp file +
+rename via :mod:`repro.atomicio`): a crash mid-save leaves any existing
+dataset intact instead of a truncated archive, and missing parent
+directories are created.
 """
 
 from __future__ import annotations
@@ -11,16 +14,22 @@ import pathlib
 
 import numpy as np
 
+from repro.atomicio import atomic_savez_compressed
 from repro.data.dataset import VisibilityDataset
 
 #: Current on-disk schema version.
 SCHEMA_VERSION = 1
 
 
-def save_dataset(dataset: VisibilityDataset, path: str | pathlib.Path) -> None:
-    """Write a dataset to ``path`` (``.npz``, compressed)."""
-    path = pathlib.Path(path)
-    np.savez_compressed(
+def save_dataset(
+    dataset: VisibilityDataset, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write a dataset to ``path`` (``.npz``, compressed) atomically.
+
+    Returns the path actually written (a ``.npz`` suffix is appended when
+    missing, mirroring numpy).
+    """
+    return atomic_savez_compressed(
         path,
         schema_version=np.int64(SCHEMA_VERSION),
         uvw_m=dataset.uvw_m,

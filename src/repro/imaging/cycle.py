@@ -22,6 +22,7 @@ import numpy as np
 from repro.aterms.generators import ATermGenerator
 from repro.aterms.schedule import ATermSchedule
 from repro.core.pipeline import IDG
+from repro.core.scratch import trim_thread_arenas
 from repro.imaging.clean import CleanResult, hogbom_clean
 from repro.imaging.image import (
     dirty_image_from_grid,
@@ -196,6 +197,10 @@ class ImagingCycle:
             residual_vis = np.asarray(visibilities) - predicted
             residual_image = self.make_dirty_image(residual_vis)
             rms_history.append(windowed_rms(residual_image))
+            # The gridding/degridding above is quiescent here; shrink the
+            # scratch arenas to this cycle's working set so one oversized
+            # early bucket doesn't pin its peak footprint for the whole run.
+            trim_thread_arenas()
 
         return MajorCycleResult(
             model_image=model,

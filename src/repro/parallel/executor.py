@@ -8,6 +8,17 @@ Degridding needs no merging at all — work items write disjoint visibility
 blocks — mirroring the paper's observation that the splitter/degridder side
 is trivially parallel.
 
+Failure semantics: a worker exception is wrapped in :class:`WorkGroupError`
+naming the plan range that caused it, the pool's remaining work is cancelled
+(an abort flag stops in-flight workers at the next work-group boundary, so a
+doomed run does not grind through every remaining batch first), and the
+causal error is re-raised.  ``KeyboardInterrupt`` during the merge loop
+cancels the pool the same way.  With fault tolerance active
+(``IDGConfig.max_retries > 0`` or an injected
+:class:`~repro.runtime.faults.FaultPlan`) failures are instead retried and,
+on budget exhaustion, quarantined per work group — see
+:mod:`repro.runtime.recovery` and DESIGN.md §11.
+
 .. note::
    This is the simple data-parallel executor kept for the Section V-B CPU
    comparison.  The pipelined successor — overlapping gridder, FFT and adder
@@ -18,6 +29,7 @@ is trivially parallel.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor, as_completed
 
 import numpy as np
@@ -27,6 +39,21 @@ from repro.constants import COMPLEX_DTYPE
 from repro.core.pipeline import IDG
 from repro.core.plan import Plan
 from repro.parallel.batching import interleaved_ranges
+from repro.runtime.faults import FaultPlan
+from repro.runtime.recovery import (
+    FaultReport,
+    Quarantined,
+    RetryPolicy,
+    WorkGroupRunner,
+    group_visibility_count,
+)
+
+
+class WorkGroupError(RuntimeError):
+    """A worker failure annotated with the plan range that caused it.
+
+    The original exception is chained as ``__cause__``.
+    """
 
 
 class ParallelIDG:
@@ -35,19 +62,57 @@ class ParallelIDG:
     Parameters
     ----------
     idg:
-        The configured single-threaded pipeline to parallelise.
+        The configured single-threaded pipeline to parallelise (also
+        supplies the retry policy via ``IDGConfig.max_retries`` /
+        ``retry_backoff_s``).
     n_workers:
         Worker threads; defaults to every logical core (the paper uses all
         of them).
+    faults:
+        Optional deterministic fault-injection plan (tests, benchmarks).
+
+    The fault report of the most recent tolerant run is kept on
+    ``last_fault_report`` (``None`` when the layer was inactive).
     """
 
-    def __init__(self, idg: IDG, n_workers: int | None = None):
+    def __init__(
+        self,
+        idg: IDG,
+        n_workers: int | None = None,
+        faults: FaultPlan | None = None,
+    ):
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.idg = idg
         self.n_workers = n_workers
+        self.faults = faults
+        self.last_fault_report: FaultReport | None = None
+
+    # ------------------------------------------------------------- internal
+
+    def _runner(self) -> WorkGroupRunner | None:
+        policy = RetryPolicy(
+            max_retries=self.idg.config.max_retries,
+            backoff_s=self.idg.config.retry_backoff_s,
+        )
+        if not policy.enabled and self.faults is None:
+            return None
+        return WorkGroupRunner(policy, faults=self.faults)
+
+    def _n_groups(self, plan: Plan) -> int:
+        group_size = self.idg.config.work_group_size
+        return -(-plan.n_subgrids // group_size)
+
+    @staticmethod
+    def _finish_report(runner: WorkGroupRunner, n_groups: int) -> None:
+        runner.report.n_groups = n_groups
+        runner.report.n_groups_completed = (
+            n_groups - len(runner.report.excluded_items())
+        )
+
+    # ------------------------------------------------------------- gridding
 
     def grid(
         self,
@@ -66,34 +131,99 @@ class ParallelIDG:
         backend = idg.backend
         fields = idg.aterm_fields(plan, aterms)
         group_size = idg.config.work_group_size
+        runner = self._runner()
+        self.last_fault_report = runner.report if runner is not None else None
+        abort = threading.Event()
 
-        def worker(worker_id: int) -> list[tuple[int, np.ndarray]]:
+        def worker(worker_id: int) -> list[tuple[int, int, np.ndarray]]:
             out = []
             for start, stop in interleaved_ranges(
                 plan.n_subgrids, group_size, worker_id, self.n_workers
             ):
-                subgrids = backend.grid_work_group(
-                    plan, start, stop, uvw_m, visibilities, idg.taper,
-                    lmn=idg.lmn, aterm_fields=fields,
-                    vis_batch=idg.config.vis_batch,
-                    channel_recurrence=idg.config.channel_recurrence,
-                    batched=idg.config.batched,
+                if abort.is_set():
+                    break  # run is doomed; don't grind through the rest
+                group = start // group_size
+
+                def grid_body(start: int = start, stop: int = stop) -> np.ndarray:
+                    return backend.grid_work_group(
+                        plan, start, stop, uvw_m, visibilities, idg.taper,
+                        lmn=idg.lmn, aterm_fields=fields,
+                        vis_batch=idg.config.vis_batch,
+                        channel_recurrence=idg.config.channel_recurrence,
+                        batched=idg.config.batched,
+                    )
+
+                if runner is None:
+                    try:
+                        subgrids = grid_body()
+                        fourier = backend.subgrids_to_fourier(subgrids)
+                    except Exception as exc:
+                        raise WorkGroupError(
+                            f"gridding work group {group} (plan items "
+                            f"[{start}, {stop})) failed in worker "
+                            f"{worker_id}: {exc!r}"
+                        ) from exc
+                    out.append((group, start, fourier))
+                    continue
+                n_vis = group_visibility_count(plan, start, stop)
+                subgrids = runner.run(
+                    "gridder", group, grid_body,
+                    start=start, stop=stop, n_visibilities=n_vis,
                 )
-                out.append((start, backend.subgrids_to_fourier(subgrids)))
+                if isinstance(subgrids, Quarantined):
+                    continue
+                fourier = runner.run(
+                    "subgrid_fft", group,
+                    lambda subgrids=subgrids: backend.subgrids_to_fourier(subgrids),
+                    start=start, stop=stop, n_visibilities=n_vis,
+                )
+                if isinstance(fourier, Quarantined):
+                    continue
+                out.append((group, start, fourier))
             return out
 
         grid = idg.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
             futures = [pool.submit(worker, w) for w in range(self.n_workers)]
-            for future in as_completed(futures):
-                # Merge with the lock-free row-parallel adder (Section
-                # V-B-d) while the remaining workers keep gridding; a worker
-                # exception surfaces here at the earliest completion.
-                for start, fourier in future.result():
-                    backend.add_subgrids(
-                        grid, plan, fourier, start=start, n_workers=self.n_workers
-                    )
+            try:
+                for future in as_completed(futures):
+                    # Merge with the lock-free row-parallel adder (Section
+                    # V-B-d) while the remaining workers keep gridding; a
+                    # worker exception surfaces here at the earliest
+                    # completion.
+                    for group, start, fourier in future.result():
+                        if runner is None:
+                            backend.add_subgrids(
+                                grid, plan, fourier, start=start,
+                                n_workers=self.n_workers,
+                            )
+                            continue
+                        stop = start + len(fourier)
+                        runner.run(
+                            "adder", group,
+                            lambda start=start, fourier=fourier:
+                                backend.add_subgrids(
+                                    grid, plan, fourier, start=start,
+                                    n_workers=self.n_workers,
+                                ),
+                            start=start, stop=stop,
+                            n_visibilities=group_visibility_count(
+                                plan, start, stop
+                            ),
+                        )
+            except BaseException:  # noqa: B036 — incl. KeyboardInterrupt
+                # Cancel queued futures and flag in-flight workers to stop
+                # at their next work-group boundary before re-raising the
+                # causal error.
+                abort.set()
+                for future in futures:
+                    future.cancel()
+                raise
+        if runner is not None:
+            self._finish_report(runner, self._n_groups(plan))
         return grid
+
+    # ----------------------------------------------------------- degridding
 
     def degrid(
         self,
@@ -105,7 +235,8 @@ class ParallelIDG:
         """Parallel equivalent of :meth:`repro.core.IDG.degrid`.
 
         Work items cover disjoint (baseline, time, channel) blocks, so all
-        workers write into the shared output without synchronisation.
+        workers write into the shared output without synchronisation.  A
+        quarantined work group (tolerant mode) leaves its block zero.
         """
         idg = self.idg
         backend = idg.backend
@@ -113,23 +244,54 @@ class ParallelIDG:
         group_size = idg.config.work_group_size
         n_bl, n_times, _ = uvw_m.shape
         out = np.zeros((n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE)
+        runner = self._runner()
+        self.last_fault_report = runner.report if runner is not None else None
+        abort = threading.Event()
 
         def worker(worker_id: int) -> None:
             for start, stop in interleaved_ranges(
                 plan.n_subgrids, group_size, worker_id, self.n_workers
             ):
-                patches = backend.split_subgrids(grid, plan, start, stop)
-                backend.degrid_work_group(
-                    plan, start, stop, backend.subgrids_to_image(patches),
-                    uvw_m, out,
-                    idg.taper, lmn=idg.lmn, aterm_fields=fields,
-                    vis_batch=idg.config.vis_batch,
-                    channel_recurrence=idg.config.channel_recurrence,
-                    batched=idg.config.batched,
+                if abort.is_set():
+                    break
+                group = start // group_size
+
+                def degrid_body(start: int = start, stop: int = stop) -> None:
+                    patches = backend.split_subgrids(grid, plan, start, stop)
+                    backend.degrid_work_group(
+                        plan, start, stop, backend.subgrids_to_image(patches),
+                        uvw_m, out,
+                        idg.taper, lmn=idg.lmn, aterm_fields=fields,
+                        vis_batch=idg.config.vis_batch,
+                        channel_recurrence=idg.config.channel_recurrence,
+                        batched=idg.config.batched,
+                    )
+
+                if runner is None:
+                    try:
+                        degrid_body()
+                    except Exception as exc:
+                        raise WorkGroupError(
+                            f"degridding work group {group} (plan items "
+                            f"[{start}, {stop})) failed in worker "
+                            f"{worker_id}: {exc!r}"
+                        ) from exc
+                    continue
+                runner.run(
+                    "degridder", group, degrid_body, start=start, stop=stop,
+                    n_visibilities=group_visibility_count(plan, start, stop),
                 )
 
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
             futures = [pool.submit(worker, w) for w in range(self.n_workers)]
-            for future in as_completed(futures):
-                future.result()  # surface worker exceptions promptly
+            try:
+                for future in as_completed(futures):
+                    future.result()  # surface worker exceptions promptly
+            except BaseException:  # noqa: B036 — incl. KeyboardInterrupt
+                abort.set()
+                for future in futures:
+                    future.cancel()
+                raise
+        if runner is not None:
+            self._finish_report(runner, self._n_groups(plan))
         return out

@@ -1,0 +1,147 @@
+"""Checkpoint/resume for streaming gridding runs.
+
+:class:`~repro.runtime.StreamingIDG` periodically snapshots the master grid
+plus the set of retired work-group ids while gridding
+(``RuntimeConfig.checkpoint_path`` / ``checkpoint_interval``), and a later
+run started with ``RuntimeConfig.resume_from`` (CLI ``--resume``) skips the
+completed groups.  Resume is *bit-exact*: the adder stage retires groups in
+plan order, so a checkpoint taken after groups ``0..k`` holds exactly the
+floating-point prefix sum an uninterrupted run would have at that point, and
+resuming adds the remaining groups in the same order onto the same bits.
+
+Snapshots are written atomically (temp file + ``os.replace`` via
+:mod:`repro.atomicio`), so a crash mid-checkpoint leaves the previous
+complete snapshot in place, never a truncated archive.  Each snapshot embeds
+a :func:`plan_signature` — a hash of the plan's work items, geometry and the
+work-group size — and :func:`load_checkpoint` refuses to resume against a
+mismatched plan instead of silently producing a wrong image.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.atomicio import atomic_savez_compressed
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "GridCheckpoint",
+    "load_checkpoint",
+    "plan_signature",
+    "save_checkpoint",
+]
+
+#: On-disk schema version of checkpoint archives.
+CHECKPOINT_VERSION = 1
+
+
+def plan_signature(plan: Any, work_group_size: int) -> str:
+    """Hex digest identifying a (plan, work-group partition) pair.
+
+    Two runs may share a checkpoint only when their plans cover the same
+    work items on the same grid geometry *and* chunk them into the same
+    work groups — otherwise completed-group ids would not line up.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(plan.items).tobytes())
+    digest.update(np.ascontiguousarray(plan.frequencies_hz).tobytes())
+    geometry = np.array(
+        [
+            plan.subgrid_size,
+            plan.kernel_support,
+            plan.gridspec.grid_size,
+            int(work_group_size),
+        ],
+        dtype=np.int64,
+    )
+    digest.update(geometry.tobytes())
+    scalars = np.array(
+        [plan.gridspec.image_size, plan.w_offset], dtype=np.float64
+    )
+    digest.update(scalars.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class GridCheckpoint:
+    """One snapshot: the partial master grid plus retirement bookkeeping.
+
+    Attributes
+    ----------
+    signature:
+        :func:`plan_signature` of the run that wrote the snapshot.
+    grid:
+        ``(4, G, G)`` complex master grid holding the contributions of
+        exactly the ``completed`` work groups.
+    completed:
+        Sorted work-group sequence indices already retired by the adder.
+    n_retired:
+        Total groups retired (completed plus quarantined) when the
+        snapshot was taken.
+    """
+
+    signature: str
+    grid: np.ndarray
+    completed: np.ndarray
+    n_retired: int
+
+    @property
+    def completed_set(self) -> frozenset[int]:
+        return frozenset(int(k) for k in self.completed)
+
+
+def save_checkpoint(
+    path: str | pathlib.Path,
+    grid: np.ndarray,
+    completed: Any,
+    signature: str,
+    n_retired: int | None = None,
+) -> pathlib.Path:
+    """Atomically write a :class:`GridCheckpoint` archive; returns the path
+    actually written (a ``.npz`` suffix is appended when missing)."""
+    completed_arr = np.asarray(sorted(int(k) for k in completed), dtype=np.int64)
+    return atomic_savez_compressed(
+        path,
+        checkpoint_version=np.int64(CHECKPOINT_VERSION),
+        signature=np.str_(signature),
+        grid=grid,
+        completed=completed_arr,
+        n_retired=np.int64(
+            n_retired if n_retired is not None else completed_arr.size
+        ),
+    )
+
+
+def load_checkpoint(
+    path: str | pathlib.Path, signature: str | None = None
+) -> GridCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    When ``signature`` is given, a mismatch raises ``ValueError`` — the
+    checkpoint belongs to a different plan or work-group size and resuming
+    from it would corrupt the result.
+    """
+    with np.load(path) as archive:
+        version = int(archive["checkpoint_version"])
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} "
+                f"(this build reads {CHECKPOINT_VERSION})"
+            )
+        ckpt = GridCheckpoint(
+            signature=str(archive["signature"]),
+            grid=archive["grid"],
+            completed=archive["completed"],
+            n_retired=int(archive["n_retired"]),
+        )
+    if signature is not None and ckpt.signature != signature:
+        raise ValueError(
+            "checkpoint does not match this run: plan items, grid geometry "
+            "or work-group size differ (refusing to resume)"
+        )
+    return ckpt

@@ -1,0 +1,231 @@
+"""Deterministic fault injection for the fault-tolerance layer.
+
+A :class:`FaultPlan` is a seeded, reproducible schedule of failures: it names
+the pipeline stage and work-group index where each fault strikes, what kind
+of fault it is, and for how many *attempts* it keeps striking — so a
+transient fault (``times=1``) succeeds on the first retry while a permanent
+one (``times=-1``) exhausts the retry budget and is quarantined.  The same
+plan drives the unit tests, the executor failure-injection matrix and
+``benchmarks/bench_fault_recovery.py``, which is what makes recovery
+behaviour testable at all: every run with the same plan fails in exactly the
+same places.
+
+Fault kinds
+-----------
+``raise``
+    Raise :class:`InjectedFault` at stage entry, before the stage body runs —
+    the model of a worker blowing up (OOM, kernel assertion) while the work
+    group's inputs are still intact, so a retry is always safe.
+``corrupt``
+    Let the stage body run, then raise :class:`CorruptDataError` when the
+    result is screened — the model of a corrupt visibility block or a failed
+    DMA-analogue transfer caught by a checksum *after* the work was done.
+``delay``
+    Sleep ``delay_s`` seconds at stage entry and then succeed — a straggler,
+    not a failure; it never consumes a retry.
+``crash``
+    Raise :class:`InjectedCrash`, which deliberately derives from
+    ``BaseException`` so the retry layer does *not* catch it: the whole run
+    aborts, the model of a process kill.  Used by the checkpoint/resume
+    round-trip tests.
+
+Injection sites call :meth:`FaultPlan.fire` at stage entry and
+:meth:`FaultPlan.screen` on the stage result; both are thread-safe and are
+only invoked at all when a plan is installed, so the no-injection path costs
+nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = [
+    "CorruptDataError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+]
+
+_KINDS = ("raise", "corrupt", "delay", "crash")
+
+
+class InjectedFault(RuntimeError):
+    """A fault raised at stage entry by an installed :class:`FaultPlan`."""
+
+
+class CorruptDataError(RuntimeError):
+    """A stage result failed its (simulated) integrity screen."""
+
+
+class InjectedCrash(BaseException):
+    """An unrecoverable injected failure (simulated process kill).
+
+    Derives from ``BaseException`` on purpose: the retry layer catches only
+    ``Exception``, so a crash always aborts the whole run — which is exactly
+    what the checkpoint/resume tests need to interrupt a pipeline mid-flight.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: where it strikes and how often.
+
+    Attributes
+    ----------
+    stage:
+        Stage name the fault targets (``"gridder"``, ``"subgrid_fft"``,
+        ``"adder"``, ``"degridder"``, ...).
+    group:
+        Work-group sequence index (position in plan order) it strikes.
+    kind:
+        One of ``raise``/``corrupt``/``delay``/``crash`` (module docstring).
+    times:
+        Number of *attempts* the fault affects before the stage succeeds;
+        ``-1`` means every attempt (a permanent fault).
+    delay_s:
+        Sleep duration for ``delay`` faults.
+    """
+
+    stage: str
+    group: int
+    kind: str = "raise"
+    times: int = 1
+    delay_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.times == 0 or self.times < -1:
+            raise ValueError("times must be positive or -1 (every attempt)")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec` entries.
+
+    The plan keeps one attempt counter per ``(stage, group)`` target, so a
+    spec with ``times=2`` fails the first two attempts of that stage on that
+    work group and succeeds from the third on — independent of which thread
+    executes the attempt.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self._specs: dict[tuple[str, int], FaultSpec] = {}
+        for spec in specs:
+            key = (spec.stage, spec.group)
+            if key in self._specs:
+                raise ValueError(f"duplicate fault spec for {key}")
+            self._specs[key] = spec
+        self._lock = threading.Lock()
+        self._attempt_count: dict[tuple[str, int], int] = {}
+        self._pending_corrupt: set[tuple[str, int]] = set()
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def single(cls, stage: str, group: int, **kwargs: Any) -> "FaultPlan":
+        """A plan with one fault (keyword args forwarded to FaultSpec)."""
+        return cls([FaultSpec(stage=stage, group=group, **kwargs)])
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        stages: Iterable[str],
+        n_groups: int,
+        rate: float = 0.1,
+        kinds: Iterable[str] = ("raise",),
+        times: int = 1,
+        delay_s: float = 0.01,
+    ) -> "FaultPlan":
+        """A seeded random plan: each (stage, group) pair faults with
+        probability ``rate``, drawing its kind uniformly from ``kinds``."""
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError("rate must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        kinds = tuple(kinds)
+        specs = []
+        for stage in stages:
+            for group in range(n_groups):
+                if rng.random() < rate:
+                    kind = kinds[int(rng.integers(len(kinds)))]
+                    specs.append(
+                        FaultSpec(stage=stage, group=group, kind=kind,
+                                  times=times, delay_s=delay_s)
+                    )
+        return cls(specs)
+
+    # ------------------------------------------------------------ injection
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """The scheduled faults, in (stage, group) order."""
+        return tuple(self._specs[key] for key in sorted(self._specs))
+
+    def attempts(self, stage: str, group: int) -> int:
+        """How many attempts of ``(stage, group)`` have been observed."""
+        with self._lock:
+            return self._attempt_count.get((stage, group), 0)
+
+    def _next_attempt(self, key: tuple[str, int]) -> int:
+        with self._lock:
+            n = self._attempt_count.get(key, 0) + 1
+            self._attempt_count[key] = n
+            return n
+
+    def fire(self, stage: str, group: int) -> None:
+        """Entry-point injection hook: called before a stage body runs.
+
+        Raises/sleeps according to the spec for ``(stage, group)``; arms the
+        result screen for ``corrupt`` faults; a no-op for untargeted keys.
+        """
+        key = (stage, group)
+        spec = self._specs.get(key)
+        if spec is None:
+            return
+        attempt = self._next_attempt(key)
+        failing = spec.times < 0 or attempt <= spec.times
+        if not failing:
+            return
+        if spec.kind == "raise":
+            raise InjectedFault(
+                f"injected fault at stage {stage!r}, work group {group} "
+                f"(attempt {attempt})"
+            )
+        if spec.kind == "crash":
+            raise InjectedCrash(
+                f"injected crash at stage {stage!r}, work group {group}"
+            )
+        if spec.kind == "delay":
+            time.sleep(spec.delay_s)
+            return
+        # corrupt: let the stage run, fail the screen on its result
+        with self._lock:
+            self._pending_corrupt.add(key)
+
+    def screen(self, stage: str, group: int, result: Any) -> Any:
+        """Result-integrity hook: called on a stage's return value.
+
+        Raises :class:`CorruptDataError` when :meth:`fire` armed a
+        corruption for this attempt; otherwise passes ``result`` through.
+        """
+        key = (stage, group)
+        with self._lock:
+            armed = key in self._pending_corrupt
+            self._pending_corrupt.discard(key)
+        if armed:
+            raise CorruptDataError(
+                f"injected corruption detected at stage {stage!r}, "
+                f"work group {group}"
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan specs={len(self._specs)}>"

@@ -19,7 +19,12 @@ Execution model
   cascades shutdown down the pipeline;
 * any stage exception aborts every channel and registered abortable, all
   threads unwind promptly (no deadlock, no orphaned producer), and
-  :meth:`StageGraph.run` re-raises the first error.
+  :meth:`StageGraph.run` re-raises the first *causal* error: exceptions
+  raised while the pipeline is already tearing down (a producer tripping
+  over a consumer that aborted after the producer's last successful ``put``,
+  a worker whose shared state the abort invalidated) are classified as
+  secondary — collected on :attr:`StageGraph.secondary_errors` for
+  debugging, never allowed to win the unwind race and mask the root cause.
 
 Telemetry is built in: each worker records a span per item, channels record
 depth/occupancy, and :meth:`StageGraph.run` folds the channel statistics into
@@ -82,7 +87,12 @@ class StageGraph:
         self._channels: list[Channel] = []
         self._abortables: list[Abortable] = []
         self._error: BaseException | None = None
+        self._secondary: list[BaseException] = []
         self._error_lock = threading.Lock()
+        # Set (under _error_lock) before any channel is aborted, so a thread
+        # that fails *because* of the teardown observes it and classifies its
+        # own exception as secondary rather than racing for _error.
+        self._aborting = threading.Event()
         self._ran = False
 
     # ------------------------------------------------------------- building
@@ -124,13 +134,34 @@ class StageGraph:
     # ------------------------------------------------------------ execution
 
     def _fail(self, exc: BaseException) -> None:
+        """Record a *causal* stage failure and tear the pipeline down.
+
+        Only the first causal exception is re-raised by :meth:`run`; anything
+        arriving once teardown has begun lands in ``secondary_errors``.
+        """
         with self._error_lock:
-            if self._error is None:
+            if self._error is None and not self._aborting.is_set():
                 self._error = exc
+            else:
+                self._secondary.append(exc)
         self.abort()
+
+    def _note_secondary(self, exc: BaseException) -> None:
+        """Record an exception known to be a consequence of the teardown."""
+        with self._error_lock:
+            self._secondary.append(exc)
+
+    @property
+    def secondary_errors(self) -> tuple[BaseException, ...]:
+        """Exceptions raised during teardown, suppressed in favour of the
+        causal error (kept for debugging)."""
+        with self._error_lock:
+            return tuple(self._secondary)
 
     def abort(self) -> None:
         """Abort every channel and registered abortable (idempotent)."""
+        with self._error_lock:
+            self._aborting.set()
         for channel in self._channels:
             channel.abort()
         for obj in self._abortables:
@@ -155,7 +186,13 @@ class StageGraph:
         except (PipelineAborted, ChannelClosed):
             pass
         except BaseException as exc:  # noqa: B036 — propagate any failure
-            self._fail(exc)
+            if self._aborting.is_set():
+                # The source tripped over state the teardown invalidated
+                # (e.g. a consumer aborted right after our last successful
+                # put) — the consumer's exception is the cause, not this one.
+                self._note_secondary(exc)
+            else:
+                self._fail(exc)
         finally:
             if out is not None:
                 out.producer_done()
@@ -176,7 +213,10 @@ class StageGraph:
                 except PipelineAborted:
                     break
                 except BaseException as exc:  # noqa: B036 — propagate any failure
-                    self._fail(exc)
+                    if self._aborting.is_set():
+                        self._note_secondary(exc)
+                    else:
+                        self._fail(exc)
                     break
                 self.telemetry.record_span(stage.name, seq, t0, monotonic(), worker)
                 if out is not None:
@@ -217,11 +257,25 @@ class StageGraph:
                 )
                 stage.threads.append(thread)
                 thread.start()
-        for stage in self._stages:
-            for thread in stage.threads:
-                thread.join()
+        try:
+            for stage in self._stages:
+                for thread in stage.threads:
+                    thread.join()
+        except BaseException:  # noqa: B036 — e.g. KeyboardInterrupt mid-join
+            # Tear the pipeline down before unwinding so no stage thread is
+            # left blocked on a channel the caller will never drain.
+            self.abort()
+            for stage in self._stages:
+                for thread in stage.threads:
+                    thread.join()
+            raise
         for channel in self._channels:
             self.telemetry.record_queue(channel.stats())
         if self._error is not None:
             raise self._error
+        if self._aborting.is_set():
+            # Aborted (externally, or via an exception swallowed as
+            # PipelineAborted) without a recorded cause: surface it rather
+            # than returning a silently-partial result.
+            raise PipelineAborted(f"pipeline {self.name} was aborted")
         return self.telemetry

@@ -19,14 +19,29 @@ stage applies batches in plan order (a reorder buffer absorbs out-of-order
 completion when ``gridder_workers > 1``), and degridding work items write
 disjoint visibility blocks.
 
+Fault tolerance (DESIGN.md §11): when ``IDGConfig.max_retries > 0`` (or a
+:class:`~repro.runtime.faults.FaultPlan` is installed) every stage call runs
+through a :class:`~repro.runtime.recovery.WorkGroupRunner` — transient
+failures are retried with exponential backoff, and a work group that
+exhausts its budget is quarantined to a dead letter instead of aborting the
+run: a :class:`~repro.runtime.recovery.Quarantined` sentinel flows through
+the remaining stages so sequencing and credit accounting stay exact, and the
+:class:`~repro.runtime.recovery.FaultReport` on ``last_fault_report``
+records what was lost.  Gridding can additionally checkpoint the master grid
+plus the retired-group set to disk (atomic write-then-rename) and later
+resume bit-exactly, skipping completed groups
+(:mod:`repro.runtime.checkpoint`).
+
 Every run produces a :class:`~repro.runtime.telemetry.Telemetry` (span
-timings, queue occupancy, visibilities/sec) exportable as a Chrome trace —
-see ``benchmarks/bench_runtime_overlap.py`` for the measured-vs-modeled
-comparison.
+timings, queue occupancy, retry/dead-letter/checkpoint counters,
+visibilities/sec) exportable as a Chrome trace — see
+``benchmarks/bench_runtime_overlap.py`` and
+``benchmarks/bench_fault_recovery.py``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterator
@@ -37,8 +52,17 @@ from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
 from repro.core.pipeline import IDG, mask_flagged
 from repro.core.plan import Plan
+from repro.runtime.checkpoint import load_checkpoint, plan_signature, save_checkpoint
+from repro.runtime.faults import FaultPlan
 from repro.runtime.graph import StageGraph
 from repro.runtime.queues import CreditGate
+from repro.runtime.recovery import (
+    FaultReport,
+    Quarantined,
+    RetryPolicy,
+    WorkGroupRunner,
+    group_visibility_count,
+)
 from repro.runtime.telemetry import Telemetry
 
 
@@ -69,6 +93,20 @@ class RuntimeConfig:
         PCIe copies the paper's three-stream schedule hides (Fig 7), on a
         machine with no accelerator.  ``None`` (default) adds no transfer
         stages.
+    checkpoint_path:
+        When set, ``grid`` snapshots the master grid plus the retired
+        work-group set to this ``.npz`` path (atomically) every
+        ``checkpoint_interval`` retired groups, and once more when the run
+        completes.  Ignored by ``degrid`` (its output has no accumulated
+        state worth snapshotting — a restarted degrid simply re-runs).
+    checkpoint_interval:
+        Retired work groups between snapshots.
+    resume_from:
+        Path of a checkpoint written by a previous ``grid`` run over the
+        *same* plan and work-group size (validated by signature); completed
+        groups are skipped and the result is bit-identical to an
+        uninterrupted run.  The checkpoint grid replaces the contents of
+        any caller-supplied ``grid=``.
     """
 
     n_buffers: int = 3
@@ -77,11 +115,14 @@ class RuntimeConfig:
     adder_row_workers: int = 1
     degridder_workers: int = 1
     emulate_pcie_gbs: float | None = None
+    checkpoint_path: str | None = None
+    checkpoint_interval: int = 4
+    resume_from: str | None = None
 
     def __post_init__(self) -> None:
         for name in (
             "n_buffers", "gridder_workers", "fft_workers",
-            "adder_row_workers", "degridder_workers",
+            "adder_row_workers", "degridder_workers", "checkpoint_interval",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
@@ -107,28 +148,56 @@ class StreamingIDG:
     Parameters
     ----------
     idg:
-        The configured serial pipeline supplying kernels, taper and plan
-        geometry.
+        The configured serial pipeline supplying kernels, taper, plan
+        geometry and the retry policy (``IDGConfig.max_retries`` /
+        ``retry_backoff_s``).
     config:
-        Runtime parameters (buffer count, per-stage worker counts).
+        Runtime parameters (buffer count, per-stage worker counts,
+        checkpointing).
+    faults:
+        Optional deterministic fault-injection plan (tests, benchmarks).
 
-    The telemetry of the most recent run is kept on ``last_telemetry``.
+    The telemetry of the most recent run is kept on ``last_telemetry``; the
+    fault report of the most recent *tolerant* run on ``last_fault_report``
+    (``None`` when the fault-tolerance layer was inactive).
     """
 
-    def __init__(self, idg: IDG, config: RuntimeConfig | None = None) -> None:
+    def __init__(
+        self,
+        idg: IDG,
+        config: RuntimeConfig | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.idg = idg
         self.config = config or RuntimeConfig()
+        self.faults = faults
         self.last_telemetry: Telemetry | None = None
+        self.last_fault_report: FaultReport | None = None
 
     # ------------------------------------------------------------- internal
 
+    def _runner(self, telemetry: Telemetry) -> WorkGroupRunner | None:
+        """A work-group runner when fault tolerance is active, else None
+        (the legacy fail-fast path, with zero added overhead)."""
+        policy = RetryPolicy(
+            max_retries=self.idg.config.max_retries,
+            backoff_s=self.idg.config.retry_backoff_s,
+        )
+        if not policy.enabled and self.faults is None:
+            return None
+        return WorkGroupRunner(policy, faults=self.faults, telemetry=telemetry)
+
     def _gated_chunks(
-        self, plan: Plan, gate: CreditGate
-    ) -> Iterator[tuple[int, int]]:
-        """Plan-chunk splitter: one credit per emitted work group."""
-        for chunk in plan.work_groups(self.idg.config.work_group_size):
+        self,
+        chunks: list[tuple[int, tuple[int, int]]],
+        gate: CreditGate,
+    ) -> Iterator[tuple[int, tuple[int, int]]]:
+        """Plan-chunk splitter: one credit per emitted work group.  Each
+        item is ``(group, (start, stop))`` with ``group`` the work group's
+        plan-order index (stable across resume filtering)."""
+        for group, chunk in chunks:
             gate.acquire()
-            yield chunk
+            yield (group, chunk)
 
     def _transfer(self, nbytes: float) -> None:
         """Occupy the emulated device link for ``nbytes`` without holding
@@ -152,7 +221,11 @@ class StreamingIDG:
         """Pipelined equivalent of :meth:`repro.core.IDG.grid`.
 
         Identical signature and bit-identical result; accepts an optional
-        ``telemetry`` recorder (also stored on ``last_telemetry``).
+        ``telemetry`` recorder (also stored on ``last_telemetry``).  With
+        fault tolerance active, quarantined work groups are excluded and
+        reported on ``last_fault_report`` instead of raising; with
+        ``config.checkpoint_path`` set, progress snapshots are written for
+        a later bit-exact ``config.resume_from`` run.
         """
         idg = self.idg
         backend = idg.backend
@@ -164,51 +237,136 @@ class StreamingIDG:
         out_grid = grid
 
         tm = telemetry if telemetry is not None else Telemetry()
+        runner = self._runner(tm)
+        self.last_fault_report = runner.report if runner is not None else None
+
+        chunks = list(enumerate(plan.work_groups(idg.config.work_group_size)))
+        ckpt_path = self.config.checkpoint_path
+        signature = None
+        if ckpt_path is not None or self.config.resume_from is not None:
+            signature = plan_signature(plan, idg.config.work_group_size)
+        completed: set[int] = set()
+        if self.config.resume_from is not None:
+            ckpt = load_checkpoint(self.config.resume_from, signature=signature)
+            completed = set(ckpt.completed_set)
+            # The snapshot holds the prefix sum of exactly `completed`;
+            # resuming continues from those bits (replacing any caller grid).
+            out_grid[...] = np.asarray(ckpt.grid).reshape(out_grid.shape)
+        pending = [(g, c) for g, c in chunks if g not in completed]
+
         gate = CreditGate(self.config.n_buffers, telemetry=tm, name="in_flight")
-        pending: dict[int, tuple[int, np.ndarray]] = {}
+        reorder: dict[int, Any] = {}
         next_seq = 0
+        n_retired = 0
 
-        def do_grid(seq: int, chunk: tuple[int, int]) -> tuple[int, np.ndarray]:
-            start, stop = chunk
-            subgrids = backend.grid_work_group(
-                plan, start, stop, uvw_m, visibilities, idg.taper,
-                lmn=idg.lmn, aterm_fields=fields,
-                vis_batch=idg.config.vis_batch,
-                channel_recurrence=idg.config.channel_recurrence,
-                batched=idg.config.batched,
+        def write_checkpoint() -> None:
+            # Runs inside the single-worker adder stage: the grid is quiescent
+            # (the adder is its only mutator), so the snapshot is consistent.
+            save_checkpoint(
+                ckpt_path, out_grid, completed, signature,
+                n_retired=n_retired,
             )
-            return (start, subgrids)
+            tm.add_counter("checkpoints", 1)
+            if runner is not None:
+                runner.report.n_checkpoints += 1
 
-        def do_fft(seq: int, payload: tuple[int, np.ndarray]) -> tuple[int, np.ndarray]:
-            start, subgrids = payload
-            return (start, backend.subgrids_to_fourier(subgrids))
+        def grid_group(group: int, start: int, stop: int) -> Any:
+            def body() -> np.ndarray:
+                return backend.grid_work_group(
+                    plan, start, stop, uvw_m, visibilities, idg.taper,
+                    lmn=idg.lmn, aterm_fields=fields,
+                    vis_batch=idg.config.vis_batch,
+                    channel_recurrence=idg.config.channel_recurrence,
+                    batched=idg.config.batched,
+                )
+            if runner is None:
+                return body()
+            return runner.run(
+                "gridder", group, body, start=start, stop=stop,
+                n_visibilities=group_visibility_count(plan, start, stop),
+            )
 
-        def do_add(seq: int, payload: tuple[int, np.ndarray]) -> None:
-            # Apply batches in plan order so the floating-point accumulation
-            # order — and hence the result — is bit-identical to the serial
-            # adder, even when gridder workers complete out of order.
-            nonlocal next_seq
-            pending[seq] = payload
-            while next_seq in pending:
-                start, fourier = pending.pop(next_seq)
+        def do_grid(
+            seq: int, payload: tuple[int, tuple[int, int]]
+        ) -> Any:
+            group, (start, stop) = payload
+            result = grid_group(group, start, stop)
+            if isinstance(result, Quarantined):
+                return result
+            return (group, start, result)
+
+        def do_fft(seq: int, payload: Any) -> Any:
+            if isinstance(payload, Quarantined):
+                return payload
+            group, start, subgrids = payload
+            if runner is None:
+                return (group, start, backend.subgrids_to_fourier(subgrids))
+            result = runner.run(
+                "subgrid_fft", group,
+                lambda: backend.subgrids_to_fourier(subgrids),
+                start=start, stop=start + len(subgrids),
+                n_visibilities=group_visibility_count(
+                    plan, start, start + len(subgrids)
+                ),
+            )
+            if isinstance(result, Quarantined):
+                return result
+            return (group, start, result)
+
+        def add_group(group: int, start: int, fourier: np.ndarray) -> Any:
+            def body() -> None:
                 backend.add_subgrids(
                     out_grid, plan, fourier, start=start,
                     n_workers=self.config.adder_row_workers,
                 )
+            if runner is None:
+                body()
+                return None
+            stop = start + len(fourier)
+            return runner.run(
+                "adder", group, body, start=start, stop=stop,
+                n_visibilities=group_visibility_count(plan, start, stop),
+            )
+
+        def do_add(seq: int, payload: Any) -> None:
+            # Apply batches in plan order so the floating-point accumulation
+            # order — and hence the result — is bit-identical to the serial
+            # adder, even when gridder workers complete out of order.
+            nonlocal next_seq, n_retired
+            reorder[seq] = payload
+            while next_seq in reorder:
+                item = reorder.pop(next_seq)
+                if isinstance(item, Quarantined):
+                    # Dead-lettered upstream: nothing to add, but the group
+                    # still releases its credit and advances the sequence.
+                    pass
+                else:
+                    group, start, fourier = item
+                    result = add_group(group, start, fourier)
+                    if not isinstance(result, Quarantined):
+                        completed.add(group)
                 gate.release()
                 next_seq += 1
+                n_retired += 1
+                if ckpt_path is not None and (
+                    n_retired % self.config.checkpoint_interval == 0
+                ):
+                    write_checkpoint()
 
-        def do_htod(seq: int, chunk: tuple[int, int]) -> tuple[int, int]:
-            self._transfer(chunk_transfer_bytes(plan, *chunk)[0])
-            return chunk
+        def do_htod(
+            seq: int, payload: tuple[int, tuple[int, int]]
+        ) -> tuple[int, tuple[int, int]]:
+            self._transfer(chunk_transfer_bytes(plan, *payload[1])[0])
+            return payload
 
-        def do_dtoh(seq: int, payload: tuple[int, np.ndarray]) -> tuple[int, np.ndarray]:
-            self._transfer(payload[1].nbytes)
+        def do_dtoh(seq: int, payload: Any) -> Any:
+            if not isinstance(payload, Quarantined):
+                self._transfer(payload[2].nbytes)
             return payload
 
         graph = StageGraph("grid", n_buffers=self.config.n_buffers, telemetry=tm)
         graph.add_abortable(gate)
-        graph.add_source("splitter", self._gated_chunks(plan, gate))
+        graph.add_source("splitter", self._gated_chunks(pending, gate))
         if self.config.emulate_pcie_gbs is not None:
             graph.add_stage("htod", do_htod)
         graph.add_stage("gridder", do_grid, workers=self.config.gridder_workers)
@@ -219,6 +377,11 @@ class StreamingIDG:
         tm.add_counter("visibilities", plan.statistics.n_visibilities_gridded)
         tm.add_counter("work_groups", plan.n_subgrids)
         graph.run()
+        if runner is not None:
+            runner.report.n_groups = len(chunks)
+            runner.report.n_groups_completed = len(completed)
+        if ckpt_path is not None:
+            write_checkpoint()
         self.last_telemetry = tm
         return out_grid
 
@@ -232,7 +395,12 @@ class StreamingIDG:
         aterms: ATermGenerator | None = None,
         telemetry: Telemetry | None = None,
     ) -> np.ndarray:
-        """Pipelined equivalent of :meth:`repro.core.IDG.degrid`."""
+        """Pipelined equivalent of :meth:`repro.core.IDG.degrid`.
+
+        With fault tolerance active, a quarantined work group leaves its
+        visibility block zero (the same convention the plan uses for
+        unplaceable samples) and is reported on ``last_fault_report``.
+        """
         idg = self.idg
         backend = idg.backend
         fields = idg.aterm_fields(plan, aterms)
@@ -240,52 +408,91 @@ class StreamingIDG:
         out = np.zeros((n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE)
 
         tm = telemetry if telemetry is not None else Telemetry()
+        runner = self._runner(tm)
+        self.last_fault_report = runner.report if runner is not None else None
         gate = CreditGate(self.config.n_buffers, telemetry=tm, name="in_flight")
+        chunks = list(enumerate(plan.work_groups(idg.config.work_group_size)))
+        n_completed = 0
+        completed_lock = threading.Lock()
+
+        def run_stage(
+            stage: str, group: int, chunk: tuple[int, int], body: Any
+        ) -> Any:
+            if runner is None:
+                return body()
+            start, stop = chunk
+            return runner.run(
+                stage, group, body, start=start, stop=stop,
+                n_visibilities=group_visibility_count(plan, start, stop),
+            )
 
         def do_split(
-            seq: int, chunk: tuple[int, int]
-        ) -> tuple[tuple[int, int], np.ndarray]:
-            start, stop = chunk
-            return (chunk, backend.split_subgrids(grid, plan, start, stop))
+            seq: int, payload: tuple[int, tuple[int, int]]
+        ) -> Any:
+            group, chunk = payload
+            result = run_stage(
+                "subgrid_split", group, chunk,
+                lambda: backend.split_subgrids(grid, plan, *chunk),
+            )
+            if isinstance(result, Quarantined):
+                return result
+            return (group, chunk, result)
 
-        def do_ifft(
-            seq: int, payload: tuple[tuple[int, int], np.ndarray]
-        ) -> tuple[tuple[int, int], np.ndarray]:
-            chunk, patches = payload
-            return (chunk, backend.subgrids_to_image(patches))
+        def do_ifft(seq: int, payload: Any) -> Any:
+            if isinstance(payload, Quarantined):
+                return payload
+            group, chunk, patches = payload
+            result = run_stage(
+                "subgrid_ifft", group, chunk,
+                lambda: backend.subgrids_to_image(patches),
+            )
+            if isinstance(result, Quarantined):
+                return result
+            return (group, chunk, result)
 
         emulate = self.config.emulate_pcie_gbs is not None
 
-        def do_degrid(
-            seq: int, payload: tuple[tuple[int, int], np.ndarray]
-        ) -> tuple[int, int]:
-            (start, stop), images = payload
-            # Work items cover disjoint (baseline, time, channel) blocks, so
-            # concurrent workers write `out` without synchronisation.
-            backend.degrid_work_group(
-                plan, start, stop, images, uvw_m, out, idg.taper,
-                lmn=idg.lmn, aterm_fields=fields,
-                vis_batch=idg.config.vis_batch,
-                channel_recurrence=idg.config.channel_recurrence,
-                batched=idg.config.batched,
-            )
+        def do_degrid(seq: int, payload: Any) -> Any:
+            nonlocal n_completed
+            if isinstance(payload, Quarantined):
+                if not emulate:
+                    gate.release()
+                return payload
+            group, chunk, images = payload
+
+            def body() -> None:
+                # Work items cover disjoint (baseline, time, channel) blocks,
+                # so concurrent workers write `out` without synchronisation.
+                start, stop = chunk
+                backend.degrid_work_group(
+                    plan, start, stop, images, uvw_m, out, idg.taper,
+                    lmn=idg.lmn, aterm_fields=fields,
+                    vis_batch=idg.config.vis_batch,
+                    channel_recurrence=idg.config.channel_recurrence,
+                    batched=idg.config.batched,
+                )
+
+            result = run_stage("degridder", group, chunk, body)
+            if not isinstance(result, Quarantined):
+                with completed_lock:
+                    n_completed += 1
             if not emulate:
                 gate.release()
-            return (start, stop)
+            return (group, chunk)
 
-        def do_htod(
-            seq: int, payload: tuple[tuple[int, int], np.ndarray]
-        ) -> tuple[tuple[int, int], np.ndarray]:
-            self._transfer(payload[1].nbytes)
+        def do_htod(seq: int, payload: Any) -> Any:
+            if not isinstance(payload, Quarantined):
+                self._transfer(payload[2].nbytes)
             return payload
 
-        def do_dtoh(seq: int, chunk: tuple[int, int]) -> None:
-            self._transfer(chunk_transfer_bytes(plan, *chunk)[0])
+        def do_dtoh(seq: int, payload: Any) -> None:
+            if not isinstance(payload, Quarantined):
+                self._transfer(chunk_transfer_bytes(plan, *payload[1])[0])
             gate.release()
 
         graph = StageGraph("degrid", n_buffers=self.config.n_buffers, telemetry=tm)
         graph.add_abortable(gate)
-        graph.add_source("splitter", self._gated_chunks(plan, gate))
+        graph.add_source("splitter", self._gated_chunks(chunks, gate))
         graph.add_stage("subgrid_split", do_split)
         if emulate:
             graph.add_stage("htod", do_htod)
@@ -299,6 +506,9 @@ class StreamingIDG:
         tm.add_counter("visibilities", plan.statistics.n_visibilities_gridded)
         tm.add_counter("work_groups", plan.n_subgrids)
         graph.run()
+        if runner is not None:
+            runner.report.n_groups = len(chunks)
+            runner.report.n_groups_completed = n_completed
         self.last_telemetry = tm
         return out
 

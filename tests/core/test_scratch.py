@@ -112,3 +112,72 @@ def test_clear_thread_arena_releases_buffers():
     clear_thread_arena()
     assert arena.nbytes == 0
     assert thread_arena() is arena  # the arena object itself survives
+
+
+def test_trim_shrinks_to_high_water_mark():
+    arena = ScratchArena()
+    arena.take("phase", (1 << 16,), np.float64)  # one oversized early bucket
+    assert arena.nbytes == (1 << 16) * 8
+    # a later phase only ever needs small buffers
+    arena.trim()  # reset marks; next phase starts fresh
+    arena.take("phase", (64,), np.float64)
+    arena.take("phase", (128,), np.float64)
+    freed = arena.trim()
+    assert freed > 0
+    assert arena.nbytes == 128 * 8  # shrunk to the phase's high-water mark
+    # the shrunk buffer still serves requests up to the mark without growing
+    view = arena.take("phase", (128,), np.float64)
+    assert view.shape == (128,)
+
+
+def test_trim_drops_untouched_keys():
+    arena = ScratchArena()
+    arena.take("a", (100,), np.float32)
+    arena.take("b", (100,), np.float32)
+    arena.trim()
+    arena.take("a", (50,), np.float32)  # "b" goes unused this phase
+    arena.trim()
+    assert arena.keys == ("a",)
+
+
+def test_trim_never_grows_and_is_idempotent_within_a_phase():
+    arena = ScratchArena()
+    arena.take("k", (100,), np.float64)
+    before = arena.nbytes
+    assert arena.trim() == 0  # buffer exactly at its mark: nothing to free
+    assert arena.nbytes == before
+
+
+def test_release_drops_everything_and_reports_bytes():
+    arena = ScratchArena()
+    arena.take("a", (256,), np.complex64)
+    arena.take("b", (64,), np.float64)
+    held = arena.nbytes
+    assert arena.release() == held
+    assert arena.nbytes == 0
+    assert arena.keys == ()
+
+
+def test_trim_thread_arenas_reaches_all_live_arenas():
+    from repro.core.scratch import trim_thread_arenas
+
+    mine = thread_arena()
+    mine.take("big", (1 << 14,), np.float64)
+    mine.trim()  # reset the mark so the next trim can drop "big"
+
+    other_nbytes = {}
+
+    def worker():
+        arena = thread_arena()
+        arena.take("worker-buf", (1 << 12,), np.float64)
+        arena.trim()
+        other_nbytes["arena"] = arena  # keep it alive past thread exit
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+
+    freed = trim_thread_arenas()
+    assert freed >= (1 << 14) * 8 + (1 << 12) * 8
+    assert mine.nbytes == 0
+    assert other_nbytes["arena"].nbytes == 0

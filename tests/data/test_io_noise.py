@@ -43,6 +43,50 @@ def test_load_rejects_future_schema(dataset, tmp_path):
         load_dataset(path)
 
 
+def test_save_creates_parent_directories(dataset, tmp_path):
+    path = tmp_path / "deep" / "nested" / "run" / "data.npz"
+    written = save_dataset(dataset, path)
+    assert written == path
+    assert load_dataset(path).n_baselines == dataset.n_baselines
+
+
+def test_save_appends_npz_suffix(dataset, tmp_path):
+    written = save_dataset(dataset, tmp_path / "data")
+    assert written == tmp_path / "data.npz"
+    assert load_dataset(written).n_times == dataset.n_times
+
+
+def test_save_leaves_no_temp_files(dataset, tmp_path):
+    save_dataset(dataset, tmp_path / "data.npz")
+    save_dataset(dataset, tmp_path / "data.npz")  # overwrite path too
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["data.npz"]
+
+
+def test_crashed_save_preserves_existing_file(dataset, tmp_path, monkeypatch):
+    """A failure mid-write must leave the previous complete dataset intact
+    (write-to-temp + atomic rename), not a truncated archive."""
+    import repro.atomicio as atomicio
+
+    path = tmp_path / "data.npz"
+    save_dataset(dataset, path)
+
+    real_savez = atomicio.np.savez_compressed
+
+    def dying_savez(fh, **arrays):
+        fh.write(b"partial garbage")  # simulate dying mid-stream
+        raise OSError("disk went away")
+
+    monkeypatch.setattr(atomicio.np, "savez_compressed", dying_savez)
+    with pytest.raises(OSError):
+        save_dataset(dataset, path)
+    monkeypatch.setattr(atomicio.np, "savez_compressed", real_savez)
+
+    # original survives, fully readable, and no temp litter remains
+    back = load_dataset(path)
+    np.testing.assert_array_equal(back.visibilities, dataset.visibilities)
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["data.npz"]
+
+
 def test_thermal_noise_sigma_radiometer():
     # sigma = SEFD / (eta * sqrt(2 dnu tau))
     sigma = thermal_noise_sigma(1000.0, 200e3, 1.0, efficiency=1.0)

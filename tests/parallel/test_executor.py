@@ -53,3 +53,79 @@ def test_parallel_with_aterms(small_idg, small_plan, small_obs, single_source_vi
     par = ParallelIDG(small_idg.with_config(work_group_size=4), n_workers=3)
     parallel = par.grid(small_plan, small_obs.uvw_m, single_source_vis, aterms=beam)
     np.testing.assert_allclose(parallel, serial, atol=2e-4)
+
+
+def test_worker_error_names_the_work_group(small_idg, small_plan, small_obs,
+                                           single_source_vis, monkeypatch):
+    """A failing work group must be identifiable from the exception message
+    (group index + plan item range), with the original error chained."""
+    from repro.parallel.executor import WorkGroupError
+
+    idg = small_idg.with_config(work_group_size=5)
+    backend_cls = type(idg.backend)
+    original = backend_cls.grid_work_group
+
+    def failing(self, plan, start, stop, *args, **kwargs):
+        if start == 10:
+            raise ValueError("synthetic kernel failure")
+        return original(self, plan, start, stop, *args, **kwargs)
+
+    monkeypatch.setattr(backend_cls, "grid_work_group", failing)
+    par = ParallelIDG(idg, n_workers=2)
+    with pytest.raises(WorkGroupError, match=r"work group 2 \(plan items \[10, 15\)\)") as info:
+        par.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+def test_first_failure_cancels_remaining_work(small_idg, small_plan,
+                                              small_obs, single_source_vis,
+                                              monkeypatch):
+    """After the first work-group failure the executor must stop launching
+    the remaining (doomed) work groups instead of grinding through them."""
+    import threading
+    import time as _time
+
+    from repro.parallel.executor import WorkGroupError
+
+    idg = small_idg.with_config(work_group_size=2)
+    n_groups = len(list(small_plan.work_groups(2)))
+    assert n_groups >= 8
+    backend_cls = type(idg.backend)
+    original = backend_cls.grid_work_group
+    calls = []
+    lock = threading.Lock()
+
+    def instrumented(self, plan, start, stop, *args, **kwargs):
+        with lock:
+            calls.append(start)
+        if start == 0:
+            raise ValueError("first group fails immediately")
+        _time.sleep(0.05)  # give the failure time to surface
+        return original(self, plan, start, stop, *args, **kwargs)
+
+    monkeypatch.setattr(backend_cls, "grid_work_group", instrumented)
+    par = ParallelIDG(idg, n_workers=2)
+    with pytest.raises(WorkGroupError):
+        par.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    assert len(calls) < n_groups, (
+        f"all {n_groups} work groups ran despite an early failure"
+    )
+
+
+def test_tolerant_mode_reports_on_last_fault_report(small_idg, small_plan,
+                                                    small_obs,
+                                                    single_source_vis):
+    from repro.runtime import FaultPlan
+
+    idg = small_idg.with_config(work_group_size=5, max_retries=1,
+                                retry_backoff_s=0.0)
+    par = ParallelIDG(idg, n_workers=2,
+                      faults=FaultPlan.single("gridder", 0, times=-1))
+    par.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    report = par.last_fault_report
+    assert report is not None and report.n_dead_letters == 1
+    assert report.dead_letters[0].group == 0
+    # without tolerance the report stays None
+    par_plain = ParallelIDG(small_idg, n_workers=2)
+    par_plain.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    assert par_plain.last_fault_report is None

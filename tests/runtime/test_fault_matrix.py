@@ -1,0 +1,187 @@
+"""Failure-injection matrix: {serial, threads, streaming} executors x
+{gridder, subgrid_fft, adder} fault sites.
+
+For every cell: a permanent fault on one work group, retries exhausted, must
+yield exactly one dead letter with exact plan/visibility accounting, and the
+surviving output must equal a clean run over the remaining work groups —
+dropping a whole group leaves every other group's floating-point work
+untouched, so the comparison is tight (rtol 1e-12; the thread-pool executor
+merges in completion order, so it gets the differential-test tolerance
+instead)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import COMPLEX_DTYPE
+from repro.parallel import ParallelIDG
+from repro.runtime import (
+    FaultPlan,
+    RuntimeConfig,
+    StreamingIDG,
+    group_visibility_count,
+)
+
+WORK_GROUP_SIZE = 5
+STAGES = ("gridder", "subgrid_fft", "adder")
+FAULT_GROUP = 1
+MAX_RETRIES = 2
+
+
+@pytest.fixture(scope="module")
+def tolerant_idg(small_idg):
+    return small_idg.with_config(
+        work_group_size=WORK_GROUP_SIZE, max_retries=MAX_RETRIES,
+        retry_backoff_s=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def groups(tolerant_idg, small_plan):
+    return list(small_plan.work_groups(WORK_GROUP_SIZE))
+
+
+def grid_excluding(idg, plan, uvw_m, vis, skip=()):
+    """Reference result: the plain serial accumulation with the given work
+    groups left out (what a run with those groups dead-lettered must equal)."""
+    backend = idg.backend
+    grid = idg.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
+    for group, (start, stop) in enumerate(plan.work_groups(idg.config.work_group_size)):
+        if group in skip:
+            continue
+        subgrids = backend.grid_work_group(
+            plan, start, stop, uvw_m, vis, idg.taper,
+            lmn=idg.lmn, aterm_fields=None, vis_batch=idg.config.vis_batch,
+            channel_recurrence=idg.config.channel_recurrence,
+            batched=idg.config.batched,
+        )
+        backend.add_subgrids(
+            grid, plan, backend.subgrids_to_fourier(subgrids), start=start
+        )
+    return grid
+
+
+def run_gridding(executor, idg, plan, uvw_m, vis, faults):
+    if executor == "serial":
+        grid = idg.grid(plan, uvw_m, vis, faults=faults)
+        return grid, idg.last_fault_report
+    if executor == "threads":
+        engine = ParallelIDG(idg, n_workers=2, faults=faults)
+        return engine.grid(plan, uvw_m, vis), engine.last_fault_report
+    engine = StreamingIDG(idg, RuntimeConfig(n_buffers=2), faults=faults)
+    return engine.grid(plan, uvw_m, vis), engine.last_fault_report
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads", "streaming"])
+@pytest.mark.parametrize("stage", STAGES)
+def test_matrix_dead_letter_accounting_and_surviving_output(
+    executor, stage, tolerant_idg, small_plan, small_obs, single_source_vis,
+    groups,
+):
+    faults = FaultPlan.single(stage, FAULT_GROUP, times=-1)
+    grid, report = run_gridding(
+        executor, tolerant_idg, small_plan, small_obs.uvw_m,
+        single_source_vis, faults,
+    )
+
+    # exact dead-letter accounting
+    assert report is not None
+    assert report.n_dead_letters == 1
+    letter = report.dead_letters[0]
+    start, stop = groups[FAULT_GROUP]
+    assert letter.stage == stage
+    assert letter.group == FAULT_GROUP
+    assert (letter.start, letter.stop) == (start, stop)
+    assert letter.attempts == 1 + MAX_RETRIES
+    assert letter.n_visibilities == group_visibility_count(small_plan, start, stop)
+    assert report.n_retries == MAX_RETRIES
+    assert report.n_groups == len(groups)
+    assert report.n_groups_completed == len(groups) - 1
+    # the injected fault consumed exactly the budgeted attempts
+    assert faults.attempts(stage, FAULT_GROUP) == 1 + MAX_RETRIES
+
+    # surviving output == clean run over the unaffected work groups
+    expected = grid_excluding(
+        tolerant_idg, small_plan, small_obs.uvw_m, single_source_vis,
+        skip={FAULT_GROUP},
+    )
+    if executor == "threads":
+        # completion-order merge: same data, different FP summation order
+        np.testing.assert_allclose(grid, expected, atol=2e-4)
+    else:
+        np.testing.assert_allclose(grid, expected, rtol=1e-12, atol=0.0)
+
+
+@pytest.mark.parametrize("executor", ["serial", "streaming"])
+def test_transient_fault_retries_to_bit_exact_result(
+    executor, tolerant_idg, small_plan, small_obs, single_source_vis,
+):
+    """A fault that clears within the retry budget must leave no trace in
+    the output: bit-identical to the clean run."""
+    clean, _ = run_gridding(
+        executor, tolerant_idg, small_plan, small_obs.uvw_m,
+        single_source_vis, faults=None,
+    )
+    faults = FaultPlan.single("gridder", 2, times=MAX_RETRIES)
+    recovered, report = run_gridding(
+        executor, tolerant_idg, small_plan, small_obs.uvw_m,
+        single_source_vis, faults,
+    )
+    assert report.ok
+    assert report.n_retries == MAX_RETRIES
+    assert np.array_equal(recovered, clean)
+
+
+@pytest.mark.parametrize("kind", ["raise", "corrupt"])
+def test_corrupt_and_raise_kinds_both_quarantine(
+    kind, tolerant_idg, small_plan, small_obs, single_source_vis, groups,
+):
+    faults = FaultPlan.single("subgrid_fft", 0, kind=kind, times=-1)
+    engine = StreamingIDG(tolerant_idg, RuntimeConfig(n_buffers=2), faults=faults)
+    engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    report = engine.last_fault_report
+    assert report.n_dead_letters == 1
+    expected_error = "CorruptDataError" if kind == "corrupt" else "InjectedFault"
+    assert expected_error in report.dead_letters[0].error
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads", "streaming"])
+def test_degrid_dead_letter_leaves_block_zero(
+    executor, tolerant_idg, small_plan, small_obs, groups,
+):
+    """A quarantined degrid work group leaves its visibility block zero and
+    every other block identical to the clean prediction."""
+    rng = np.random.default_rng(5)
+    g = tolerant_idg.gridspec.grid_size
+    model_grid = (
+        rng.standard_normal((4, g, g)) + 1j * rng.standard_normal((4, g, g))
+    ).astype(COMPLEX_DTYPE)
+    clean = tolerant_idg.degrid(small_plan, small_obs.uvw_m, model_grid)
+
+    faults = FaultPlan.single("degridder", FAULT_GROUP, times=-1)
+    if executor == "serial":
+        predicted = tolerant_idg.degrid(
+            small_plan, small_obs.uvw_m, model_grid, faults=faults
+        )
+        report = tolerant_idg.last_fault_report
+    elif executor == "threads":
+        engine = ParallelIDG(tolerant_idg, n_workers=2, faults=faults)
+        predicted = engine.degrid(small_plan, small_obs.uvw_m, model_grid)
+        report = engine.last_fault_report
+    else:
+        engine = StreamingIDG(tolerant_idg, RuntimeConfig(n_buffers=2), faults=faults)
+        predicted = engine.degrid(small_plan, small_obs.uvw_m, model_grid)
+        report = engine.last_fault_report
+
+    assert report.n_dead_letters == 1
+    start, stop = groups[FAULT_GROUP]
+    assert report.excluded_items() == ((start, stop),)
+
+    # zero exactly the excluded items' blocks in the clean prediction
+    expected = clean.copy()
+    for row in small_plan.items[start:stop]:
+        expected[
+            row["baseline"],
+            row["time_start"]:row["time_end"],
+            row["channel_start"]:row["channel_end"],
+        ] = 0
+    np.testing.assert_allclose(predicted, expected, rtol=1e-12, atol=0.0)

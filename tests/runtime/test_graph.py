@@ -149,3 +149,93 @@ def test_run_is_single_shot():
     graph.run()
     with pytest.raises(RuntimeError):
         graph.run()
+
+
+def test_causal_error_wins_shutdown_race():
+    """The first *causal* exception must be re-raised even when another
+    thread loses the teardown unwind race and raises afterwards: here the
+    consumer fails first, and the producer then trips over state the abort
+    invalidated.  Regression for the shutdown-ordering race where whichever
+    thread happened to record its exception first won."""
+    graph = StageGraph("p", n_buffers=1)
+
+    def items():
+        yield 0
+        # Block until the teardown (triggered by the sink's failure) is in
+        # flight, then fail "because" of it — deterministically losing the
+        # old record-first race.
+        assert graph._aborting.wait(10.0)
+        raise RuntimeError("secondary: tripped over teardown")
+
+    graph.add_source("src", items())
+    graph.add_stage("passthrough", lambda seq, x: x)
+
+    def sink(seq, x):
+        raise ValueError("causal consumer failure")
+
+    graph.add_sink("sink", sink)
+    result = _run_with_watchdog(graph)
+    assert isinstance(result.get("error"), ValueError)
+    assert "causal" in str(result["error"])
+    # the secondary exception is kept for debugging, not raised
+    assert any(
+        isinstance(exc, RuntimeError) and "secondary" in str(exc)
+        for exc in graph.secondary_errors
+    )
+
+
+def test_worker_error_during_teardown_is_secondary():
+    """A stage worker that fails after the abort began is classified as
+    secondary; the sink's causal error still wins."""
+    graph = StageGraph("p", n_buffers=2)
+    graph.add_source("src", range(8))
+
+    def stage(seq, x):
+        if seq >= 1:
+            assert graph._aborting.wait(10.0)
+            raise OSError("secondary: shared state torn down")
+        return x
+
+    graph.add_stage("stage", stage, workers=2)
+
+    def sink(seq, x):
+        raise KeyError("causal")
+
+    graph.add_sink("sink", sink)
+    result = _run_with_watchdog(graph)
+    assert isinstance(result.get("error"), KeyError)
+    assert any(isinstance(exc, OSError) for exc in graph.secondary_errors)
+
+
+def test_external_abort_raises_pipeline_aborted():
+    """An abort with no recorded cause must surface as PipelineAborted, not
+    return a silently-partial result."""
+    from repro.runtime import PipelineAborted
+
+    started = threading.Event()
+
+    def items():
+        yield 0
+        started.set()
+        while True:
+            yield 1
+            time.sleep(0.001)
+
+    graph = StageGraph("p", n_buffers=1)
+    graph.add_source("src", items())
+    graph.add_sink("sink", lambda seq, x: x)
+    result = {}
+
+    def target():
+        try:
+            result["telemetry"] = graph.run()
+        except BaseException as exc:  # noqa: B036
+            result["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    assert started.wait(10.0)
+    graph.abort()
+    thread.join(10.0)
+    assert not thread.is_alive(), "abort did not unwind the pipeline"
+    assert isinstance(result.get("error"), PipelineAborted)
