@@ -1,0 +1,139 @@
+"""idgsan disabled-mode overhead on the streaming runtime, machine-readable.
+
+The sanitizer's contract is that it costs nothing unless installed: importing
+:mod:`repro.analysis.sanitizer` patches no runtime class, and the conftest
+hook (``maybe_install_from_env``) is a no-op without ``IDG_SANITIZE``.  This
+bench turns that claim into a gate by gridding the same bench plan in three
+modes:
+
+``baseline``
+    The sanitizer module is imported (as it is in every test run via
+    conftest) but never installed — the production path.
+``disabled``
+    ``maybe_install_from_env()`` has been called with the gate off, exactly
+    what ``conftest.py`` does on a plain ``pytest`` run.  The acceptance gate
+    asserts this stays within 1% of baseline makespan — same classes, same
+    methods, zero wrappers.
+``enabled``
+    A live :func:`~repro.analysis.sanitizer.sanitized` context: tracked
+    condition variables, Eraser write checks and the deadlock watchdog all
+    on.  Reported for information only (the dynamic half is a debugging
+    tool, not a production mode) and asserted to produce zero reports on
+    the clean pipeline.
+
+Writes ``benchmarks/results/BENCH_sanitizer.json``.  The CI ``sanitizer``
+job asserts the overhead gate from this payload.
+"""
+
+import json
+import os
+import platform
+
+import numpy as np
+
+from _util import RESULTS_DIR, print_series
+
+from repro.analysis import sanitizer
+from repro.runtime import RuntimeConfig, StreamingIDG
+
+GROUP_SIZE = 32
+N_BUFFERS = 3
+#: Repeats per mode (round-robin, best-of); the gate uses the best.
+REPEATS = 3
+#: Acceptance: the never-installed sanitizer must cost <= 1% makespan.
+OVERHEAD_GATE = 1.01
+
+
+def test_bench_sanitizer_overhead(bench_plan, bench_obs, bench_vis, bench_idg):
+    engine_cfg = bench_idg.with_config(work_group_size=GROUP_SIZE)
+
+    def run_once():
+        engine = StreamingIDG(engine_cfg, RuntimeConfig(n_buffers=N_BUFFERS))
+        grid = engine.grid(bench_plan, bench_obs.uvw_m, bench_vis)
+        return grid, engine.last_telemetry.makespan()
+
+    def measure_baseline():
+        assert sanitizer.current() is None, "sanitizer already installed"
+        return run_once()
+
+    def measure_disabled():
+        # exactly the conftest path on a plain (non-IDG_SANITIZE) run
+        forced_before = sanitizer._forced
+        sanitizer.enable_sanitizer(False)
+        try:
+            assert sanitizer.maybe_install_from_env() is None
+        finally:
+            sanitizer._forced = forced_before
+        return run_once()
+
+    def measure_enabled():
+        with sanitizer.sanitized() as san:
+            grid, span = run_once()
+            san.raise_if_reports()  # the clean pipeline must stay clean
+        return grid, span
+
+    modes = {
+        "baseline": measure_baseline,
+        "disabled": measure_disabled,
+        "enabled": measure_enabled,
+    }
+
+    run_once()  # warm up BLAS/FFT
+    samples = {name: [] for name in modes}
+    grids = {}
+    for _ in range(REPEATS):
+        for name, measure in modes.items():
+            grid, span = measure()
+            samples[name].append(span)
+            grids[name] = grid
+
+    best = {name: min(vals) for name, vals in samples.items()}
+    overhead = {name: best[name] / best["baseline"] for name in modes}
+
+    # All three modes execute the identical kernel sequence.
+    assert np.array_equal(grids["disabled"], grids["baseline"])
+    assert np.array_equal(grids["enabled"], grids["baseline"])
+
+    payload = {
+        "benchmark": "sanitizer_overhead",
+        "generated_by": "benchmarks/bench_sanitizer_overhead.py",
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "work_group_size": GROUP_SIZE,
+            "n_buffers": N_BUFFERS,
+            "repeats": REPEATS,
+            "n_subgrids": int(bench_plan.n_subgrids),
+            "overhead_gate": OVERHEAD_GATE,
+        },
+        "modes": {
+            name: {
+                "makespan_best_s": best[name],
+                "makespan_all_s": samples[name],
+                "overhead_vs_baseline": overhead[name],
+            }
+            for name in modes
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_sanitizer.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_series(
+        "idgsan: streaming makespan overhead by sanitizer mode",
+        ["mode", "best ms", "overhead"],
+        [(name, best[name] * 1e3, overhead[name]) for name in modes],
+    )
+
+    # Acceptance gate: not installing the sanitizer must cost nothing
+    # measurable — the module import and the env probe are the entire
+    # disabled-mode surface.
+    assert overhead["disabled"] <= OVERHEAD_GATE, (
+        f"disabled-mode sanitizer costs {100 * (overhead['disabled'] - 1):.2f}% "
+        f"(gate: {100 * (OVERHEAD_GATE - 1):.0f}%)"
+    )

@@ -37,8 +37,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
-        "--select", metavar="CODES",
-        help="comma-separated rule codes to run (default: all)",
+        "--select", "--rules", dest="select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all); a family "
+        "wildcard like IDG1xx selects every rule in that hundred-series",
     )
     parser.add_argument(
         "--root", default=".",
@@ -91,10 +92,23 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     select = None
     if args.select:
-        select = tuple(code.strip().upper() for code in args.select.split(","))
         from repro.analysis.rules import RULES_BY_CODE
 
-        unknown = [code for code in select if code not in RULES_BY_CODE]
+        requested = [code.strip().upper() for code in args.select.split(",")]
+        expanded: list[str] = []
+        unknown: list[str] = []
+        for code in requested:
+            if code.endswith("XX") and len(code) > 2:
+                prefix = code[:-2]
+                family = [c for c in RULES_BY_CODE if c.startswith(prefix)]
+                if family:
+                    expanded.extend(family)
+                else:
+                    unknown.append(code)
+            elif code in RULES_BY_CODE:
+                expanded.append(code)
+            else:
+                unknown.append(code)
         if unknown:
             print(
                 f"error: unknown rule code(s): {', '.join(unknown)} "
@@ -102,6 +116,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        select = tuple(dict.fromkeys(expanded))
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:

@@ -1,0 +1,552 @@
+"""Shared concurrency models for the IDG1xx rule family.
+
+The IDG100-series rules (:mod:`repro.analysis.rules`) all reason about the
+same facts: which names are locks, which attributes those locks guard, which
+locks a statement holds, and in what order functions acquire them.  This
+module centralises that machinery so each rule stays a thin policy on top:
+
+* **Annotation grammar** — two structured comments extend the inference:
+
+  - ``# idglint: guarded-by(<lock>)`` on an attribute assignment declares
+    that the attribute may only be mutated while holding ``self.<lock>``
+    (or the named module-level lock);
+  - ``# idglint: requires-lock(<lock>)`` on a ``def`` line declares that the
+    function's *callers* hold the lock — its body is analysed as if the lock
+    were held throughout, and IDG101 checks every resolvable call site.
+
+* **Lock discovery** — an attribute or variable is a lock when it is
+  assigned from a ``threading`` factory (``Lock``/``RLock``/``Condition``/
+  ``Semaphore``/``BoundedSemaphore``) or when its name matches the
+  ``_lock``/``_cond`` naming convention (:data:`LOCK_NAME_RE`).
+
+* **Guard inference** — an attribute is *guarded* by lock L when annotated,
+  or when any method mutates it inside ``with self.L:`` (construction in
+  ``__init__`` is exempt from checking but still contributes inference).
+
+* **Lock-order graphs** — per-function acquisition summaries (which locks a
+  function may take, directly or through same-file calls) compose into a
+  project-wide held->acquired edge set; cycles in that graph are the AB/BA
+  inversions IDG103 reports.
+
+Locks are identified by *canonical keys* that are stable across files:
+``ClassName.attr`` for instance/class attribute locks, ``relpath:name`` for
+module-level locks, ``relpath:func:name`` for function-local locks — so two
+methods of one class taking ``self._lock`` then ``self._cond`` in opposite
+orders collide in the graph even when they live in different files.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+
+__all__ = [
+    "GUARDED_BY_RE",
+    "REQUIRES_LOCK_RE",
+    "LOCK_NAME_RE",
+    "ClassModel",
+    "FunctionScope",
+    "LockModel",
+    "build_lock_model",
+    "iter_attr_mutations",
+    "line_annotation",
+]
+
+GUARDED_BY_RE = re.compile(
+    r"#\s*idglint:\s*guarded-by\(\s*([A-Za-z_][A-Za-z0-9_.]*)\s*\)"
+)
+REQUIRES_LOCK_RE = re.compile(
+    r"#\s*idglint:\s*requires-lock\(\s*([A-Za-z_][A-Za-z0-9_.]*)\s*\)"
+)
+
+#: Names that *are* locks by convention, whatever they were assigned from.
+LOCK_NAME_RE = re.compile(r"(^|_)(lock|cond|condition|mutex)$")
+
+#: ``threading`` factories whose result is a lock-like context manager.
+LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Method names that mutate their receiver in place (list/set/dict/deque).
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "appendleft", "extend", "extendleft", "insert", "add",
+        "remove", "discard", "pop", "popleft", "popitem", "clear", "update",
+        "setdefault", "sort", "reverse", "fill",
+    }
+)
+
+
+def line_annotation(ctx: FileContext, lineno: int, regex: re.Pattern[str]) -> str | None:
+    """The annotation argument on source line ``lineno`` (1-based), if any."""
+    if 0 < lineno <= len(ctx.lines):
+        match = regex.search(ctx.lines[lineno - 1])
+        if match:
+            return match.group(1)
+    return None
+
+
+def is_lock_name(name: str) -> bool:
+    return bool(LOCK_NAME_RE.search(name))
+
+
+def _lock_factory(node: ast.AST) -> str | None:
+    """``"Lock"``/``"RLock"``/... when ``node`` is a ``threading`` factory
+    call (``threading.Lock()`` or a bare imported ``Lock()``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "threading" and func.attr in LOCK_FACTORIES:
+            return func.attr
+    if isinstance(func, ast.Name) and func.id in LOCK_FACTORIES:
+        return func.id
+    return None
+
+
+@dataclass
+class ClassModel:
+    """Lock/guard facts about one class."""
+
+    name: str
+    node: ast.ClassDef
+    #: lock attribute name -> factory name ("Lock", "RLock", ...) or
+    #: ``"?"`` when only the naming convention identified it.
+    locks: dict[str, str] = field(default_factory=dict)
+    #: guarded attribute -> owning lock attribute.
+    guards: dict[str, str] = field(default_factory=dict)
+    #: attributes whose guard came from an explicit annotation.
+    annotated: set[str] = field(default_factory=set)
+    #: method name -> FunctionDef (direct children only).
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class FunctionScope:
+    """Lexical facts about one function (methods included)."""
+
+    qualname: str  # "Class.method" / "func" / "outer.<locals>.inner"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None
+    parent: "FunctionScope | None"
+    #: names bound in this scope (assignments + parameters).
+    bindings: set[str] = field(default_factory=set)
+    #: local lock name -> factory name.
+    local_locks: dict[str, str] = field(default_factory=dict)
+    #: canonical keys of locks asserted held via ``requires-lock``.
+    requires: tuple[str, ...] = ()
+
+
+class LockModel:
+    """Every lock/guard/scope fact of one parsed file."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.classes: dict[str, ClassModel] = {}
+        #: module-level lock name -> factory name.
+        self.module_locks: dict[str, str] = {}
+        self.scopes: dict[ast.AST, FunctionScope] = {}
+        self.by_qualname: dict[str, FunctionScope] = {}
+        self._build()
+
+    # -------------------------------------------------------------- building
+
+    def _build(self) -> None:
+        self._collect_module_locks()
+        self._collect_scopes()
+        self._collect_classes()
+        self._resolve_requires()
+
+    def _collect_module_locks(self) -> None:
+        for node in self.ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            factory = _lock_factory(value)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if factory is not None:
+                        self.module_locks[target.id] = factory
+                    elif is_lock_name(target.id):
+                        self.module_locks[target.id] = "?"
+
+    def _collect_scopes(self) -> None:
+        ctx = self.ctx
+
+        def visit(node: ast.AST, qual: str, cls: str | None,
+                  parent: FunctionScope | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, f"{qual}{child.name}.", child.name, parent)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scope = FunctionScope(
+                        qualname=f"{qual}{child.name}",
+                        node=child, class_name=cls, parent=parent,
+                    )
+                    args = child.args
+                    for arg in (
+                        *args.posonlyargs, *args.args, *args.kwonlyargs,
+                        *([args.vararg] if args.vararg else []),
+                        *([args.kwarg] if args.kwarg else []),
+                    ):
+                        scope.bindings.add(arg.arg)
+                    self._collect_local_bindings(child, scope)
+                    self.scopes[child] = scope
+                    self.by_qualname[scope.qualname] = scope
+                    visit(child, f"{scope.qualname}.<locals>.", None, scope)
+                else:
+                    visit(child, qual, cls, parent)
+
+        visit(ctx.tree, "", None, None)
+
+    def _collect_local_bindings(
+        self, fn: ast.AST, scope: FunctionScope
+    ) -> None:
+        """Names assigned directly in ``fn`` (not in nested functions)."""
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                visit(child)
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        scope.bindings.add(target.id)
+                        factory = _lock_factory(node.value)
+                        if factory is not None:
+                            scope.local_locks[target.id] = factory
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                scope.bindings.add(node.target.id)
+                if node.value is not None:
+                    factory = _lock_factory(node.value)
+                    if factory is not None:
+                        scope.local_locks[node.target.id] = factory
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                node.target, ast.Name
+            ):
+                scope.bindings.add(node.target.id)
+            elif isinstance(node, ast.withitem) and isinstance(
+                node.optional_vars, ast.Name
+            ):
+                scope.bindings.add(node.optional_vars.id)
+
+        visit(fn)
+
+    def _collect_classes(self) -> None:
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            model = ClassModel(name=node.name, node=node)
+            self.classes[node.name] = model
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    model.methods[child.name] = child
+                # dataclass-style class-body lock declarations:
+                #   _lock: threading.Lock = field(default_factory=threading.Lock)
+                elif isinstance(child, (ast.Assign, ast.AnnAssign)):
+                    for name, value in self._class_body_targets(child):
+                        factory = _lock_factory(value) or self._field_factory(value)
+                        if factory is not None:
+                            model.locks[name] = factory
+                        elif is_lock_name(name):
+                            model.locks[name] = "?"
+            self._collect_instance_locks(model)
+            self._collect_guards(model)
+
+    @staticmethod
+    def _class_body_targets(
+        node: ast.Assign | ast.AnnAssign,
+    ) -> list[tuple[str, ast.AST | None]]:
+        if isinstance(node, ast.Assign):
+            return [
+                (t.id, node.value) for t in node.targets if isinstance(t, ast.Name)
+            ]
+        if isinstance(node.target, ast.Name):
+            return [(node.target.id, node.value)]
+        return []
+
+    @staticmethod
+    def _field_factory(value: ast.AST | None) -> str | None:
+        """Factory name for ``field(default_factory=threading.Lock)``."""
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "field"
+        ):
+            for kw in value.keywords:
+                if kw.arg == "default_factory":
+                    node = kw.value
+                    if isinstance(node, ast.Attribute) and isinstance(
+                        node.value, ast.Name
+                    ):
+                        if (
+                            node.value.id == "threading"
+                            and node.attr in LOCK_FACTORIES
+                        ):
+                            return node.attr
+                    if isinstance(node, ast.Name) and node.id in LOCK_FACTORIES:
+                        return node.id
+        return None
+
+    def _collect_instance_locks(self, model: ClassModel) -> None:
+        for method in model.methods.values():
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                factory = _lock_factory(value)
+                for target in targets:
+                    attr = self._self_attr(target)
+                    if attr is None:
+                        continue
+                    if factory is not None:
+                        model.locks[attr] = factory
+                    elif is_lock_name(attr) and attr not in model.locks:
+                        model.locks[attr] = "?"
+
+    def _collect_guards(self, model: ClassModel) -> None:
+        # explicit guarded-by annotations win over inference
+        for method in model.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    continue
+                lock = line_annotation(self.ctx, node.lineno, GUARDED_BY_RE)
+                if lock is None:
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = self._self_attr(target)
+                    if attr is not None:
+                        model.guards[attr] = lock.removeprefix("self.")
+                        model.annotated.add(attr)
+        # inference: an attribute mutated at least once under a class lock
+        # is guarded by (the innermost of) the lock(s) held there
+        for method in model.methods.values():
+            scope = self.scopes.get(method)
+            for attr, node, _kind in iter_attr_mutations(
+                method, ("self", model.name)
+            ):
+                if attr in model.annotated or attr in model.locks:
+                    continue
+                held = self.held_locks(node, scope)
+                class_held = [
+                    key for key in held
+                    if key.startswith(f"{model.name}.")
+                ]
+                if class_held:
+                    lock_attr = class_held[-1].split(".", 1)[1]
+                    model.guards.setdefault(attr, lock_attr)
+
+    def _resolve_requires(self) -> None:
+        for scope in self.scopes.values():
+            lock = line_annotation(self.ctx, scope.node.lineno, REQUIRES_LOCK_RE)
+            if lock is None:
+                continue
+            name = lock.removeprefix("self.")
+            cls = self._enclosing_class(scope)
+            if cls is not None and (name in cls.locks or is_lock_name(name)):
+                key: str | None = f"{cls.name}.{name}"
+            else:
+                key = self.lock_key(ast.Name(id=name, ctx=ast.Load()), scope)
+            if key is not None:
+                scope.requires = (*scope.requires, key)
+
+    # ------------------------------------------------------------ resolution
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> str | None:
+        """``"attr"`` for ``self.attr`` nodes."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def lock_key(self, expr: ast.AST, scope: FunctionScope | None) -> str | None:
+        """Canonical identity of a lock expression, or None when unknown.
+
+        ``self.X`` -> ``Class.X``; ``Class.X`` -> ``Class.X``;
+        module lock ``NAME`` -> ``relpath:NAME``; function-local lock
+        ``NAME`` -> ``relpath:defining_func:NAME`` (resolved through the
+        lexical chain, so sibling closures sharing an outer lock unify).
+        """
+        relpath = self.ctx.relpath
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            owner, attr = expr.value.id, expr.attr
+            if owner == "self":
+                cls = self._enclosing_class(scope)
+                if cls is not None and attr in cls.locks:
+                    return f"{cls.name}.{attr}"
+                if cls is not None and is_lock_name(attr):
+                    return f"{cls.name}.{attr}"
+                return None
+            if owner in self.classes and attr in self.classes[owner].locks:
+                return f"{owner}.{attr}"
+            return None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            current = scope
+            while current is not None:
+                if name in current.bindings:
+                    return f"{relpath}:{current.qualname}:{name}"
+                current = current.parent
+            if name in self.module_locks:
+                return f"{relpath}:{name}"
+            if is_lock_name(name):
+                return f"{relpath}:{name}"
+        return None
+
+    def _enclosing_class(self, scope: FunctionScope | None) -> ClassModel | None:
+        current = scope
+        while current is not None:
+            if current.class_name is not None:
+                return self.classes.get(current.class_name)
+            current = current.parent
+        return None
+
+    def lock_factory_for_key(self, key: str) -> str:
+        """``"Lock"``/``"RLock"``/``"?"`` for a canonical key from this file."""
+        if ":" in key:
+            name = key.rsplit(":", 1)[1]
+            if key.count(":") == 1 and name in self.module_locks:
+                return self.module_locks[name]
+            for scope in self.scopes.values():
+                if key == f"{self.ctx.relpath}:{scope.qualname}:{name}":
+                    return scope.local_locks.get(name, "?")
+            return "?"
+        cls_name, _, attr = key.partition(".")
+        cls = self.classes.get(cls_name)
+        if cls is not None:
+            return cls.locks.get(attr, "?")
+        return "?"
+
+    def looks_like_lock(self, expr: ast.AST, scope: FunctionScope | None) -> bool:
+        """Syntactic test: is this ``with`` context expression a lock?"""
+        if self.lock_key(expr, scope) is not None:
+            return True
+        terminal = None
+        if isinstance(expr, ast.Attribute):
+            terminal = expr.attr
+        elif isinstance(expr, ast.Name):
+            terminal = expr.id
+        return terminal is not None and is_lock_name(terminal)
+
+    # ------------------------------------------------------------- held locks
+
+    def enclosing_scope(self, node: ast.AST) -> FunctionScope | None:
+        """The function scope ``node``'s code executes in (not one merely
+        containing its definition text — nested defs start a new scope)."""
+        if node in self.scopes:
+            return self.scopes[node]
+        for ancestor in self.ctx.ancestors(node):
+            if ancestor in self.scopes:
+                return self.scopes[ancestor]
+        return None
+
+    def held_locks(
+        self, node: ast.AST, scope: FunctionScope | None
+    ) -> list[str]:
+        """Canonical keys of locks held at ``node``, outermost first —
+        the enclosing ``with`` chain inside the current function, plus any
+        ``requires-lock`` assertion on the function itself."""
+        held: list[str] = []
+        boundary = scope.node if scope is not None else None
+        chain = []
+        for ancestor in self.ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                chain.append(ancestor)
+            if ancestor is boundary:
+                break
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                break  # nested definition boundary: outer withs don't apply
+        for with_node in reversed(chain):
+            for item in with_node.items:
+                key = self.lock_key(item.context_expr, scope)
+                if key is not None:
+                    held.append(key)
+        if scope is not None:
+            held = [*scope.requires, *held]
+        return held
+
+
+def build_lock_model(ctx: FileContext) -> LockModel:
+    """Build (and cache on the context) the file's :class:`LockModel`."""
+    cached = getattr(ctx, "_lock_model", None)
+    if cached is None:
+        cached = LockModel(ctx)
+        ctx._lock_model = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def iter_attr_mutations(
+    fn: ast.AST, owners: tuple[str, ...] = ("self",)
+) -> Iterator[tuple[str, ast.AST, str]]:
+    """Yield ``(attr, node, kind)`` for every mutation of ``<owner>.attr``
+    inside ``fn`` (``owners`` is usually ``("self",)``, or a class name for
+    class-attribute mutations), not descending into nested definitions.
+
+    Kinds: ``"write"`` (assign/augassign/del, including subscript stores
+    like ``self.d[k] = v``) and ``"mutate"`` (an in-place mutator method
+    call such as ``self.items.append(x)``).
+    """
+
+    def owner_attr(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id in owners:
+                return node.attr
+        return None
+
+    def walk(node: ast.AST) -> Iterator[tuple[str, ast.AST, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield from walk(child)
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                base = target
+                while isinstance(base, (ast.Subscript, ast.Starred)):
+                    base = base.value
+                attr = owner_attr(base)
+                if attr is not None:
+                    yield (attr, node, "write")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                base = target
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                attr = owner_attr(base)
+                if attr is not None:
+                    yield (attr, node, "write")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                attr = owner_attr(node.func.value)
+                if attr is not None:
+                    yield (attr, node, "mutate")
+
+    yield from walk(fn)

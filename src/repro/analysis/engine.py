@@ -78,6 +78,29 @@ class LintConfig:
         "full_like",
     )
     dtype_literals: tuple[str, ...] = ("complex64", "complex128")
+    # ---- IDG1xx concurrency-rule knobs ----
+    #: Method calls that may block regardless of argument count (queue put,
+    #: condition/event wait, thread/future join-alikes, file/serialisation
+    #: I/O) — IDG102 scope.
+    blocking_any_arg_methods: tuple[str, ...] = (
+        "put", "wait", "sleep", "recv", "send",
+        "dump", "save", "savez", "savez_compressed",
+    )
+    #: Method calls that only block when called with **no** positional
+    #: arguments (disambiguates ``queue.get()`` from ``dict.get(k, d)`` and
+    #: ``thread.join()`` from ``sep.join(parts)``).
+    blocking_zero_arg_methods: tuple[str, ...] = (
+        "get", "acquire", "result", "join", "read",
+    )
+    #: Plain function calls that perform blocking I/O.
+    blocking_functions: tuple[str, ...] = ("open",)
+    #: Substrings marking a function as a per-work-group hot path (IDG105
+    #: flags threading-primitive construction there even outside loops).
+    hot_path_markers: tuple[str, ...] = ("work_group", "per_item", "_bucket")
+    #: Factories returning the calling thread's scratch arena (IDG104).
+    arena_factories: tuple[str, ...] = ("thread_arena",)
+    #: Arena methods whose result is a view into arena-owned memory.
+    arena_view_methods: tuple[str, ...] = ("take", "zeros")
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -193,6 +216,50 @@ def _active_rules(select: tuple[str, ...] | None = None):
     return tuple(rule for rule in ALL_RULES if rule.CODE in wanted)
 
 
+def _lint_contexts(
+    contexts: list[FileContext],
+    select: tuple[str, ...] | None = None,
+) -> list[Violation]:
+    """Run every active rule over the parsed contexts and filter suppressions.
+
+    Per-file rules (``check(ctx)``) run on each context independently;
+    project rules (``check_project(contexts)``) see every context at once —
+    that is what makes interprocedural analyses like the IDG103 lock-order
+    graph possible inside a per-file engine.
+    """
+    violations: list[Violation] = []
+    rules = _active_rules(select)
+    for rule in rules:
+        checker = getattr(rule, "check", None)
+        if checker is not None:
+            for ctx in contexts:
+                violations.extend(checker(ctx))
+    for rule in rules:
+        project_checker = getattr(rule, "check_project", None)
+        if project_checker is not None:
+            violations.extend(project_checker(contexts))
+    suppressions = {
+        ctx.relpath: suppressed_codes(ctx.lines) for ctx in contexts
+    }
+    kept = []
+    for violation in violations:
+        codes = suppressions.get(violation.path, {}).get(violation.line, ())
+        if violation.code in codes or "ALL" in codes:
+            continue
+        kept.append(violation)
+    return sorted(kept)
+
+
+def _parse_error(relpath: str, exc: SyntaxError) -> Violation:
+    return Violation(
+        relpath.replace("\\", "/"),
+        exc.lineno or 1,
+        (exc.offset or 0) + 1 if exc.offset is not None else 1,
+        PARSE_ERROR_CODE,
+        f"syntax error: {exc.msg}",
+    )
+
+
 def lint_source(
     source: str,
     relpath: str,
@@ -203,26 +270,8 @@ def lint_source(
     try:
         ctx = FileContext(relpath, source, config)
     except SyntaxError as exc:
-        return [
-            Violation(
-                relpath.replace("\\", "/"),
-                exc.lineno or 1,
-                (exc.offset or 0) + 1 if exc.offset is not None else 1,
-                PARSE_ERROR_CODE,
-                f"syntax error: {exc.msg}",
-            )
-        ]
-    violations: list[Violation] = []
-    for rule in _active_rules(select):
-        violations.extend(rule.check(ctx))
-    suppressions = suppressed_codes(ctx.lines)
-    kept = []
-    for violation in violations:
-        codes = suppressions.get(violation.line, ())
-        if violation.code in codes or "ALL" in codes:
-            continue
-        kept.append(violation)
-    return sorted(kept)
+        return [_parse_error(relpath, exc)]
+    return _lint_contexts([ctx], select)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -261,9 +310,13 @@ def lint_paths(
     (default: the current working directory) so baselines are portable."""
     root_path = Path(root) if root is not None else Path.cwd()
     violations: list[Violation] = []
+    contexts: list[FileContext] = []
     for path in iter_python_files(paths):
         source = path.read_text(encoding="utf-8")
-        violations.extend(
-            lint_source(source, _relpath(path, root_path), config, select)
-        )
+        relpath = _relpath(path, root_path)
+        try:
+            contexts.append(FileContext(relpath, source, config))
+        except SyntaxError as exc:
+            violations.append(_parse_error(relpath, exc))
+    violations.extend(_lint_contexts(contexts, select))
     return sorted(violations)

@@ -3,6 +3,11 @@
 Each rule is one module exposing ``CODE`` (its error code), ``SUMMARY`` (a
 one-line description) and ``check(ctx)`` yielding
 :class:`repro.analysis.engine.Violation` objects for one parsed file.
+Project-wide rules (the IDG103 lock-order graph) expose
+``check_project(contexts)`` instead and see every parsed file at once.
+
+The IDG0xx series covers numeric/dtype/shape invariants; the IDG1xx series
+("idgsan") covers concurrency correctness in the streaming runtime.
 """
 
 from __future__ import annotations
@@ -16,6 +21,11 @@ from repro.analysis.rules import (
     idg004_mutable_state,
     idg005_return_annotations,
     idg006_doc_shapes,
+    idg101_guarded_attrs,
+    idg102_blocking_under_lock,
+    idg103_lock_order,
+    idg104_arena_escape,
+    idg105_primitive_in_hot_path,
 )
 
 ALL_RULES = (
@@ -25,6 +35,11 @@ ALL_RULES = (
     idg004_mutable_state,
     idg005_return_annotations,
     idg006_doc_shapes,
+    idg101_guarded_attrs,
+    idg102_blocking_under_lock,
+    idg103_lock_order,
+    idg104_arena_escape,
+    idg105_primitive_in_hot_path,
 )
 
 RULES_BY_CODE: Final = {rule.CODE: rule for rule in ALL_RULES}

@@ -1,0 +1,215 @@
+"""IDG101 — guarded shared state written without holding its owning lock.
+
+The streaming runtime's objects (channels, gates, telemetry, the stage
+graph) share mutable attributes between worker threads and protect them with
+per-object locks.  This rule enforces the attribute-to-lock ownership map:
+
+* an attribute is *guarded* when an explicit
+  ``# idglint: guarded-by(<lock>)`` annotation says so, or when any method
+  mutates it inside ``with self.<lock>:`` (inference — an attribute that is
+  sometimes locked must always be locked);
+* every write or in-place mutation of a guarded attribute outside
+  ``__init__``/``__post_init__`` must hold the owning lock — either via an
+  enclosing ``with``, or because the function is annotated
+  ``# idglint: requires-lock(<lock>)`` (its callers hold it);
+* every resolvable call to a ``requires-lock`` function must itself hold
+  the asserted lock, which is what keeps the annotation honest.
+
+Module-level globals annotated ``guarded-by`` against a module-level lock
+are held to the same standard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.concurrency import (
+    GUARDED_BY_RE,
+    MUTATOR_METHODS,
+    FunctionScope,
+    LockModel,
+    build_lock_model,
+    iter_attr_mutations,
+    line_annotation,
+)
+from repro.analysis.engine import FileContext, Violation
+
+CODE = "IDG101"
+SUMMARY = "guarded shared attribute written without holding its owning lock"
+
+_CONSTRUCTORS = ("__init__", "__post_init__", "__new__", "__del__")
+
+
+def _check_class_guards(ctx: FileContext, model: LockModel) -> Iterator[Violation]:
+    for cls in model.classes.values():
+        if not cls.guards:
+            continue
+        for scope in model.scopes.values():
+            fn = scope.node
+            enclosing = model._enclosing_class(scope)
+            in_class = enclosing is not None and enclosing.name == cls.name
+            direct_method = fn in cls.methods.values()
+            if direct_method and fn.name in _CONSTRUCTORS:
+                continue
+            owners = ("self", cls.name) if in_class else (cls.name,)
+            for attr, node, kind in iter_attr_mutations(fn, owners):
+                lock_attr = cls.guards.get(attr)
+                if lock_attr is None:
+                    continue
+                owner_key = f"{cls.name}.{lock_attr}"
+                if owner_key in model.held_locks(node, scope):
+                    continue
+                origin = "annotated" if attr in cls.annotated else "inferred"
+                verb = "written" if kind == "write" else "mutated in place"
+                yield ctx.violation(
+                    node,
+                    CODE,
+                    f"attribute {cls.name}.{attr} is guarded by "
+                    f"self.{lock_attr} ({origin}) but {verb} without "
+                    f"holding it; wrap in `with self.{lock_attr}:` or annotate "
+                    "the function `# idglint: requires-lock"
+                    f"({lock_attr})`",
+                )
+
+
+def _module_guards(ctx: FileContext, model: LockModel) -> dict[str, str]:
+    """Module-global name -> module-level lock name (annotation only)."""
+    guards: dict[str, str] = {}
+    for node in ctx.tree.body:
+        lock = line_annotation(ctx, node.lineno, GUARDED_BY_RE)
+        if lock is None or lock not in model.module_locks:
+            continue
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                guards[target.id] = lock
+    return guards
+
+
+def _check_module_guards(ctx: FileContext, model: LockModel) -> Iterator[Violation]:
+    guards = _module_guards(ctx, model)
+    if not guards:
+        return
+    for scope in model.scopes.values():
+        declared_global = {
+            name
+            for node in ast.walk(scope.node)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+
+        def flag(name: str, node: ast.AST, verb: str) -> Violation:
+            lock = guards[name]
+            return ctx.violation(
+                node,
+                CODE,
+                f"module global {name} is guarded by {lock} (annotated) but "
+                f"{verb} without holding it",
+            )
+
+        for node in ast.walk(scope.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in guards
+                        and (
+                            base.id in declared_global
+                            or isinstance(target, ast.Subscript)
+                        )
+                        and base.id not in scope.bindings
+                    ):
+                        held = model.held_locks(node, scope)
+                        if f"{ctx.relpath}:{guards[base.id]}" not in held:
+                            yield flag(base.id, node, "written")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in guards
+                and node.func.value.id not in scope.bindings
+            ):
+                if node.func.attr in MUTATOR_METHODS:
+                    held = model.held_locks(node, scope)
+                    if f"{ctx.relpath}:{guards[node.func.value.id]}" not in held:
+                        yield flag(node.func.value.id, node, "mutated in place")
+
+
+def _check_requires_callsites(
+    ctx: FileContext, model: LockModel
+) -> Iterator[Violation]:
+    """Calls to ``requires-lock`` functions must hold the asserted lock."""
+    required = {
+        qualname: scope
+        for qualname, scope in model.by_qualname.items()
+        if scope.requires
+    }
+    if not required:
+        return
+    for scope in model.scopes.values():
+        for node in ast.walk(scope.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _resolve_callee(model, node, scope)
+            if callee is None or not callee.requires:
+                continue
+            if callee.node is scope.node:
+                continue  # recursion: entry already checked at outer call
+            held = model.held_locks(node, scope)
+            for key in callee.requires:
+                if key not in held:
+                    lock = key.rsplit(".", 1)[-1].rsplit(":", 1)[-1]
+                    yield ctx.violation(
+                        node,
+                        CODE,
+                        f"call to {callee.qualname}() requires lock "
+                        f"{lock} (requires-lock annotation) but the call "
+                        "site does not hold it",
+                    )
+
+
+def _resolve_callee(
+    model: LockModel, call: ast.Call, scope: FunctionScope
+) -> FunctionScope | None:
+    """Same-file call resolution: ``self.m()``, ``Class.m()``, ``f()``."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        owner = func.value.id
+        if owner == "self":
+            cls = model._enclosing_class(scope)
+            if cls is not None:
+                return model.by_qualname.get(f"{cls.name}.{func.attr}")
+            return None
+        if owner in model.classes:
+            return model.by_qualname.get(f"{owner}.{func.attr}")
+        return None
+    if isinstance(func, ast.Name):
+        # innermost visible definition: walk the lexical chain outward
+        current: FunctionScope | None = scope
+        while current is not None:
+            candidate = model.by_qualname.get(
+                f"{current.qualname}.<locals>.{func.id}"
+            )
+            if candidate is not None:
+                return candidate
+            current = current.parent
+        return model.by_qualname.get(func.id)
+    return None
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    model = build_lock_model(ctx)
+    yield from _check_class_guards(ctx, model)
+    yield from _check_module_guards(ctx, model)
+    yield from _check_requires_callsites(ctx, model)

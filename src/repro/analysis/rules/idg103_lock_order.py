@@ -1,0 +1,267 @@
+"""IDG103 — inconsistent lock-acquisition order (deadlock by inversion).
+
+Two threads that take the same pair of locks in opposite orders can deadlock
+— each holding the lock the other needs.  This rule builds a *lock-order
+graph* over the whole linted file set: an edge ``A -> B`` means some code
+path acquires lock ``B`` while already holding ``A``, either directly
+(nested ``with`` statements, or a ``with`` inside a
+``# idglint: requires-lock(A)`` function) or *interprocedurally* — a call
+made under ``A`` to a function that (transitively, through same-file call
+resolution) may acquire ``B``.  A cycle in that graph is an ordering
+inversion; each one is reported once, anchored at its first acquisition
+site, naming the full cycle.
+
+Locks are identified by canonical keys (``Class.attr``, ``file:name``) so
+methods in different files contribute to one graph.  Self-cycles are only
+reported for locks known to be non-reentrant (``threading.Lock``);
+``RLock``/``Condition`` (whose default inner lock is an RLock) re-acquire
+legally.
+
+This is a *project* rule: it implements ``check_project`` and sees every
+parsed file at once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.concurrency import FunctionScope, LockModel, build_lock_model
+from repro.analysis.engine import FileContext, Violation
+
+CODE = "IDG103"
+SUMMARY = "inconsistent lock-acquisition order across functions (cycle)"
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One held->acquired observation, with its source anchor."""
+
+    held: str
+    acquired: str
+    ctx: FileContext
+    node: ast.AST
+    via: str  # "" for a direct nested acquisition, else the callee qualname
+
+
+def _callee_qualname(
+    model: LockModel, call: ast.Call, scope: FunctionScope | None
+) -> str | None:
+    """Same-file resolution of a call to a function qualname, or None."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        owner = func.value.id
+        if owner == "self":
+            cls = model._enclosing_class(scope)
+            if cls is not None and func.attr in cls.methods:
+                return f"{cls.name}.{func.attr}"
+            return None
+        if owner in model.classes and func.attr in model.classes[owner].methods:
+            return f"{owner}.{func.attr}"
+        return None
+    if isinstance(func, ast.Name):
+        current = scope
+        while current is not None:
+            qualname = f"{current.qualname}.<locals>.{func.id}"
+            if qualname in model.by_qualname:
+                return qualname
+            current = current.parent
+        if func.id in model.by_qualname:
+            return func.id
+    return None
+
+
+def _function_facts(
+    model: LockModel, scope: FunctionScope
+) -> tuple[set[str], list[tuple[str, ast.Call]], list[_Edge]]:
+    """(direct lock keys, calls-under-lock, direct nested edges) of one
+    function body (nested defs excluded — they are separate functions)."""
+    ctx = model.ctx
+    direct: set[str] = set()
+    calls_under: list[tuple[str, ast.Call]] = []
+    edges: list[_Edge] = []
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            new_held = held
+            for item in node.items:
+                key = model.lock_key(item.context_expr, scope)
+                if key is None:
+                    continue
+                direct.add(key)
+                for h in new_held:
+                    edges.append(_Edge(h, key, ctx, node, ""))
+                new_held = (*new_held, key)
+            for child in node.body:
+                visit(child, new_held)
+            return
+        if isinstance(node, ast.Call):
+            qualname = _callee_qualname(model, node, scope)
+            if qualname is not None:
+                for h in held:
+                    calls_under.append((h, node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in scope.node.body:
+        visit(stmt, scope.requires)
+    return direct, calls_under, edges
+
+
+def check_project(contexts: list[FileContext]) -> Iterator[Violation]:
+    models = [build_lock_model(ctx) for ctx in contexts]
+
+    # ---- per-function summaries --------------------------------------------
+    # global function id: (relpath, qualname) — call resolution is same-file
+    facts: dict[tuple[str, str], tuple[set[str], list[tuple[str, ast.Call]]]] = {}
+    edges: list[_Edge] = []
+    scope_index: dict[tuple[str, str], tuple[LockModel, FunctionScope]] = {}
+    for model in models:
+        for qualname, scope in model.by_qualname.items():
+            fid = (model.ctx.relpath, qualname)
+            direct, calls_under, direct_edges = _function_facts(model, scope)
+            facts[fid] = (direct, calls_under)
+            edges.extend(direct_edges)
+            scope_index[fid] = (model, scope)
+
+    # ---- transitive may-acquire sets (fixpoint over same-file calls) -------
+    may_acquire: dict[tuple[str, str], set[str]] = {
+        fid: set(direct) for fid, (direct, _) in facts.items()
+    }
+    callees: dict[tuple[str, str], set[tuple[str, str]]] = {}
+    for fid, (model, scope) in scope_index.items():
+        out: set[tuple[str, str]] = set()
+        for node in ast.walk(scope.node):
+            if isinstance(node, ast.Call):
+                qualname = _callee_qualname(model, node, scope)
+                if qualname is not None:
+                    out.add((model.ctx.relpath, qualname))
+        callees[fid] = out
+    changed = True
+    while changed:
+        changed = False
+        for fid, callee_set in callees.items():
+            acquired = may_acquire[fid]
+            before = len(acquired)
+            for callee in callee_set:
+                acquired |= may_acquire.get(callee, set())
+            if len(acquired) != before:
+                changed = True
+
+    # ---- interprocedural edges: call under lock -> callee's acquisitions --
+    for fid, (model, scope) in scope_index.items():
+        _, calls_under = facts[fid]
+        for held, call in calls_under:
+            qualname = _callee_qualname(model, call, scope)
+            if qualname is None:
+                continue
+            callee_fid = (model.ctx.relpath, qualname)
+            for key in may_acquire.get(callee_fid, set()):
+                edges.append(_Edge(held, key, model.ctx, call, qualname))
+
+    # ---- reentrancy: drop self-edges unless the lock is a plain Lock ------
+    factories: dict[str, str] = {}
+    for model in models:
+        for edge in edges:
+            for key in (edge.held, edge.acquired):
+                if key not in factories:
+                    factory = model.lock_factory_for_key(key)
+                    if factory != "?":
+                        factories[key] = factory
+    edges = [
+        e for e in edges
+        if e.held != e.acquired or factories.get(e.held) == "Lock"
+    ]
+    if not edges:
+        return
+
+    # ---- cycle detection (SCCs of the aggregated digraph) ------------------
+    graph: dict[str, set[str]] = {}
+    for edge in edges:
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+        graph.setdefault(edge.acquired, set())
+    for component in _sccs(graph):
+        in_cycle = set(component)
+        cyclic_edges = [
+            e for e in edges if e.held in in_cycle and e.acquired in in_cycle
+        ]
+        if len(component) == 1 and not any(
+            e.held == e.acquired for e in cyclic_edges
+        ):
+            continue
+        if not cyclic_edges:
+            continue
+        anchor = min(
+            cyclic_edges, key=lambda e: (e.ctx.relpath, e.node.lineno)
+        )
+        ordering = " -> ".join(sorted(in_cycle))
+        sites = sorted(
+            {
+                f"{e.ctx.relpath}:{e.node.lineno}"
+                + (f" (via {e.via}())" if e.via else "")
+                for e in cyclic_edges
+            }
+        )
+        yield anchor.ctx.violation(
+            anchor.node,
+            CODE,
+            f"lock-order cycle {ordering} -> {sorted(in_cycle)[0]}: "
+            "these locks are acquired in conflicting orders "
+            f"(acquisition sites: {', '.join(sites)}); pick one global "
+            "order and restructure the nested acquisition",
+        )
+
+
+def _sccs(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's strongly-connected components, iterative (no recursion
+    limit), in deterministic node order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(graph[root])))
+        ]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(sorted(component))
+    return result

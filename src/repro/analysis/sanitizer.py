@@ -1,0 +1,735 @@
+"""idgsan — opt-in lockset race detection and deadlock watchdog.
+
+The static IDG1xx rules (:mod:`repro.analysis.rules`) catch lock-discipline
+violations visible in the source; this module catches the ones that only
+exist at runtime — a stage callable mutating shared state it received through
+a channel, an arena view crossing threads through a closure, an AB/BA
+inversion between locks the AST cannot connect.  It is the dynamic half of
+the same contract, and like :mod:`repro.analysis.contracts` it is a **true
+no-op unless enabled**: importing this module patches nothing; only
+:func:`install` (or ``IDG_SANITIZE=1`` + :func:`maybe_install_from_env`)
+monkeypatches the runtime classes, and :func:`uninstall` restores them
+byte-for-byte.
+
+What it does while installed:
+
+* **Lockset race detection** (Eraser-style, write-write).  Attribute writes
+  on tracked classes (:class:`~repro.runtime.queues.Channel`,
+  :class:`~repro.runtime.queues.CreditGate`,
+  :class:`~repro.runtime.telemetry.Telemetry`,
+  :class:`~repro.runtime.graph.StageGraph`, plus anything registered with
+  :meth:`Sanitizer.track_class`) are intercepted via ``__setattr__``.  Each
+  field starts *exclusive* to its constructing thread; the first write from
+  a second thread makes it *shared* and seeds its candidate lockset with the
+  locks held at that write; every later write intersects.  An empty
+  intersection means no single lock protects the field — a data race is
+  reported (once per field) with the writing thread and stage.
+
+* **Arena ownership**.  :class:`~repro.core.scratch.ScratchArena` views are
+  single-thread by contract; ``take``/``zeros`` record the first toucher as
+  the owner (``trim``/``release`` invalidate all views and reset ownership)
+  and any other thread allocating from the same arena is reported.
+
+* **Deadlock watchdog**.  A daemon thread snapshots the wait-for graph —
+  which thread waits on which tracked lock, who owns it, who is parked in
+  ``Channel.put``/``get`` (via the :meth:`Channel.waiters` introspection
+  API) — and on a lock cycle, or on a global stall (every channel quiet and
+  some thread blocked longer than ``stall_timeout``), records a report with
+  per-thread stack traces and *aborts* the run: tracked locks and condition
+  waits poll in short slices and raise ``PipelineAborted`` once the abort
+  flag is set, so CI fails with a diagnosis instead of hanging.
+
+Typical use::
+
+    from repro.analysis.sanitizer import sanitized
+
+    with sanitized() as san:
+        graph.run()
+    san.raise_if_reports()
+
+or, for a whole test session, ``IDG_SANITIZE=1 pytest`` (the suite's
+``conftest.py`` installs the sanitizer and fails any test that produced a
+report).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import traceback
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "TrackedCondition",
+    "TrackedLock",
+    "current",
+    "enable_sanitizer",
+    "install",
+    "maybe_install_from_env",
+    "sanitized",
+    "sanitizer_enabled",
+    "uninstall",
+]
+
+_ENV_VAR = "IDG_SANITIZE"
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Programmatic override; ``None`` defers to the environment variable.
+_forced: bool | None = None
+
+#: The installed sanitizer (None while uninstalled).
+CURRENT: "Sanitizer | None" = None
+
+#: Poll slice for abortable lock acquisition / condition waits (seconds).
+_WAIT_SLICE = 0.05
+
+_tls = threading.local()
+
+
+def enable_sanitizer(enabled: bool = True) -> None:
+    """Force the ``IDG_SANITIZE`` gate on (or off) programmatically."""
+    global _forced
+    _forced = enabled
+
+
+def sanitizer_enabled() -> bool:
+    if _forced is not None:
+        return _forced
+    return os.environ.get(_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def current() -> "Sanitizer | None":
+    """The installed sanitizer, or None."""
+    return CURRENT
+
+
+class SanitizerError(RuntimeError):
+    """Raised by :meth:`Sanitizer.raise_if_reports` when violations exist."""
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """One detected violation."""
+
+    kind: str  # "race" | "deadlock" | "arena"
+    message: str
+    thread: str
+    stage: str | None = None
+    details: str = ""
+
+    def format_text(self) -> str:
+        where = f" [stage {self.stage}]" if self.stage else ""
+        text = f"idgsan {self.kind}: {self.message} (thread {self.thread}{where})"
+        if self.details:
+            text += "\n" + self.details
+        return text
+
+
+@dataclass
+class _FieldState:
+    """Eraser state of one tracked attribute."""
+
+    owner: int  # ident of the thread in the exclusive phase
+    shared: bool = False
+    lockset: frozenset[int] = frozenset()
+    reported: bool = False
+
+
+def _held_locks() -> list[Any]:
+    locks = getattr(_tls, "locks", None)
+    if locks is None:
+        locks = []
+        _tls.locks = locks
+    return locks
+
+
+def _stage_label() -> str | None:
+    return getattr(_tls, "stage", None)
+
+
+class Sanitizer:
+    """Collected state of one sanitizer session (reports, wait-for graph).
+
+    Parameters
+    ----------
+    stall_timeout:
+        Seconds a thread may stay blocked on a channel/gate with zero global
+        progress before the watchdog declares the run wedged.  Keep it well
+        above the longest single stage-body computation.
+    watchdog_interval:
+        Seconds between watchdog sweeps.
+    """
+
+    def __init__(
+        self, stall_timeout: float = 30.0, watchdog_interval: float = 0.25
+    ) -> None:
+        self.stall_timeout = stall_timeout
+        self.watchdog_interval = watchdog_interval
+        self.reports: list[SanitizerReport] = []
+        self._reports_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._abort = threading.Event()
+        #: thread ident -> tracked lock it is currently blocked acquiring.
+        self._lock_waiting: dict[int, Any] = {}
+        self._channels: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self._gates: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self._tracked_classes: list[type] = []
+        self._last_ops = -1
+        self._last_progress = 0.0
+        self._deadlock_reported = False
+
+    # -------------------------------------------------------------- reports
+
+    def report(
+        self, kind: str, message: str, details: str = ""
+    ) -> None:
+        entry = SanitizerReport(
+            kind=kind,
+            message=message,
+            thread=threading.current_thread().name,
+            stage=_stage_label(),
+            details=details,
+        )
+        with self._reports_lock:
+            self.reports.append(entry)
+
+    def raise_if_reports(self) -> None:
+        """Raise :class:`SanitizerError` listing every report, if any."""
+        with self._reports_lock:
+            if not self.reports:
+                return
+            text = "\n".join(r.format_text() for r in self.reports)
+            count = len(self.reports)
+        raise SanitizerError(f"{count} sanitizer report(s):\n{text}")
+
+    def clear(self) -> None:
+        with self._reports_lock:
+            self.reports.clear()
+
+    # ------------------------------------------------------------- locksets
+
+    def _push(self, lock: Any) -> None:
+        _held_locks().append(lock)
+
+    def _pop(self, lock: Any) -> None:
+        held = _held_locks()
+        if lock in held:
+            held.remove(lock)
+
+    def check_abort(self) -> None:
+        """Raise ``PipelineAborted`` when the watchdog aborted the run."""
+        if self._abort.is_set():
+            from repro.runtime.queues import PipelineAborted
+
+            raise PipelineAborted(
+                "idgsan: deadlock watchdog aborted the run (see reports)"
+            )
+
+    def record_write(self, obj: Any, attr: str) -> None:
+        """Eraser write-write lockset check for ``obj.attr``."""
+        if attr.startswith("_idgsan"):
+            return
+        ident = threading.get_ident()
+        held = frozenset(id(lock) for lock in _held_locks())
+        with self._state_lock:
+            fields = obj.__dict__.get("_idgsan_fields")
+            if fields is None:
+                fields = {}
+                object.__setattr__(obj, "_idgsan_fields", fields)
+            state = fields.get(attr)
+            if state is None:
+                fields[attr] = _FieldState(owner=ident)
+                return
+            if not state.shared:
+                if state.owner == ident:
+                    return  # still exclusive to the constructing thread
+                # first write from a second thread: the candidate lockset is
+                # what *it* holds (the exclusive phase is initialisation and
+                # carries no constraint — classic Eraser)
+                state.shared = True
+                state.lockset = held
+            else:
+                state.lockset &= held
+            if not state.lockset and not state.reported:
+                state.reported = True
+                self.report(
+                    "race",
+                    f"unsynchronised write to {type(obj).__name__}.{attr}: "
+                    "no common lock protects this field across its writer "
+                    "threads",
+                )
+
+    # --------------------------------------------------------------- arenas
+
+    def note_arena_alloc(self, arena: Any) -> None:
+        ident = threading.get_ident()
+        owner = getattr(arena, "_idgsan_owner", None)
+        if owner is None:
+            object.__setattr__(arena, "_idgsan_owner", ident)
+        elif owner != ident:
+            self.report(
+                "arena",
+                "ScratchArena used from two threads: arenas are "
+                "single-thread by contract (obtain one via thread_arena(), "
+                "or release() before handing it off)",
+            )
+
+    def note_arena_reset(self, arena: Any) -> None:
+        object.__setattr__(arena, "_idgsan_owner", None)
+
+    # ------------------------------------------------------------- watchdog
+
+    def _thread_names(self) -> dict[int, str]:
+        return {t.ident: t.name for t in threading.enumerate() if t.ident}
+
+    def _format_stacks(self, idents: set[int]) -> str:
+        names = self._thread_names()
+        frames = sys._current_frames()
+        parts = []
+        for ident in sorted(idents):
+            frame = frames.get(ident)
+            if frame is None:
+                continue
+            stack = "".join(traceback.format_stack(frame))
+            parts.append(f"--- thread {names.get(ident, ident)} ---\n{stack}")
+        return "".join(parts)
+
+    def _force_abort(self) -> None:
+        self._abort.set()
+        for channel in list(self._channels):
+            channel.abort()
+        for gate in list(self._gates):
+            gate.abort()
+
+    def _find_lock_cycle(self) -> list[tuple[int, Any, int]] | None:
+        """A cycle in the thread->lock->owner wait-for graph, if any."""
+        edges: dict[int, tuple[Any, int]] = {}
+        for ident, lock in list(self._lock_waiting.items()):
+            owner = getattr(lock, "owner", None)
+            if owner is not None and owner != ident:
+                edges[ident] = (lock, owner)
+        for start in edges:
+            chain: list[tuple[int, Any, int]] = []
+            position: dict[int, int] = {}
+            node = start
+            while node in edges and node not in position:
+                position[node] = len(chain)
+                lock, nxt = edges[node]
+                chain.append((node, lock, nxt))
+                node = nxt
+            if node in position:
+                return chain[position[node]:]
+        return None
+
+    def _watchdog_sweep(self, now: float) -> None:
+        if self._deadlock_reported:
+            return
+        cycle = self._find_lock_cycle()
+        if cycle is not None:
+            names = self._thread_names()
+            desc = " -> ".join(
+                f"{names.get(ident, ident)} waits {lock.label} "
+                f"(held by {names.get(owner, owner)})"
+                for ident, lock, owner in cycle
+            )
+            self._deadlock_reported = True
+            self.report(
+                "deadlock",
+                f"lock-order deadlock: {desc}",
+                details=self._format_stacks({i for i, _, _ in cycle}),
+            )
+            self._force_abort()
+            return
+        # global stall: no channel/gate op completed for stall_timeout while
+        # at least one thread is blocked that long on a channel or gate
+        ops = 0
+        blocked: list[tuple[str, Any]] = []
+        for channel in list(self._channels):
+            ops += channel._n_put + channel._n_get
+            snapshot = channel.waiters()
+            for info in snapshot.put:
+                blocked.append((f"put({channel.name})", info))
+            for info in snapshot.get:
+                blocked.append((f"get({channel.name})", info))
+        for gate in list(self._gates):
+            ops += gate.credits - gate._available
+            for info in gate.waiters():
+                blocked.append((f"acquire({gate.name})", info))
+        if ops != self._last_ops:
+            self._last_ops = ops
+            self._last_progress = now
+            return
+        stalled = [
+            (op, info)
+            for op, info in blocked
+            if now - info.since > self.stall_timeout
+        ]
+        if stalled and now - self._last_progress > self.stall_timeout:
+            desc = "; ".join(
+                f"{info.name} blocked {now - info.since:.1f}s in {op}"
+                for op, info in stalled
+            )
+            self._deadlock_reported = True
+            self.report(
+                "deadlock",
+                f"pipeline stalled with zero progress: {desc}",
+                details=self._format_stacks({info.ident for _, info in stalled}),
+            )
+            self._force_abort()
+
+
+class _Watchdog(threading.Thread):
+    def __init__(self, sanitizer: Sanitizer) -> None:
+        super().__init__(name="idgsan-watchdog", daemon=True)
+        self._sanitizer = sanitizer
+        self._halt = threading.Event()  # Thread reserves the name _stop
+
+    def run(self) -> None:
+        from repro.runtime.telemetry import monotonic
+
+        while not self._halt.wait(self._sanitizer.watchdog_interval):
+            self._sanitizer._watchdog_sweep(monotonic())
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------- primitives
+
+
+class TrackedLock:
+    """A ``threading.Lock`` wrapper that maintains the per-thread lockset,
+    exposes its owner to the watchdog, and aborts instead of hanging."""
+
+    def __init__(self, sanitizer: Sanitizer, label: str) -> None:
+        self._lock = threading.Lock()
+        self._sanitizer = sanitizer
+        self.label = label
+        self.owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sanitizer = self._sanitizer
+        ident = threading.get_ident()
+        if not blocking or timeout != -1:
+            acquired = self._lock.acquire(blocking, timeout)
+        else:
+            sanitizer._lock_waiting[ident] = self
+            try:
+                while not self._lock.acquire(timeout=_WAIT_SLICE):
+                    sanitizer.check_abort()
+            finally:
+                sanitizer._lock_waiting.pop(ident, None)
+            acquired = True
+        if acquired:
+            self.owner = ident
+            sanitizer._push(self)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer._pop(self)
+        self.owner = None
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class TrackedCondition:
+    """A ``threading.Condition`` wrapper with the same tracking contract as
+    :class:`TrackedLock` (lockset maintenance through ``wait``'s release/
+    re-acquire included)."""
+
+    def __init__(self, sanitizer: Sanitizer, label: str) -> None:
+        self._cond = threading.Condition()
+        self._sanitizer = sanitizer
+        self.label = label
+        self.owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sanitizer = self._sanitizer
+        ident = threading.get_ident()
+        if not blocking or timeout != -1:
+            acquired = self._cond.acquire(blocking, timeout)
+        else:
+            sanitizer._lock_waiting[ident] = self
+            try:
+                while not self._cond.acquire(timeout=_WAIT_SLICE):
+                    sanitizer.check_abort()
+            finally:
+                sanitizer._lock_waiting.pop(ident, None)
+            acquired = True
+        if acquired:
+            self.owner = ident
+            sanitizer._push(self)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer._pop(self)
+        self.owner = None
+        self._cond.release()
+
+    def __enter__(self) -> "TrackedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        sanitizer = self._sanitizer
+        sanitizer._pop(self)
+        self.owner = None
+        try:
+            if timeout is not None:
+                return self._cond.wait(timeout)
+            # One bounded slice, then return as a spurious wakeup.  Callers
+            # re-check their predicate in a while loop (the Condition
+            # contract), so this stays correct — whereas looping here until
+            # a notify is *observed* would lose any notify_all that lands
+            # between two slices (notify only wakes threads parked in wait),
+            # deadlocking an otherwise-healthy pipeline.
+            notified = self._cond.wait(_WAIT_SLICE)
+            sanitizer.check_abort()
+            return notified
+        finally:
+            self.owner = threading.get_ident()
+            sanitizer._push(self)
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+
+# ------------------------------------------------------------- installation
+
+#: (cls, attr) -> original callable, for uninstall.  Necessarily mutable
+#: module state: it is the undo log of the monkeypatches.
+_patched: dict[tuple[type, str], Any] = {}  # idglint: disable=IDG004
+_watchdog: _Watchdog | None = None
+
+
+def _patch(cls: type, attr: str, wrapper: Any) -> None:
+    key = (cls, attr)
+    if key not in _patched:
+        _patched[key] = cls.__dict__.get(attr)
+        setattr(cls, attr, wrapper)
+
+
+def _tracking_setattr(cls: type) -> Callable[[Any, str, Any], None]:
+    original = cls.__setattr__
+
+    def __setattr__(self: Any, name: str, value: Any) -> None:
+        sanitizer = CURRENT
+        if sanitizer is not None:
+            sanitizer.record_write(self, name)
+        original(self, name, value)
+
+    return __setattr__
+
+
+def _wrap_stage_fn(name: str, fn: Callable[[int, Any], Any]) -> Callable[[int, Any], Any]:
+    def wrapped(seq: int, payload: Any) -> Any:
+        previous = getattr(_tls, "stage", None)
+        _tls.stage = name
+        try:
+            return fn(seq, payload)
+        finally:
+            _tls.stage = previous
+
+    wrapped.__name__ = getattr(fn, "__name__", "stage")
+    return wrapped
+
+
+def _wrap_source(name: str, items: Any) -> Iterator[Any]:
+    iterator = iter(items)
+    while True:
+        previous = getattr(_tls, "stage", None)
+        _tls.stage = name
+        try:
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+        finally:
+            _tls.stage = previous
+        yield item
+
+
+def install(sanitizer: Sanitizer | None = None) -> Sanitizer:
+    """Patch the runtime classes and start the watchdog.
+
+    Idempotent on the patches; the active :class:`Sanitizer` is replaced by
+    ``sanitizer`` (or a fresh one).  Objects constructed while installed are
+    tracked; pre-existing objects are not.
+    """
+    global CURRENT, _watchdog
+    from repro.core.scratch import ScratchArena
+    from repro.runtime.graph import StageGraph
+    from repro.runtime.queues import Channel, CreditGate
+    from repro.runtime.telemetry import Telemetry
+
+    sanitizer = sanitizer if sanitizer is not None else Sanitizer()
+    CURRENT = sanitizer
+
+    channel_init = Channel.__init__
+
+    def patched_channel_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        channel_init(self, *args, **kwargs)
+        active = CURRENT
+        if active is not None:
+            self._cond = TrackedCondition(active, f"Channel({self.name})._cond")
+            active._channels.add(self)
+
+    gate_init = CreditGate.__init__
+
+    def patched_gate_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        gate_init(self, *args, **kwargs)
+        active = CURRENT
+        if active is not None:
+            self._cond = TrackedCondition(active, f"CreditGate({self.name})._cond")
+            active._gates.add(self)
+
+    telemetry_init = Telemetry.__init__
+
+    def patched_telemetry_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        telemetry_init(self, *args, **kwargs)
+        active = CURRENT
+        if active is not None:
+            self._lock = TrackedLock(active, "Telemetry._lock")
+
+    graph_init = StageGraph.__init__
+
+    def patched_graph_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        graph_init(self, *args, **kwargs)
+        active = CURRENT
+        if active is not None:
+            self._error_lock = TrackedLock(
+                active, f"StageGraph({self.name})._error_lock"
+            )
+
+    add_stage = StageGraph.add_stage
+
+    def patched_add_stage(
+        self: Any, name: str, fn: Callable[[int, Any], Any], workers: int = 1
+    ) -> None:
+        add_stage(self, name, _wrap_stage_fn(name, fn), workers=workers)
+
+    add_source = StageGraph.add_source
+
+    def patched_add_source(self: Any, name: str, items: Any) -> None:
+        add_source(self, name, _wrap_source(name, items))
+
+    arena_take = ScratchArena.take
+
+    def patched_take(self: Any, *args: Any, **kwargs: Any) -> Any:
+        active = CURRENT
+        if active is not None:
+            active.note_arena_alloc(self)
+        return arena_take(self, *args, **kwargs)
+
+    arena_trim = ScratchArena.trim
+
+    def patched_trim(self: Any) -> int:
+        active = CURRENT
+        if active is not None:
+            active.note_arena_reset(self)
+        return arena_trim(self)
+
+    arena_release = ScratchArena.release
+
+    def patched_release(self: Any) -> int:
+        active = CURRENT
+        if active is not None:
+            active.note_arena_reset(self)
+        return arena_release(self)
+
+    _patch(Channel, "__init__", patched_channel_init)
+    _patch(CreditGate, "__init__", patched_gate_init)
+    _patch(Telemetry, "__init__", patched_telemetry_init)
+    _patch(StageGraph, "__init__", patched_graph_init)
+    _patch(StageGraph, "add_stage", patched_add_stage)
+    _patch(StageGraph, "add_source", patched_add_source)
+    _patch(ScratchArena, "take", patched_take)
+    _patch(ScratchArena, "trim", patched_trim)
+    _patch(ScratchArena, "release", patched_release)
+    # ``zeros`` calls the (patched) ``take``, so it needs no wrapper of its
+    # own; a second one would double-check ownership per allocation.
+    for cls in (Channel, CreditGate, Telemetry, StageGraph):
+        _patch(cls, "__setattr__", _tracking_setattr(cls))
+    sanitizer._tracked_classes = [Channel, CreditGate, Telemetry, StageGraph]
+
+    if _watchdog is None:
+        _watchdog = _Watchdog(sanitizer)
+        _watchdog.start()
+    else:
+        _watchdog._sanitizer = sanitizer
+    return sanitizer
+
+
+def uninstall() -> None:
+    """Restore every patched method and stop the watchdog."""
+    global CURRENT, _watchdog
+    if _watchdog is not None:
+        _watchdog.stop()
+        _watchdog = None
+    for (cls, attr), original in _patched.items():
+        if original is None:
+            # the attribute was inherited (e.g. object.__setattr__): remove
+            # the override to re-expose it
+            if attr in cls.__dict__:
+                delattr(cls, attr)
+        else:
+            setattr(cls, attr, original)
+    _patched.clear()
+    CURRENT = None
+
+
+def track_class(cls: type) -> None:
+    """Add Eraser write tracking to an arbitrary class (tests, user code)."""
+    _patch(cls, "__setattr__", _tracking_setattr(cls))
+
+
+def maybe_install_from_env() -> Sanitizer | None:
+    """Install iff ``IDG_SANITIZE`` is truthy; returns the sanitizer."""
+    if sanitizer_enabled() and CURRENT is None:
+        return install()
+    return CURRENT
+
+
+@contextmanager
+def sanitized(
+    stall_timeout: float = 30.0, watchdog_interval: float = 0.25
+) -> Iterator[Sanitizer]:
+    """Context manager: install a fresh sanitizer, restore the previous
+    state on exit (the previous sanitizer is reinstated if one was active)."""
+    global CURRENT
+    previous = CURRENT
+    sanitizer = install(
+        Sanitizer(stall_timeout=stall_timeout, watchdog_interval=watchdog_interval)
+    )
+    try:
+        yield sanitizer
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            CURRENT = previous
+            if _watchdog is not None:
+                _watchdog._sanitizer = previous

@@ -473,8 +473,17 @@ _COMMANDS: Final = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    # Same opt-in pattern as IDGLINT_SHAPE_CHECKS: IDG_SANITIZE=1 runs the
+    # command under the concurrency sanitizer (no-op otherwise).
+    from repro.analysis import sanitizer
+
+    sanitizer.maybe_install_from_env()
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    code = _COMMANDS[args.command](args)
+    active = sanitizer.current()
+    if active is not None:
+        active.raise_if_reports()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

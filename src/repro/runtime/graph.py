@@ -234,11 +234,14 @@ class StageGraph:
         Re-raises the first stage exception after every thread has unwound
         and every queue has been drained or aborted.
         """
-        if self._ran:
-            raise RuntimeError("StageGraph.run may only be called once")
         if len(self._stages) < 2:
             raise ValueError("pipeline needs a source and at least one stage")
-        self._ran = True
+        # check-and-set under the lock: two threads racing into run() must
+        # not both pass the guard (idgsan-reported TOCTOU)
+        with self._error_lock:
+            if self._ran:
+                raise RuntimeError("StageGraph.run may only be called once")
+            self._ran = True
 
         for stage in self._stages:
             n = 1 if stage.source is not None else stage.workers
@@ -249,7 +252,9 @@ class StageGraph:
                     else self._run_worker
                 )
                 args = (stage,) if stage.source is not None else (stage, worker_id)
-                thread = threading.Thread(
+                # bounded startup loop: one thread per stage worker, spawned
+                # once per run — not a per-item hot path
+                thread = threading.Thread(  # idglint: disable=IDG105
                     target=target,
                     args=args,
                     name=f"{self.name}:{stage.name}-{worker_id}",
@@ -271,8 +276,10 @@ class StageGraph:
             raise
         for channel in self._channels:
             self.telemetry.record_queue(channel.stats())
-        if self._error is not None:
-            raise self._error
+        with self._error_lock:
+            error = self._error
+        if error is not None:
+            raise error
         if self._aborting.is_set():
             # Aborted (externally, or via an exception swallowed as
             # PipelineAborted) without a recorded cause: surface it rather

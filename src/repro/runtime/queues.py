@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from dataclasses import dataclass
 from typing import Any
 
 from repro.runtime.telemetry import QueueStats, Telemetry, monotonic
@@ -33,6 +34,30 @@ class ChannelClosed(Exception):
 
 class PipelineAborted(RuntimeError):
     """Raised by blocked channel/gate operations when the pipeline aborts."""
+
+
+@dataclass(frozen=True)
+class WaiterInfo:
+    """One thread blocked on a channel/gate operation."""
+
+    ident: int
+    name: str
+    since: float  # monotonic() at the start of the blocking call
+
+
+@dataclass(frozen=True)
+class ChannelWaiters:
+    """Snapshot of a channel's blocked threads (see :meth:`Channel.waiters`).
+
+    ``owner`` is the ident of the thread currently executing inside one of
+    the channel's locked regions (holding ``_cond``'s lock), or ``None`` —
+    threads parked *in* ``Condition.wait`` do not own the lock and appear in
+    ``put``/``get`` instead.
+    """
+
+    put: tuple[WaiterInfo, ...]
+    get: tuple[WaiterInfo, ...]
+    owner: int | None
 
 
 class Channel:
@@ -78,11 +103,20 @@ class Channel:
         self._depth_integral = 0.0
         self._born = monotonic()
         self._last_change = self._born
+        # waiter bookkeeping for the deadlock watchdog (guarded by _cond;
+        # read without it — best effort — by waiters())
+        self._put_waiters: dict[int, WaiterInfo] = {}
+        self._get_waiters: dict[int, WaiterInfo] = {}
+        self._owner: int | None = None
 
     # ------------------------------------------------------------- internal
 
-    def _advance_clock(self) -> None:
-        """Accumulate the depth-time integral (caller holds the lock)."""
+    def _advance_clock(self) -> None:  # idglint: requires-lock(_cond)
+        """Accumulate the depth-time integral.
+
+        Callers must hold ``self._cond`` (asserted by the ``requires-lock``
+        annotation — idglint verifies every call site).
+        """
         now = monotonic()
         self._depth_integral += len(self._items) * (now - self._last_change)
         self._last_change = now
@@ -91,39 +125,72 @@ class Channel:
         if self._telemetry is not None:
             self._telemetry.record_gauge(f"queue:{self.name}", len(self._items))
 
+    def _wait(self, waiters: dict[int, WaiterInfo], t0: float) -> None:  # idglint: requires-lock(_cond)
+        """Park on ``_cond``, registered in ``waiters`` for the watchdog."""
+        ident = threading.get_ident()
+        waiters[ident] = WaiterInfo(ident, threading.current_thread().name, t0)
+        self._owner = None
+        try:
+            self._cond.wait()
+        finally:
+            self._owner = ident
+            waiters.pop(ident, None)
+
     # ------------------------------------------------------------ queue ops
 
     def put(self, item: Any) -> None:
-        """Enqueue ``item``, blocking while the channel is full."""
+        """Enqueue ``item``, blocking while the channel is full.
+
+        Raises :class:`PipelineAborted` when the channel is (or becomes,
+        while blocked) aborted.
+        """
         t0 = monotonic()
         with self._cond:
-            while len(self._items) >= self.capacity and not self._aborted:
-                self._cond.wait()
-            if self._aborted:
-                raise PipelineAborted(f"channel {self.name} aborted")
-            self._advance_clock()
-            self._blocked_put += monotonic() - t0
-            self._items.append(item)
-            self._n_put += 1
-            self._max_depth = max(self._max_depth, len(self._items))
-            self._cond.notify_all()
+            self._owner = threading.get_ident()
+            try:
+                while len(self._items) >= self.capacity and not self._aborted:
+                    self._wait(self._put_waiters, t0)
+                if self._aborted:
+                    raise PipelineAborted(f"channel {self.name} aborted")
+                self._advance_clock()
+                self._blocked_put += monotonic() - t0
+                self._items.append(item)
+                self._n_put += 1
+                self._max_depth = max(self._max_depth, len(self._items))
+                self._cond.notify_all()
+            finally:
+                self._owner = None
         self._record_depth()
 
     def get(self) -> Any:
-        """Dequeue one item; blocks while empty, raises when drained+closed."""
+        """Dequeue one item, blocking while the channel is empty but still
+        open.
+
+        Raises :class:`ChannelClosed` when the channel is drained and every
+        producer is done, and :class:`PipelineAborted` when the channel is
+        (or becomes, while blocked) aborted.
+        """
         t0 = monotonic()
         with self._cond:
-            while not self._items and self._producers_left > 0 and not self._aborted:
-                self._cond.wait()
-            if self._aborted:
-                raise PipelineAborted(f"channel {self.name} aborted")
-            if not self._items:
-                raise ChannelClosed(self.name)
-            self._advance_clock()
-            self._blocked_get += monotonic() - t0
-            item = self._items.popleft()
-            self._n_get += 1
-            self._cond.notify_all()
+            self._owner = threading.get_ident()
+            try:
+                while (
+                    not self._items
+                    and self._producers_left > 0
+                    and not self._aborted
+                ):
+                    self._wait(self._get_waiters, t0)
+                if self._aborted:
+                    raise PipelineAborted(f"channel {self.name} aborted")
+                if not self._items:
+                    raise ChannelClosed(self.name)
+                self._advance_clock()
+                self._blocked_get += monotonic() - t0
+                item = self._items.popleft()
+                self._n_get += 1
+                self._cond.notify_all()
+            finally:
+                self._owner = None
         self._record_depth()
         return item
 
@@ -144,12 +211,34 @@ class Channel:
 
     @property
     def closed(self) -> bool:
+        """True when every producer is done and the queue is drained."""
         with self._cond:
             return self._producers_left <= 0 and not self._items
 
     def depth(self) -> int:
+        """Current number of queued items."""
         with self._cond:
             return len(self._items)
+
+    def waiters(self) -> ChannelWaiters:
+        """Watchdog-safe snapshot of the threads blocked on this channel.
+
+        Never blocks: a non-blocking acquire is attempted for a consistent
+        view; when some thread holds the lock (exactly the situation a
+        deadlock watchdog inspects) the snapshot is taken lock-free instead
+        — racy but safe, since the waiter dicts are only ever mutated
+        under the lock and copied atomically here.
+        """
+        acquired = self._cond.acquire(blocking=False)
+        try:
+            return ChannelWaiters(
+                put=tuple(self._put_waiters.values()),
+                get=tuple(self._get_waiters.values()),
+                owner=self._owner,
+            )
+        finally:
+            if acquired:
+                self._cond.release()
 
     def stats(self) -> QueueStats:
         """Lifetime statistics (time-averaged occupancy in [0, 1])."""
@@ -190,12 +279,25 @@ class CreditGate:
         self._available = credits
         self._cond = threading.Condition()
         self._aborted = False
+        self._waiters: dict[int, WaiterInfo] = {}
 
     def acquire(self) -> None:
-        """Take one credit, blocking until one is free."""
+        """Take one credit, blocking until one is free.
+
+        Raises :class:`PipelineAborted` when the gate is (or becomes, while
+        blocked) aborted.
+        """
+        t0 = monotonic()
         with self._cond:
+            ident = threading.get_ident()
             while self._available <= 0 and not self._aborted:
-                self._cond.wait()
+                self._waiters[ident] = WaiterInfo(
+                    ident, threading.current_thread().name, t0
+                )
+                try:
+                    self._cond.wait()
+                finally:
+                    self._waiters.pop(ident, None)
             if self._aborted:
                 raise PipelineAborted(f"gate {self.name} aborted")
             self._available -= 1
@@ -219,5 +321,16 @@ class CreditGate:
             self._cond.notify_all()
 
     def in_flight(self) -> int:
+        """Credits currently held (acquired and not yet released)."""
         with self._cond:
             return self.credits - self._available
+
+    def waiters(self) -> tuple[WaiterInfo, ...]:
+        """Watchdog-safe snapshot of threads blocked in :meth:`acquire`
+        (same non-blocking contract as :meth:`Channel.waiters`)."""
+        acquired = self._cond.acquire(blocking=False)
+        try:
+            return tuple(self._waiters.values())
+        finally:
+            if acquired:
+                self._cond.release()

@@ -1,0 +1,494 @@
+"""The IDG1xx concurrency rule family: pinned violations and non-violations.
+
+Each case lints an inline source with exactly one rule selected and pins the
+reported line numbers, so both missed violations and false positives fail.
+The sources are miniatures of the streaming runtime's real patterns
+(channels, guarded counters, arenas, hot paths).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import LintConfig, lint_source
+
+CONFIG = LintConfig(kernel_roots=("",), phasor_modules=())
+
+
+def lint(code: str, source: str, relpath: str = "mod.py") -> list[int]:
+    violations = lint_source(
+        textwrap.dedent(source), relpath, config=CONFIG, select=(code,)
+    )
+    assert all(v.code == code for v in violations)
+    return sorted(v.line for v in violations)
+
+
+# --------------------------------------------------------------------- IDG101
+
+
+def test_idg101_unlocked_write_to_inferred_guard() -> None:
+    lines = lint("IDG101", """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.total = 0
+
+            def locked(self):
+                with self._lock:
+                    self.total += 1
+
+            def unlocked(self):
+                self.total += 1
+    """)
+    assert lines == [13]
+
+
+def test_idg101_constructors_exempt_and_locked_writes_clean() -> None:
+    assert lint("IDG101", """\
+        import threading
+
+        class Clean:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.items = []
+
+            def add(self, x):
+                with self._lock:
+                    self.items.append(x)
+    """) == []
+
+
+def test_idg101_guarded_by_annotation_creates_guard() -> None:
+    lines = lint("IDG101", """\
+        import threading
+
+        class Annotated:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.seen = 0  # idglint: guarded-by(_lock)
+
+            def bump(self):
+                self.seen += 1
+    """)
+    assert lines == [9]
+
+
+def test_idg101_requires_lock_body_is_locked_and_callsites_checked() -> None:
+    lines = lint("IDG101", """\
+        import threading
+
+        class Chan:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self.depth = 0
+
+            def _advance(self):  # idglint: requires-lock(_cond)
+                self.depth += 1
+
+            def good(self):
+                with self._cond:
+                    self._advance()
+
+            def bad(self):
+                self._advance()
+    """)
+    assert lines == [16]
+
+
+def test_idg101_module_global_guarded_by() -> None:
+    lines = lint("IDG101", """\
+        import threading
+
+        _cache_lock = threading.Lock()
+        _cache = {}  # idglint: guarded-by(_cache_lock)
+
+        def good(key, value):
+            with _cache_lock:
+                _cache[key] = value
+
+        def bad(key, value):
+            _cache[key] = value
+
+        def mutator():
+            _cache.clear()
+    """)
+    assert lines == [11, 14]
+
+
+def test_idg101_in_place_mutation_flagged() -> None:
+    lines = lint("IDG101", """\
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.entries = []
+
+            def locked_add(self, x):
+                with self._lock:
+                    self.entries.append(x)
+
+            def unlocked_add(self, x):
+                self.entries.append(x)
+    """)
+    assert lines == [13]
+
+
+# --------------------------------------------------------------------- IDG102
+
+
+def test_idg102_blocking_calls_under_lock() -> None:
+    lines = lint("IDG102", """\
+        import threading
+
+        class Stage:
+            def __init__(self, chan):
+                self._lock = threading.Lock()
+                self.chan = chan
+
+            def bad(self):
+                with self._lock:
+                    self.chan.put(1)
+                    item = self.chan.get()
+                    with open("f") as fh:
+                        pass
+    """)
+    assert lines == [10, 11, 12]
+
+
+def test_idg102_argful_get_join_are_clean() -> None:
+    assert lint("IDG102", """\
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.counts = {}
+
+            def ok(self, key, parts):
+                with self._lock:
+                    n = self.counts.get(key, 0)
+                    label = ",".join(parts)
+                    return n, label
+    """) == []
+
+
+def test_idg102_wait_on_held_condition_is_clean() -> None:
+    assert lint("IDG102", """\
+        import threading
+
+        class Gate:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self.ready = False
+
+            def wait_ready(self):
+                with self._cond:
+                    while not self.ready:
+                        self._cond.wait()
+    """) == []
+
+
+def test_idg102_requires_lock_body_is_a_locked_region() -> None:
+    lines = lint("IDG102", """\
+        import threading
+
+        class Chan:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self.peer = None
+
+            def _drain(self):  # idglint: requires-lock(_cond)
+                self.peer.put(1)
+    """)
+    assert lines == [9]
+
+
+def test_idg102_nested_function_not_in_locked_region() -> None:
+    assert lint("IDG102", """\
+        import threading
+
+        class Deferred:
+            def __init__(self, chan):
+                self._lock = threading.Lock()
+                self.chan = chan
+
+            def schedule(self):
+                with self._lock:
+                    def later():
+                        self.chan.put(1)
+                    return later
+    """) == []
+
+
+# --------------------------------------------------------------------- IDG103
+
+
+def test_idg103_direct_ab_ba_inversion() -> None:
+    lines = lint("IDG103", """\
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+
+            def forward(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+
+            def backward(self):
+                with self._b_lock:
+                    with self._a_lock:
+                        pass
+    """)
+    assert len(lines) == 1
+
+
+def test_idg103_consistent_order_is_clean() -> None:
+    assert lint("IDG103", """\
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+
+            def one(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+
+            def two(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+    """) == []
+
+
+def test_idg103_interprocedural_inversion_through_call() -> None:
+    lines = lint("IDG103", """\
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+
+            def takes_b(self):
+                with self._b_lock:
+                    pass
+
+            def forward(self):
+                with self._a_lock:
+                    self.takes_b()
+
+            def backward(self):
+                with self._b_lock:
+                    with self._a_lock:
+                        pass
+    """)
+    assert len(lines) == 1
+
+
+def test_idg103_nonreentrant_self_acquisition() -> None:
+    lines = lint("IDG103", """\
+        import threading
+
+        class SelfDeadlock:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+    """)
+    assert len(lines) == 1
+
+
+def test_idg103_rlock_reentry_is_clean() -> None:
+    assert lint("IDG103", """\
+        import threading
+
+        class Reentrant:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+    """) == []
+
+
+# --------------------------------------------------------------------- IDG104
+
+
+def test_idg104_returning_self_obtained_arena_view() -> None:
+    lines = lint("IDG104", """\
+        from repro.core.scratch import thread_arena
+
+        def leaky():
+            arena_here = thread_arena()
+            view = arena_here.take("k", (4,), float)
+            return view
+    """)
+    assert lines == [6]
+
+
+def test_idg104_arena_parameter_return_is_the_documented_contract() -> None:
+    assert lint("IDG104", """\
+        def fast_path(arena, shape):
+            out = arena.zeros("acc", shape, complex)
+            return out
+    """) == []
+
+
+def test_idg104_yield_and_attribute_store_always_flagged() -> None:
+    lines = lint("IDG104", """\
+        from repro.core.scratch import thread_arena
+
+        def generator(arena):
+            for _ in range(3):
+                yield arena.take("k", (4,), float)
+
+        class Holder:
+            def stash(self):
+                self.buf = thread_arena().take("k", (4,), float)
+    """)
+    assert lines == [5, 9]
+
+
+def test_idg104_copies_are_clean() -> None:
+    assert lint("IDG104", """\
+        from repro.core.scratch import thread_arena
+
+        def safe():
+            view = thread_arena().take("k", (4,), float)
+            return view.copy()
+    """) == []
+
+
+# --------------------------------------------------------------------- IDG105
+
+
+def test_idg105_primitive_in_loop_and_hot_path() -> None:
+    lines = lint("IDG105", """\
+        import threading
+
+        def setup():
+            lock = threading.Lock()
+            return lock
+
+        def per_batch(items):
+            for item in items:
+                event = threading.Event()
+
+        def grid_work_group(plan):
+            lock = threading.Lock()
+            return lock
+    """)
+    assert lines == [9, 12]
+
+
+def test_idg105_suppression_with_justification() -> None:
+    assert lint("IDG105", """\
+        import threading
+
+        def spawn_workers(stages):
+            for stage in stages:
+                # bounded startup loop, one thread per stage
+                t = threading.Thread(target=stage)  # idglint: disable=IDG105
+                t.start()
+    """) == []
+
+
+# ----------------------------------------------------------------- plumbing
+
+
+def test_family_wildcard_in_cli_select() -> None:
+    from repro.analysis.cli import main
+
+    assert main(["--list-rules"]) == 0
+    # IDG1xx expands to the five concurrency rules; unknown families error
+    assert main(["--select", "IDG9xx", "src/repro"]) == 2
+
+
+def test_all_idg1xx_rules_registered() -> None:
+    from repro.analysis.rules import RULES_BY_CODE
+
+    assert {f"IDG10{i}" for i in range(1, 6)} <= set(RULES_BY_CODE)
+
+
+@pytest.mark.parametrize("code", ["IDG101", "IDG102", "IDG103", "IDG104", "IDG105"])
+def test_idg1xx_suppressible(code: str) -> None:
+    """Every IDG1xx violation respects per-line suppression comments."""
+    sources = {
+        "IDG101": """\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+                def locked(self):
+                    with self._lock:
+                        self.n += 1
+                def bare(self):
+                    self.n += 1  # idglint: disable=IDG101
+        """,
+        "IDG102": """\
+            import threading
+
+            class C:
+                def __init__(self, chan):
+                    self._lock = threading.Lock()
+                    self.chan = chan
+                def f(self):
+                    with self._lock:
+                        self.chan.put(1)  # idglint: disable=IDG102
+        """,
+        "IDG103": """\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+                def one(self):
+                    with self._a_lock:
+                        with self._b_lock:  # idglint: disable=IDG103
+                            pass
+                def two(self):
+                    with self._b_lock:
+                        with self._a_lock:
+                            pass
+        """,
+        "IDG104": """\
+            from repro.core.scratch import thread_arena
+
+            def f():
+                v = thread_arena().take("k", (4,), float)
+                return v  # idglint: disable=IDG104
+        """,
+        "IDG105": """\
+            import threading
+
+            def f(items):
+                for i in items:
+                    lock = threading.Lock()  # idglint: disable=IDG105
+        """,
+    }
+    assert lint(code, sources[code]) == []

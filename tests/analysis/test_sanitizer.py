@@ -1,0 +1,323 @@
+"""idgsan runtime sanitizer: seeded-bug corpus and clean-run guarantees.
+
+Every test runs under its own ``sanitized()`` context with a private
+:class:`Sanitizer`, so seeded races and deadlocks never pollute the session
+sanitizer that ``IDG_SANITIZE=1`` runs install via conftest.  The corpus is
+paired: each buggy toy has a correctly-synchronised twin that must produce
+zero reports — the false-positive budget of the dynamic half is zero.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    TrackedLock,
+    sanitized,
+    track_class,
+)
+from repro.runtime.queues import Channel, CreditGate, PipelineAborted
+
+
+class Toy:
+    """An intentionally unsynchronised shared object (Eraser target)."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+
+def _in_thread(fn, name: str = "seeded") -> list[BaseException]:
+    """Run ``fn`` on a fresh thread to completion; return raised exceptions."""
+    errors: list[BaseException] = []
+
+    def body() -> None:
+        try:
+            fn()
+        except BaseException as exc:  # noqa: B036 — tests inspect the error
+            errors.append(exc)
+
+    t = threading.Thread(target=body, name=name, daemon=True)
+    t.start()
+    t.join(timeout=30.0)
+    assert not t.is_alive(), f"thread {name} failed to finish"
+    return errors
+
+
+# ------------------------------------------------------------ Eraser lockset
+
+
+def test_unlocked_cross_thread_write_is_a_race() -> None:
+    with sanitized() as san:
+        track_class(Toy)
+        toy = Toy()  # exclusive phase: main thread owns every field
+        toy.counter = 1
+        _in_thread(lambda: setattr(toy, "counter", 2))
+        races = [r for r in san.reports if r.kind == "race"]
+        assert len(races) == 1
+        assert "Toy.counter" in races[0].message
+        with pytest.raises(SanitizerError):
+            san.raise_if_reports()
+
+
+def test_race_reported_once_per_field() -> None:
+    with sanitized() as san:
+        track_class(Toy)
+        toy = Toy()
+        for i in range(5):
+            _in_thread(lambda i=i: setattr(toy, "counter", i))
+        assert len([r for r in san.reports if r.kind == "race"]) == 1
+
+
+def test_common_lock_discipline_is_clean() -> None:
+    with sanitized() as san:
+        track_class(Toy)
+        toy = Toy()
+        lock = TrackedLock(san, "toy_lock")
+
+        def locked_bump() -> None:
+            with lock:
+                toy.counter += 1
+
+        locked_bump()
+        _in_thread(locked_bump)
+        _in_thread(locked_bump, name="seeded-2")
+        assert san.reports == []
+        san.raise_if_reports()  # must not raise
+
+
+def test_single_thread_writes_never_race() -> None:
+    with sanitized() as san:
+        track_class(Toy)
+        toy = Toy()
+        for i in range(100):
+            toy.counter = i
+        assert san.reports == []
+
+
+# -------------------------------------------------------- deadlock watchdog
+
+
+def test_ab_ba_deadlock_is_reported_and_aborted() -> None:
+    with sanitized(stall_timeout=10.0, watchdog_interval=0.05) as san:
+        a = TrackedLock(san, "lock_a")
+        b = TrackedLock(san, "lock_b")
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def one(first: TrackedLock, second: TrackedLock) -> None:
+            try:
+                with first:
+                    barrier.wait()
+                    with second:
+                        pass
+            except PipelineAborted as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=one, args=(a, b), name="ab", daemon=True)
+        t2 = threading.Thread(target=one, args=(b, a), name="ba", daemon=True)
+        t1.start()
+        t2.start()
+        t1.join(timeout=30.0)
+        t2.join(timeout=30.0)
+        assert not t1.is_alive() and not t2.is_alive(), "watchdog failed to abort"
+        deadlocks = [r for r in san.reports if r.kind == "deadlock"]
+        assert len(deadlocks) == 1
+        # the cycle report names both locks and carries stack traces
+        assert "lock_a" in deadlocks[0].message
+        assert "lock_b" in deadlocks[0].message
+        assert "--- thread" in deadlocks[0].details
+        # at least one of the two threads was unblocked by force
+        assert errors
+
+
+def test_channel_stall_is_reported_and_aborted() -> None:
+    with sanitized(stall_timeout=0.3, watchdog_interval=0.05) as san:
+        chan = Channel(name="stalled", capacity=1)
+        chan.put(0)  # fills the channel; nobody will ever get()
+
+        errors = _in_thread(lambda: chan.put(1), name="blocked-producer")
+
+        assert len(errors) == 1 and isinstance(errors[0], PipelineAborted)
+        stalls = [r for r in san.reports if r.kind == "deadlock"]
+        assert len(stalls) == 1
+        assert "blocked-producer" in stalls[0].details
+
+
+def test_draining_pipeline_does_not_trip_the_watchdog() -> None:
+    """Steady progress resets the stall clock even per-op slower than the
+    timeout window would allow a single blocked thread."""
+    with sanitized(stall_timeout=0.5, watchdog_interval=0.05) as san:
+        chan = Channel(name="slow", capacity=1)
+        done = threading.Event()
+
+        def consumer() -> None:
+            for _ in range(8):
+                chan.get()
+                time.sleep(0.1)
+            done.set()
+
+        errors_c = []
+        t = threading.Thread(target=consumer, name="slow-consumer", daemon=True)
+        t.start()
+        for i in range(8):
+            chan.put(i)
+        assert done.wait(timeout=10.0)
+        t.join(timeout=10.0)
+        assert san.reports == []
+        assert not errors_c
+
+
+# ------------------------------------------------------------- arena policy
+
+
+def test_arena_cross_thread_use_is_reported() -> None:
+    from repro.core.scratch import ScratchArena
+
+    with sanitized() as san:
+        arena = ScratchArena()
+        arena.take("k", (4,), float)
+        _in_thread(lambda: arena.take("k", (4,), float))
+        assert [r.kind for r in san.reports] == ["arena"]
+
+
+def test_arena_release_resets_ownership() -> None:
+    from repro.core.scratch import ScratchArena
+
+    with sanitized() as san:
+        arena = ScratchArena()
+        arena.take("k", (4,), float)
+        arena.release()  # explicit hand-off point
+        _in_thread(lambda: arena.take("k", (4,), float))
+        assert san.reports == []
+
+
+def test_thread_arena_is_clean_by_construction() -> None:
+    from repro.core.scratch import thread_arena
+
+    with sanitized() as san:
+        thread_arena().zeros("k", (8,), complex)
+        _in_thread(lambda: thread_arena().zeros("k", (8,), complex))
+        assert san.reports == []
+
+
+# ------------------------------------------------- clean runtime, no blame
+
+
+def test_clean_stage_graph_produces_no_reports() -> None:
+    from repro.runtime.graph import StageGraph
+
+    with sanitized() as san:
+        graph = StageGraph(name="sanitized-smoke", n_buffers=2)
+        graph.add_source("src", range(16))
+        graph.add_stage("square", lambda seq, x: x * x, workers=2)
+        out: list[int] = []
+        out_lock = threading.Lock()
+
+        def sink(seq: int, x: int) -> int:
+            with out_lock:
+                out.append(x)
+            return x
+
+        graph.add_sink("sink", sink)
+        graph.run()
+        assert sorted(out) == [i * i for i in range(16)]
+        assert san.reports == []
+        san.raise_if_reports()
+
+
+def test_credit_gate_round_trip_is_clean() -> None:
+    with sanitized() as san:
+        gate = CreditGate(credits=2)
+        gate.acquire()
+        gate.acquire()
+        _in_thread(gate.release)
+        gate.release()
+        assert san.reports == []
+
+
+def test_stage_label_attached_to_reports() -> None:
+    from repro.runtime.graph import StageGraph
+
+    with sanitized() as san:
+        track_class(Toy)
+        toy = Toy()
+        toy.counter = 1  # main thread takes ownership
+
+        def racy_stage(seq: int, x: int) -> int:
+            toy.counter = x
+            return x
+
+        graph = StageGraph(name="blamed", n_buffers=2)
+        graph.add_source("src", range(4))
+        graph.add_sink("racer", racy_stage)
+        graph.run()
+        races = [r for r in san.reports if r.kind == "race"]
+        assert len(races) == 1
+        assert races[0].stage == "racer"
+
+
+# --------------------------------------------------------------- lifecycle
+
+
+def test_install_patches_and_uninstall_restores() -> None:
+    before = Channel.__init__
+    had_session = sanitizer.current() is not None
+    with sanitized():
+        if had_session:
+            # patches are idempotent: a nested install must not double-wrap
+            assert Channel.__init__ is before
+        else:
+            assert Channel.__init__ is not before
+        chan = Channel(name="tracked", capacity=1)
+        assert type(chan._cond).__name__ == "TrackedCondition"
+    if had_session:
+        # the session sanitizer (IDG_SANITIZE=1) keeps the patches installed
+        assert sanitizer.current() is not None
+    else:
+        assert Channel.__init__ is before
+        assert sanitizer.current() is None
+
+
+def test_sanitized_restores_previous_sanitizer() -> None:
+    previous = sanitizer.current()
+    with sanitized() as outer:
+        assert sanitizer.current() is outer
+        with sanitized() as inner:
+            assert sanitizer.current() is inner
+        assert sanitizer.current() is outer
+    assert sanitizer.current() is previous
+
+
+def test_disabled_mode_installs_nothing() -> None:
+    if sanitizer.current() is not None:
+        pytest.skip("suite is running with IDG_SANITIZE=1")
+    assert not sanitizer._patched
+    assert sanitizer.maybe_install_from_env() is None
+
+
+def test_enable_sanitizer_overrides_environment() -> None:
+    forced_before = sanitizer._forced
+    try:
+        sanitizer.enable_sanitizer(True)
+        assert sanitizer.sanitizer_enabled()
+        sanitizer.enable_sanitizer(False)
+        assert not sanitizer.sanitizer_enabled()
+    finally:
+        sanitizer._forced = forced_before
+
+
+def test_report_formatting_is_self_contained() -> None:
+    report = sanitizer.SanitizerReport(
+        kind="race", message="msg", thread="t0", stage="grid", details="d"
+    )
+    text = report.format_text()
+    assert "idgsan race" in text and "t0" in text and "grid" in text
+
+    empty = Sanitizer()
+    empty.raise_if_reports()  # no reports -> no raise

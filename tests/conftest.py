@@ -17,6 +17,30 @@ os.environ.setdefault("IDGLINT_SHAPE_CHECKS", "1")
 import numpy as np
 import pytest
 
+# idgsan (repro.analysis.sanitizer) is opt-in: IDG_SANITIZE=1 pytest runs
+# the whole suite with lockset race detection and the deadlock watchdog on.
+from repro.analysis import sanitizer as _sanitizer
+
+_sanitizer.maybe_install_from_env()
+
+
+@pytest.fixture(autouse=True)
+def _idgsan_no_new_reports():
+    """Under IDG_SANITIZE=1, fail any test whose execution produced a
+    sanitizer report (race/deadlock/arena violation); a no-op otherwise.
+
+    Tests that *seed* violations on purpose (tests/analysis/test_sanitizer)
+    run under their own ``sanitized()`` context, which swaps the active
+    sanitizer, so their reports never land on the session instance."""
+    session_sanitizer = _sanitizer.current()
+    before = len(session_sanitizer.reports) if session_sanitizer else 0
+    yield
+    if session_sanitizer is not None:
+        fresh = session_sanitizer.reports[before:]
+        assert not fresh, "idgsan reports during test:\n" + "\n".join(
+            r.format_text() for r in fresh
+        )
+
 from repro.core.pipeline import IDG, IDGConfig
 from repro.sky.model import SkyModel
 from repro.sky.simulate import predict_visibilities

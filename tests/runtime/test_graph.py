@@ -239,3 +239,36 @@ def test_external_abort_raises_pipeline_aborted():
     thread.join(10.0)
     assert not thread.is_alive(), "abort did not unwind the pipeline"
     assert isinstance(result.get("error"), PipelineAborted)
+
+
+def test_concurrent_run_admits_exactly_one_thread():
+    """Regression: the single-shot guard is check-and-set under a lock, so
+    two threads racing into run() cannot both pass it (idgsan-reported
+    TOCTOU — both used to observe _ran=False and run the pipeline twice)."""
+    graph = StageGraph("p", n_buffers=1)
+    graph.add_source("src", range(8))
+    graph.add_sink("sink", lambda seq, x: x)
+
+    barrier = threading.Barrier(4)
+    outcomes = []
+    outcomes_lock = threading.Lock()
+
+    def racer():
+        barrier.wait()
+        try:
+            graph.run()
+            with outcomes_lock:
+                outcomes.append("ran")
+        except RuntimeError:
+            with outcomes_lock:
+                outcomes.append("rejected")
+
+    threads = [
+        threading.Thread(target=racer, daemon=True) for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10.0)
+    assert not any(t.is_alive() for t in threads)
+    assert sorted(outcomes) == ["ran", "rejected", "rejected", "rejected"]

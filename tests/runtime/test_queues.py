@@ -159,3 +159,120 @@ def test_credit_gate_abort_wakes_acquire():
 def test_credit_gate_validation():
     with pytest.raises(ValueError):
         CreditGate(0)
+
+
+# ------------------------------------------------------ waiter introspection
+
+
+def test_channel_waiters_empty_when_idle():
+    ch = Channel("t", capacity=2)
+    snapshot = ch.waiters()
+    assert snapshot.put == () and snapshot.get == ()
+    assert snapshot.owner is None
+
+
+def test_channel_waiters_reports_blocked_put():
+    ch = Channel("t", capacity=1)
+    ch.put(0)
+    parked = threading.Event()
+
+    def producer():
+        try:
+            ch.put(1)
+        except PipelineAborted:
+            pass
+
+    thread = threading.Thread(target=producer, name="blocked-put", daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while not ch.waiters().put and time.monotonic() < deadline:
+        time.sleep(0.005)
+    snapshot = ch.waiters()
+    assert len(snapshot.put) == 1
+    info = snapshot.put[0]
+    assert info.ident == thread.ident
+    assert info.name == "blocked-put"
+    assert snapshot.get == ()
+    ch.abort()
+    thread.join(5.0)
+    assert ch.waiters().put == ()
+
+
+def test_channel_waiters_reports_blocked_get():
+    ch = Channel("t", capacity=1)
+    result = {}
+
+    def consumer():
+        try:
+            result["item"] = ch.get()
+        except PipelineAborted:
+            pass
+
+    thread = threading.Thread(target=consumer, name="blocked-get", daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while not ch.waiters().get and time.monotonic() < deadline:
+        time.sleep(0.005)
+    snapshot = ch.waiters()
+    assert [w.name for w in snapshot.get] == ["blocked-get"]
+    ch.put(41)
+    thread.join(5.0)
+    assert result["item"] == 41
+    assert ch.waiters().get == ()
+
+
+def test_channel_waiters_is_nonblocking_while_lock_held():
+    """The watchdog must be able to snapshot a channel whose lock is held —
+    exactly the state it inspects during a suspected deadlock."""
+    ch = Channel("t", capacity=1)
+    with ch._cond:  # simulate a thread wedged inside a locked region
+        snapshot = ch.waiters()  # must return, not deadlock
+        assert snapshot.owner is None or isinstance(snapshot.owner, int)
+
+
+def test_channel_waiter_since_is_call_start():
+    ch = Channel("t", capacity=1)
+    ch.put(0)
+    t_before = time.monotonic()
+
+    def producer():
+        try:
+            ch.put(1)
+        except PipelineAborted:
+            pass
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while not ch.waiters().put and time.monotonic() < deadline:
+        time.sleep(0.005)
+    time.sleep(0.1)
+    info = ch.waiters().put[0]
+    # `since` anchors at the start of the blocking call, so age keeps
+    # growing across the internal wait loop's re-registrations
+    assert time.monotonic() - info.since >= 0.1
+    assert info.since >= t_before - 1.0
+    ch.abort()
+    thread.join(5.0)
+
+
+def test_credit_gate_waiters():
+    gate = CreditGate(1)
+    gate.acquire()
+    assert gate.waiters() == ()
+
+    def blocked():
+        try:
+            gate.acquire()
+        except PipelineAborted:
+            pass
+
+    thread = threading.Thread(target=blocked, name="blocked-credit", daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while not gate.waiters() and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert [w.name for w in gate.waiters()] == ["blocked-credit"]
+    gate.release()
+    thread.join(5.0)
+    assert gate.waiters() == ()
