@@ -1,0 +1,172 @@
+"""Multi-tenant service throughput: coalesced vs uncoalesced, gated.
+
+The same duplicate-heavy load (``N_TENANTS`` tenants x ``REQUESTS_PER_TENANT``
+imaging requests drawn from ``N_DISTINCT`` distinct payloads on one shared
+layout) runs twice through :func:`repro.service.run_load`: once with request
+coalescing enabled and once with it disabled.  Both passes share nothing —
+each constructs a fresh service with its own plan/A-term caches — so the
+comparison isolates submit-time coalescing (single-flight execution with
+result fan-out) from the artifact caches, which serve both passes equally.
+
+Gates asserted here and re-checked by the CI ``service`` job from
+``benchmarks/results/BENCH_service.json``:
+
+* coalesced throughput >= ``SPEEDUP_GATE`` x uncoalesced on this load
+  (the load's ideal is ``n_requests / n_distinct`` = 8x);
+* the counter reconciliation identities hold *exactly* in both modes:
+  every submit ends in exactly one terminal outcome, executed + coalesced
+  + shed == submitted, and plan-cache hits + misses == executions.
+"""
+
+import json
+import os
+import platform
+
+import numpy as np
+
+from _util import RESULTS_DIR, print_series
+
+from repro.core.pipeline import IDGConfig
+from repro.service import LoadSpec, ServiceConfig, build_specs, run_load
+from repro.telescope.observation import ska1_low_observation
+
+N_TENANTS = 4
+REQUESTS_PER_TENANT = 6
+N_DISTINCT = 3
+N_WORKERS = 2
+GRID_SIZE = 256
+#: Acceptance: coalescing duplicate requests must at least double
+#: throughput (ideal on this load: 24/3 = 8x).
+SPEEDUP_GATE = 2.0
+
+IDG_CONFIG = IDGConfig(subgrid_size=16, kernel_support=4, time_max=16)
+
+
+def _service_config(coalesce: bool) -> ServiceConfig:
+    return ServiceConfig(
+        n_workers=N_WORKERS,
+        max_queue_depth=256,
+        tenant_quota=2,
+        coalesce=coalesce,
+        idg=IDG_CONFIG,
+    )
+
+
+def _report_payload(report) -> dict:
+    plans = report.caches["service.plans"]
+    return {
+        "requests_per_s": report.requests_per_s,
+        "p95_latency_s": report.p95_latency_s,
+        "mean_latency_s": report.mean_latency_s,
+        "makespan_s": report.makespan_s,
+        "statuses": report.statuses,
+        "n_shed": report.n_shed,
+        "counters": {
+            key: value
+            for key, value in sorted(report.counters.items())
+            if key.startswith("jobs.")
+        },
+        "plan_cache": {
+            "hits": plans.hits,
+            "misses": plans.misses,
+            "evictions": plans.evictions,
+            "bytes": plans.current_bytes,
+        },
+        "reconciliation": report.reconciliation(),
+    }
+
+
+def test_bench_service():
+    obs = ska1_low_observation(
+        n_stations=10, n_times=32, n_channels=4,
+        integration_time_s=240.0, max_radius_m=2000.0, seed=3,
+    )
+    gridspec = obs.fitting_gridspec(GRID_SIZE)
+    baselines = obs.array.baselines()
+    rng = np.random.default_rng(7)
+    shape = (baselines.shape[0], obs.uvw_m.shape[1], 4, 2, 2)
+    visibilities = (
+        rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ).astype(np.complex64)
+    load = LoadSpec(
+        n_tenants=N_TENANTS,
+        requests_per_tenant=REQUESTS_PER_TENANT,
+        n_distinct=N_DISTINCT,
+    )
+    specs = build_specs(
+        load, obs.uvw_m, obs.frequencies_hz, baselines, gridspec,
+        visibilities,
+    )
+
+    # Warm-up pass: JIT/BLAS/FFT setup and the module-level taper/lmn
+    # caches, so neither measured pass pays first-touch costs.
+    run_load(_service_config(coalesce=True), specs)
+
+    coalesced = run_load(_service_config(coalesce=True), specs)
+    uncoalesced = run_load(_service_config(coalesce=False), specs)
+
+    # Every request completed in both modes (nothing shed at this depth).
+    n_requests = load.n_requests
+    assert coalesced.statuses == {"done": n_requests}, coalesced.statuses
+    assert uncoalesced.statuses == {"done": n_requests}, uncoalesced.statuses
+
+    # Exact counter reconciliation in both modes.
+    for name, report in (("coalesced", coalesced), ("uncoalesced", uncoalesced)):
+        recon = report.reconciliation()
+        assert all(recon.values()), f"{name} reconciliation failed: {recon}"
+        assert report.counters["jobs.submitted"] == n_requests
+
+    # Coalescing collapsed the duplicates to one execution per distinct
+    # payload; the uncoalesced pass executed everything.
+    assert coalesced.counters["jobs.executed"] == N_DISTINCT
+    assert coalesced.counters["jobs.coalesced"] == n_requests - N_DISTINCT
+    assert uncoalesced.counters["jobs.executed"] == n_requests
+
+    speedup = coalesced.requests_per_s / uncoalesced.requests_per_s
+
+    payload = {
+        "benchmark": "service",
+        "generated_by": "benchmarks/bench_service.py",
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "n_tenants": N_TENANTS,
+            "requests_per_tenant": REQUESTS_PER_TENANT,
+            "n_distinct": N_DISTINCT,
+            "n_workers": N_WORKERS,
+            "grid_size": GRID_SIZE,
+            "subgrid_size": IDG_CONFIG.subgrid_size,
+            "speedup_gate": SPEEDUP_GATE,
+        },
+        "modes": {
+            "coalesced": _report_payload(coalesced),
+            "uncoalesced": _report_payload(uncoalesced),
+        },
+        "speedup": speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_service.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_series(
+        "Service: coalesced vs uncoalesced duplicate-heavy load",
+        ["mode", "req/s", "p95 ms", "executed"],
+        [
+            ("coalesced", coalesced.requests_per_s,
+             coalesced.p95_latency_s * 1e3,
+             int(coalesced.counters["jobs.executed"])),
+            ("uncoalesced", uncoalesced.requests_per_s,
+             uncoalesced.p95_latency_s * 1e3,
+             int(uncoalesced.counters["jobs.executed"])),
+        ],
+    )
+    print(f"\ncoalescing speedup: {speedup:.2f}x (gate: {SPEEDUP_GATE}x)")
+
+    assert speedup >= SPEEDUP_GATE, (
+        f"coalescing speedup {speedup:.2f}x below the {SPEEDUP_GATE}x gate"
+    )

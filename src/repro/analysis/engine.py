@@ -54,6 +54,7 @@ class LintConfig:
         "runtime/",
         "backends/",
         "parallel/",
+        "service/",
     )
     #: Module(s) allowed to evaluate sine/cosine inside loops — the approved
     #: phasor kernels (IDG002 scope).  Matched with ``relpath.endswith``.

@@ -1,0 +1,274 @@
+"""Size-bounded, thread-safe LRU artifact cache keyed by content hash.
+
+IDG's economics reward sharing aggressively: plans, taper/spheroidal tables,
+``subgrid_lmn`` matrices and A-term Jones fields are expensive to derive but
+reusable across any requests that share a telescope layout and gridspec.
+:class:`ArtifactCache` is the one cache type behind all of them — the former
+per-function ``functools.lru_cache`` seeds (PR 4) migrated onto module-level
+instances here, and the serving layer (:mod:`repro.service`) keys its plan
+and A-term caches by :func:`repro.hashing.content_hash`.
+
+Properties:
+
+* **byte-bounded** — eviction is by total payload bytes (LRU order), not
+  entry count, so one cache budget covers artifacts of wildly different
+  sizes; a value larger than the whole budget is returned but never stored;
+* **thread-safe** — one internal lock; factories run *outside* it;
+* **single-flight creation** — concurrent ``get_or_create`` calls for the
+  same missing key run the factory once; followers block on the leader's
+  completion and then read the cached value (if the leader's factory
+  raises, one follower retries);
+* **accounted** — hit/miss/eviction/byte counters (:class:`CacheStats`)
+  reconcile exactly: every ``get``/``get_or_create`` increments exactly one
+  of ``hits``/``misses``.  The service's telemetry and the
+  ``BENCH_service.json`` gate audit that identity.
+
+Shared values must be treated as immutable by callers (arrays handed out by
+the kernel caches are marked read-only).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "all_cache_stats",
+    "default_nbytes",
+]
+
+
+def default_nbytes(value: Any) -> int:
+    """Best-effort payload size in bytes of a cached artifact.
+
+    Arrays report ``nbytes``; containers sum their elements (dicts sum
+    values); anything else falls back to ``sys.getsizeof``.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, dict):
+        return sum(default_nbytes(v) for v in value.values())
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(default_nbytes(v) for v in value)
+    return int(sys.getsizeof(value))
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of one cache's lifetime accounting.
+
+    ``hits + misses`` equals the number of lookups (``get`` +
+    ``get_or_create``); ``insertions - evictions`` equals ``entries`` while
+    nothing is replaced or cleared.
+    """
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    insertions: int
+    oversize_rejections: int
+    current_bytes: int
+    max_bytes: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when nothing was looked up)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class _InFlight:
+    """Leader/follower rendezvous for one in-progress factory call."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class ArtifactCache:
+    """Thread-safe byte-bounded LRU mapping content-hash keys to artifacts."""
+
+    # Every live cache, so service telemetry can snapshot all of them
+    # (module-level kernel caches included) without holding references.
+    _registry: "weakref.WeakSet[ArtifactCache]" = weakref.WeakSet()
+    _registry_lock = threading.Lock()
+
+    def __init__(self, max_bytes: int, name: str = "artifacts") -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.name = name
+        self._max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        # LRU order: oldest first.  All fields below are
+        # idglint: guarded-by(_lock)
+        self._entries: "OrderedDict[str, tuple[Any, int]]" = OrderedDict()
+        self._inflight: dict[str, _InFlight] = {}
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._insertions = 0
+        self._oversize = 0
+        with ArtifactCache._registry_lock:
+            ArtifactCache._registry.add(self)
+
+    # -------------------------------------------------------------- lookups
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for ``key`` (marks it most recently used), or
+        ``default`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def get_or_create(
+        self,
+        key: str,
+        factory: Callable[[], Any],
+        nbytes: int | Callable[[Any], int] | None = None,
+    ) -> Any:
+        """The cached value for ``key``, creating it with ``factory`` on a
+        miss (single-flight: concurrent callers for the same missing key run
+        the factory exactly once).
+
+        ``nbytes`` sizes the payload for the byte budget: an int, a callable
+        applied to the created value, or ``None`` for
+        :func:`default_nbytes`.  A value larger than the cache's whole
+        budget is returned but not stored (counted as an oversize
+        rejection).
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return entry[0]
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    self._misses += 1
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                # Outside the lock: wait for the leader, then re-check (a
+                # hit if it succeeded; this thread becomes leader if not).
+                flight.event.wait()
+                continue
+            try:
+                value = factory()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                raise
+            if callable(nbytes):
+                size = int(nbytes(value))
+            elif nbytes is not None:
+                size = int(nbytes)
+            else:
+                size = default_nbytes(value)
+            with self._lock:
+                self._insert(key, value, size)
+                self._inflight.pop(key, None)
+            flight.event.set()
+            return value
+
+    def put(self, key: str, value: Any, nbytes: int | None = None) -> Any:
+        """Insert (or replace) ``key`` directly; returns ``value``."""
+        size = default_nbytes(value) if nbytes is None else int(nbytes)
+        with self._lock:
+            self._insert(key, value, size)
+        return value
+
+    # ----------------------------------------------------------- accounting
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache's counters."""
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                insertions=self._insertions,
+                oversize_rejections=self._oversize,
+                current_bytes=self._current_bytes,
+                max_bytes=self._max_bytes,
+                entries=len(self._entries),
+            )
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> int:
+        """Drop every entry (counters keep accumulating); returns the bytes
+        released."""
+        with self._lock:
+            freed = self._current_bytes
+            self._entries.clear()
+            self._current_bytes = 0
+            return freed
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<ArtifactCache {self.name!r} entries={stats.entries} "
+            f"bytes={stats.current_bytes}/{stats.max_bytes} "
+            f"hits={stats.hits} misses={stats.misses}>"
+        )
+
+    # ------------------------------------------------------------- internal
+
+    def _insert(self, key: str, value: Any, size: int) -> None:  # idglint: requires-lock(_lock)
+        if size > self._max_bytes:
+            self._oversize += 1
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._current_bytes -= old[1]
+        self._entries[key] = (value, size)
+        self._current_bytes += size
+        self._insertions += 1
+        while self._current_bytes > self._max_bytes and self._entries:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._current_bytes -= evicted_size
+            self._evictions += 1
+
+
+def all_cache_stats() -> tuple[CacheStats, ...]:
+    """Stats snapshots of every live :class:`ArtifactCache`, sorted by name
+    (module-level kernel caches and per-service caches alike)."""
+    with ArtifactCache._registry_lock:
+        caches = list(ArtifactCache._registry)
+    return tuple(sorted((c.stats() for c in caches), key=lambda s: s.name))

@@ -164,7 +164,51 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--output", default=None,
                      help="also write the report to this file")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant gridding service over a synthetic "
+        "many-client load and print per-tenant telemetry",
+    )
+    _add_service_args(serve)
+
+    bench_svc = sub.add_parser(
+        "bench-service",
+        help="A/B benchmark the service: coalesced vs uncoalesced "
+        "throughput and latency on the same duplicate-heavy load",
+    )
+    _add_service_args(bench_svc)
+    bench_svc.add_argument(
+        "--output", default=None, metavar="JSON",
+        help="write the benchmark payload (requests/s, p95, speedup, "
+        "reconciliation) to this JSON file",
+    )
+
     return parser
+
+
+def _add_service_args(parser) -> None:
+    parser.add_argument("dataset", help="dataset (.npz) supplying the layout")
+    parser.add_argument("--grid-size", type=int, default=512)
+    parser.add_argument("--subgrid-size", type=int, default=24)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker threads")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=6,
+                        help="requests per tenant")
+    parser.add_argument("--distinct", type=int, default=3,
+                        help="distinct payloads spread over all requests "
+                        "(duplicates coalesce)")
+    parser.add_argument("--tenant-quota", type=int, default=2,
+                        help="max concurrently running jobs per tenant")
+    parser.add_argument("--queue-depth", type=int, default=256,
+                        help="global admission-queue bound (sheds beyond it)")
+    parser.add_argument("--tenant-backlog", type=int, default=None,
+                        help="per-tenant queued-job bound (default: none)")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable request coalescing (caches still apply)")
+    parser.add_argument("--backend", default=None,
+                        help="kernel backend name (default: IDG_BACKEND or "
+                        "'vectorized')")
 
 
 # --------------------------------------------------------------- commands
@@ -458,6 +502,105 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _service_setup(args, coalesce: bool):
+    """(ServiceConfig, job specs) for the serve/bench-service commands."""
+    from repro.data.io import load_dataset
+    from repro.service import LoadSpec, ServiceConfig, build_specs
+
+    ds = load_dataset(args.dataset)
+    idg, gridspec = _make_idg(
+        ds, args.grid_size, args.subgrid_size, backend=args.backend
+    )
+    config = ServiceConfig(
+        n_workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        tenant_backlog=args.tenant_backlog,
+        coalesce=coalesce,
+        idg=idg.config,
+    )
+    load = LoadSpec(
+        n_tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        n_distinct=args.distinct,
+    )
+    specs = build_specs(
+        load, ds.uvw_m, ds.frequencies_hz, ds.baselines, gridspec,
+        ds.visibilities,
+    )
+    return config, specs
+
+
+def _print_load_report(title: str, report) -> None:
+    print(f"{title}: {report.n_requests} requests "
+          f"({report.n_shed} shed), statuses {report.statuses}")
+    print(f"  throughput {report.requests_per_s:.2f} req/s   "
+          f"p95 latency {report.p95_latency_s * 1e3:.1f} ms   "
+          f"makespan {report.makespan_s:.3f} s")
+    for name, stats in sorted(report.caches.items()):
+        print(f"  cache {name}: {stats.hits} hits / {stats.misses} misses "
+              f"({stats.current_bytes:,} bytes)")
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import run_load
+
+    config, specs = _service_setup(args, coalesce=not args.no_coalesce)
+    report = run_load(config, specs)
+    _print_load_report("service run", report)
+    tenants = sorted({spec.tenant for spec in specs})
+    for tenant in tenants:
+        counters = {
+            key.rsplit(".", 1)[1]: int(value)
+            for key, value in sorted(report.counters.items())
+            if key.startswith(f"tenant.{tenant}.")
+            and not key.endswith("queue_wait_s")
+        }
+        print(f"  {tenant}: {counters}")
+    bad = [name for name, ok in report.reconciliation().items() if not ok]
+    if bad:
+        print(f"counter reconciliation FAILED: {bad}")
+        return 1
+    print("counter reconciliation: exact")
+    return 0
+
+
+def _cmd_bench_service(args) -> int:
+    import json
+
+    from repro.service import run_load
+
+    config_on, specs = _service_setup(args, coalesce=not args.no_coalesce)
+    config_off, _ = _service_setup(args, coalesce=False)
+    coalesced = run_load(config_on, specs)
+    uncoalesced = run_load(config_off, specs)
+    _print_load_report("coalesced", coalesced)
+    _print_load_report("uncoalesced", uncoalesced)
+    speedup = (
+        coalesced.requests_per_s / uncoalesced.requests_per_s
+        if uncoalesced.requests_per_s > 0 else float("inf")
+    )
+    print(f"coalescing speedup: {speedup:.2f}x")
+    if args.output:
+        payload = {
+            "coalesced": {
+                "requests_per_s": coalesced.requests_per_s,
+                "p95_latency_s": coalesced.p95_latency_s,
+                "reconciliation": coalesced.reconciliation(),
+            },
+            "uncoalesced": {
+                "requests_per_s": uncoalesced.requests_per_s,
+                "p95_latency_s": uncoalesced.p95_latency_s,
+                "reconciliation": uncoalesced.reconciliation(),
+            },
+            "speedup": speedup,
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"benchmark written to {args.output}")
+    return 0
+
+
 _COMMANDS: Final = {
     "simulate": _cmd_simulate,
     "report": _cmd_report,
@@ -468,6 +611,8 @@ _COMMANDS: Final = {
     "clean": _cmd_clean,
     "predict": _cmd_predict,
     "perfmodel": _cmd_perfmodel,
+    "serve": _cmd_serve,
+    "bench-service": _cmd_bench_service,
 }
 
 

@@ -21,7 +21,14 @@ from repro.core.degridder import degrid_work_group, degridder_subgrid
 from repro.core.subgrid_fft import subgrids_to_fourier, subgrids_to_image
 from repro.core.adder import add_subgrids, split_subgrids
 from repro.core.pipeline import IDG, IDGConfig
-from repro.core.scratch import ScratchArena, clear_thread_arena, thread_arena
+from repro.core.scratch import (
+    ArenaStats,
+    ScratchArena,
+    arena_stats,
+    clear_thread_arena,
+    thread_arena,
+    total_arena_nbytes,
+)
 from repro.core.wstack import WLayer, WStackedIDG, split_plan_by_w
 
 __all__ = [
@@ -38,9 +45,12 @@ __all__ = [
     "split_subgrids",
     "IDG",
     "IDGConfig",
+    "ArenaStats",
     "ScratchArena",
+    "arena_stats",
     "thread_arena",
     "clear_thread_arena",
+    "total_arena_nbytes",
     "WLayer",
     "WStackedIDG",
     "split_plan_by_w",

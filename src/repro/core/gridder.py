@@ -20,15 +20,15 @@ the paper's T_B x C_B batching that bounds the working set.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
 from repro.analysis.contracts import shape_checked
 from repro.aterms.jones import apply_adjoint_sandwich, identity_jones_field
+from repro.cache import ArtifactCache
 from repro.constants import ACCUM_DTYPE, COMPLEX_DTYPE, SPEED_OF_LIGHT
 from repro.core.plan import Plan
 from repro.core.scratch import ScratchArena, thread_arena
+from repro.hashing import content_hash
 from repro.kernels.fft import image_coordinates
 from repro.kernels.wkernel import n_term
 
@@ -43,15 +43,15 @@ DEFAULT_VIS_BATCH = 1024
 PHASOR_RENORM_INTERVAL = 64
 
 
-@lru_cache(maxsize=32)
-def _subgrid_lmn_cached(subgrid_size: int, image_size: float) -> np.ndarray:
-    """Keyed cache behind :func:`subgrid_lmn`.
+#: Content-hash keyed cache behind :func:`subgrid_lmn` (the PR 4
+#: ``lru_cache`` migrated onto the shared artifact-cache layer).  Every call
+#: site with the same (subgrid size, image size) — the ``IDG`` facade,
+#: work-group kernels called without a precomputed ``lmn``, w-stack layers,
+#: service jobs, tests — shares one immutable matrix.
+_LMN_CACHE = ArtifactCache(max_bytes=64 * 1024 * 1024, name="core.subgrid_lmn")
 
-    Every call site with the same (subgrid size, image size) — the ``IDG``
-    facade, work-group kernels called without a precomputed ``lmn``, w-stack
-    layers, tests — shares one immutable matrix instead of recomputing it;
-    the array is marked read-only because it is shared.
-    """
+
+def _compute_subgrid_lmn(subgrid_size: int, image_size: float) -> np.ndarray:
     coords = image_coordinates(subgrid_size, image_size)
     ll = np.broadcast_to(coords[np.newaxis, :], (subgrid_size, subgrid_size))
     mm = np.broadcast_to(coords[:, np.newaxis], (subgrid_size, subgrid_size))
@@ -68,9 +68,14 @@ def subgrid_lmn(subgrid_size: int, image_size: float) -> np.ndarray:
     Row ``y * N + x`` holds ``(l_x, m_y, n(l_x, m_y))`` for the coarse image
     raster spanning the full field of view.  This matrix is the fixed factor
     of the phasor product, computed once per (subgrid size, image size) and
-    cached; the returned array is shared and read-only.
+    cached in the shared :class:`~repro.cache.ArtifactCache`; the returned
+    array is shared and read-only.
     """
-    return _subgrid_lmn_cached(int(subgrid_size), float(image_size))
+    subgrid_size, image_size = int(subgrid_size), float(image_size)
+    key = content_hash("subgrid_lmn", subgrid_size, image_size)
+    return _LMN_CACHE.get_or_create(
+        key, lambda: _compute_subgrid_lmn(subgrid_size, image_size)
+    )
 
 
 @shape_checked(

@@ -230,6 +230,7 @@ class IDG:
         grid: np.ndarray | None = None,
         flags: np.ndarray | None = None,
         faults=None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
     ) -> np.ndarray:
         """Grid a visibility set onto the master grid.
 
@@ -253,6 +254,10 @@ class IDG:
         faults:
             Optional :class:`~repro.runtime.faults.FaultPlan` for
             deterministic fault injection (tests, benchmarks).
+        aterm_fields:
+            Pre-evaluated Jones fields (the :meth:`aterm_fields` mapping),
+            overriding evaluation from ``aterms``.  The serving layer passes
+            cached fields here so coalesced jobs share one evaluation.
 
         Returns
         -------
@@ -265,7 +270,11 @@ class IDG:
         visibilities = mask_flagged(visibilities, flags)
         if grid is None:
             grid = self.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
-        fields = self.aterm_fields(plan, aterms)
+        fields = (
+            aterm_fields
+            if aterm_fields is not None
+            else self.aterm_fields(plan, aterms)
+        )
         backend = self.backend
         runner = self._work_group_runner(faults)
         self.last_fault_report = runner.report if runner is not None else None
@@ -329,6 +338,7 @@ class IDG:
         grid: np.ndarray,
         aterms: ATermGenerator | None = None,
         faults=None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
     ) -> np.ndarray:
         """Predict visibilities from a model grid (degridding).
 
@@ -336,12 +346,18 @@ class IDG:
         the plan flagged (unplaceable) are zero.  With fault tolerance
         active, a quarantined work group leaves its visibility block zero
         (the same convention) and is reported on ``last_fault_report``.
+        ``aterm_fields`` overrides evaluation from ``aterms`` as in
+        :meth:`grid`.
         """
         n_bl, n_times, _ = uvw_m.shape
         out = np.zeros(
             (n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE
         )
-        fields = self.aterm_fields(plan, aterms)
+        fields = (
+            aterm_fields
+            if aterm_fields is not None
+            else self.aterm_fields(plan, aterms)
+        )
         backend = self.backend
         runner = self._work_group_runner(faults)
         self.last_fault_report = runner.report if runner is not None else None

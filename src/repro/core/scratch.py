@@ -37,15 +37,48 @@ from __future__ import annotations
 import math
 import threading
 import weakref
+from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = [
+    "ArenaStats",
     "ScratchArena",
+    "arena_stats",
     "clear_thread_arena",
     "thread_arena",
+    "total_arena_nbytes",
     "trim_thread_arenas",
 ]
+
+
+@dataclass(frozen=True)
+class ArenaStats:
+    """Observability snapshot of one arena (per-thread steady-state memory).
+
+    Attributes
+    ----------
+    thread:
+        Name of the thread that created the arena (arenas are
+        single-thread by contract).
+    nbytes:
+        Bytes currently held across the arena's backing buffers.
+    peak_nbytes:
+        Largest ``nbytes`` the arena ever reached (across trims).
+    n_keys:
+        Registered buffer keys.
+    n_trims:
+        Lifetime :meth:`ScratchArena.trim` calls.
+    trimmed_bytes:
+        Total bytes released by those trims.
+    """
+
+    thread: str
+    nbytes: int
+    peak_nbytes: int
+    n_keys: int
+    n_trims: int
+    trimmed_bytes: int
 
 
 class ScratchArena:
@@ -69,6 +102,10 @@ class ScratchArena:
     def __init__(self) -> None:
         self._buffers: dict[str, np.ndarray] = {}
         self._watermarks: dict[str, int] = {}
+        self._thread = threading.current_thread().name
+        self._peak_nbytes = 0
+        self._n_trims = 0
+        self._trimmed_bytes = 0
         with ScratchArena._registry_lock:
             ScratchArena._registry.add(self)
 
@@ -85,6 +122,9 @@ class ScratchArena:
         if buffer is None or buffer.dtype != dtype or buffer.size < n:
             buffer = np.empty(max(n, 1), dtype=dtype)
             self._buffers[key] = buffer
+            total = self.nbytes
+            if total > self._peak_nbytes:
+                self._peak_nbytes = total
         if n > self._watermarks.get(key, 0):
             self._watermarks[key] = n
         return buffer[:n].reshape(shape)
@@ -125,6 +165,8 @@ class ScratchArena:
                 freed += (buffer.size - mark) * buffer.itemsize
                 self._buffers[key] = np.empty(mark, dtype=buffer.dtype)  # idglint: disable=IDG003  (bounded: one shrink per key per trim)
         self._watermarks.clear()
+        self._n_trims += 1
+        self._trimmed_bytes += freed
         return freed
 
     def release(self) -> int:
@@ -138,6 +180,23 @@ class ScratchArena:
     def clear(self) -> None:
         """Drop every backing buffer (frees the memory once views die)."""
         self.release()
+
+    def stats(self) -> ArenaStats:
+        """Observability snapshot (see :class:`ArenaStats`).
+
+        Reads the arena's own bookkeeping without synchronisation, matching
+        the arena's single-thread contract; :func:`arena_stats` snapshots
+        other threads' arenas and is therefore (like
+        :func:`trim_thread_arenas`) only exact at quiescent points.
+        """
+        return ArenaStats(
+            thread=self._thread,
+            nbytes=self.nbytes,
+            peak_nbytes=self._peak_nbytes,
+            n_keys=len(self._buffers),
+            n_trims=self._n_trims,
+            trimmed_bytes=self._trimmed_bytes,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -177,3 +236,21 @@ def trim_thread_arenas() -> int:
     with ScratchArena._registry_lock:
         arenas = list(ScratchArena._registry)
     return sum(arena.trim() for arena in arenas)
+
+
+def arena_stats() -> tuple[ArenaStats, ...]:
+    """Snapshots of every live arena (all threads), sorted by thread name.
+
+    This is the telemetry feed for the per-thread scratch high-water marks:
+    the streaming runtime and the gridding service turn these into
+    ``arena.*`` gauges.  Like :func:`trim_thread_arenas`, exact only at
+    quiescent points (arenas are written lock-free by their owning thread).
+    """
+    with ScratchArena._registry_lock:
+        arenas = list(ScratchArena._registry)
+    return tuple(sorted((a.stats() for a in arenas), key=lambda s: s.thread))
+
+
+def total_arena_nbytes() -> int:
+    """Bytes currently held across every live arena (all threads)."""
+    return sum(s.nbytes for s in arena_stats())

@@ -1,0 +1,131 @@
+"""Stable content hashing shared by checkpointing, caching and coalescing.
+
+Two families of digests live here:
+
+* :class:`ContentHasher` — an incremental sha256 over *raw* array/scalar byte
+  streams.  :func:`repro.runtime.checkpoint.plan_signature` is built on it
+  and its byte stream is a compatibility contract: checkpoints written by
+  earlier builds must keep validating, so the hasher feeds exactly the bytes
+  the original hand-rolled implementation did (no type or shape tags).  The
+  regression test ``tests/test_hashing.py`` pins a known digest.
+* :func:`content_hash` — a *tagged* digest for cache/coalescing keys.  Every
+  part is prefixed with a type tag (and arrays with their dtype + shape), so
+  values that merely share a byte representation — ``float64(1.0)`` versus
+  ``int64(1)``, a ``(4, 2)`` versus a ``(2, 4)`` array — hash differently.
+  Dataclasses (``GridSpec``, ``ATermSchedule``) hash by class name plus
+  field values, dicts by sorted key, so digests are stable across processes
+  and insertion orders.
+
+Content hashes are *identity* for the serving layer: two requests whose
+(layout, gridspec, plan parameters) hash equal share one plan; two identical
+image requests share one execution (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ContentHasher", "content_hash"]
+
+
+class ContentHasher:
+    """Incremental sha256 over raw array and scalar byte streams.
+
+    The update methods append *untagged* bytes — the caller's update order
+    and widths define the format.  Used where the byte stream itself is a
+    compatibility contract (checkpoint plan signatures); new code wanting
+    collision-resistant structural hashing should prefer
+    :func:`content_hash`.
+    """
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256()
+
+    def update_bytes(self, data: bytes) -> "ContentHasher":
+        """Append raw bytes."""
+        self._digest.update(data)
+        return self
+
+    def update_array(self, array: np.ndarray) -> "ContentHasher":
+        """Append an array's element bytes (C order, no dtype/shape tag)."""
+        self._digest.update(np.ascontiguousarray(array).tobytes())
+        return self
+
+    def update_ints(self, *values: int) -> "ContentHasher":
+        """Append integers as a packed little ``int64`` array."""
+        return self.update_array(np.array(values, dtype=np.int64))
+
+    def update_floats(self, *values: float) -> "ContentHasher":
+        """Append floats as a packed little ``float64`` array."""
+        return self.update_array(np.array(values, dtype=np.float64))
+
+    def hexdigest(self) -> str:
+        """Hex digest of everything appended so far."""
+        return self._digest.hexdigest()
+
+
+def _update_tagged(digest: "hashlib._Hash", part: Any) -> None:
+    """Feed one value into ``digest`` with type/shape framing."""
+    if part is None:
+        digest.update(b"\x00N")
+    elif isinstance(part, (bool, np.bool_)):
+        digest.update(b"\x00B1" if part else b"\x00B0")
+    elif isinstance(part, (int, np.integer)):
+        digest.update(b"\x00I" + str(int(part)).encode("ascii"))
+    elif isinstance(part, (float, np.floating)):
+        digest.update(b"\x00F" + np.float64(part).tobytes())
+    elif isinstance(part, (complex, np.complexfloating)):
+        digest.update(b"\x00C" + np.complex128(part).tobytes())
+    elif isinstance(part, str):
+        encoded = part.encode("utf-8")
+        digest.update(b"\x00S" + str(len(encoded)).encode("ascii") + b":")
+        digest.update(encoded)
+    elif isinstance(part, bytes):
+        digest.update(b"\x00Y" + str(len(part)).encode("ascii") + b":")
+        digest.update(part)
+    elif isinstance(part, np.ndarray):
+        arr = np.ascontiguousarray(part)
+        header = f"{arr.dtype.str}{arr.shape}".encode("ascii")
+        digest.update(b"\x00A" + header)
+        digest.update(arr.tobytes())
+    elif isinstance(part, (tuple, list)):
+        digest.update(b"\x00T" + str(len(part)).encode("ascii"))
+        for item in part:
+            _update_tagged(digest, item)
+    elif isinstance(part, dict):
+        digest.update(b"\x00D" + str(len(part)).encode("ascii"))
+        for key in sorted(part, key=repr):
+            _update_tagged(digest, key)
+            _update_tagged(digest, part[key])
+    elif dataclasses.is_dataclass(part) and not isinstance(part, type):
+        fields = dataclasses.fields(part)
+        digest.update(
+            b"\x00O" + type(part).__name__.encode("ascii", "replace")
+        )
+        for fld in fields:
+            _update_tagged(digest, fld.name)
+            _update_tagged(digest, getattr(part, fld.name))
+    else:
+        raise TypeError(
+            f"content_hash cannot digest {type(part).__name__!r}; pass "
+            "arrays, scalars, strings, containers or dataclasses"
+        )
+
+
+def content_hash(*parts: Any) -> str:
+    """Stable hex digest of a heterogeneous value sequence.
+
+    Accepts numpy arrays (hashed with dtype and shape), numeric/str/bytes
+    scalars, ``None``, tuples/lists, dicts (sorted by key) and dataclasses
+    (class name + field values, recursively).  Equal values give equal
+    digests across processes; structurally different values — including the
+    same bytes under a different dtype or shape — give different digests.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        _update_tagged(digest, part)
+    return digest.hexdigest()

@@ -17,9 +17,10 @@ grid correction that must divide the dirty image after the final inverse FFT
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
+
+from repro.cache import ArtifactCache
+from repro.hashing import content_hash
 
 # Rational-polynomial fit of the zeroth-order prolate spheroidal wave function
 # psi(alpha=1, c=pi*m/2) with support m=6, from F. Schwab, "Optimal gridding of
@@ -138,14 +139,15 @@ def grid_correction(n_pixels: int, taper: str = "spheroidal", beta: float = 9.0)
     return out
 
 
-@lru_cache(maxsize=32)
-def _taper_cached(n_pixels: int, taper: str, beta: float) -> np.ndarray:
-    """Keyed cache behind :func:`taper_for`.
+#: Content-hash keyed cache behind :func:`taper_for` (the PR 4 ``lru_cache``
+#: migrated onto the shared artifact-cache layer): every ``IDG`` facade,
+#: executor worker, service job and test with the same (size, family, beta)
+#: shares one immutable array instead of re-evaluating the spheroidal
+#: rational fit.  64 MiB bounds even grid-correction-sized tables.
+_TAPER_CACHE = ArtifactCache(max_bytes=64 * 1024 * 1024, name="kernels.taper")
 
-    Every ``IDG`` facade, executor worker and test with the same
-    (size, family, beta) shares one immutable array instead of re-evaluating
-    the spheroidal rational fit; read-only because it is shared.
-    """
+
+def _compute_taper(n_pixels: int, taper: str, beta: float) -> np.ndarray:
     if taper == "spheroidal":
         arr = spheroidal_taper(n_pixels)
     elif taper == "kaiser-bessel":
@@ -161,7 +163,12 @@ def _taper_cached(n_pixels: int, taper: str, beta: float) -> np.ndarray:
 def taper_for(n_pixels: int, taper: str = "spheroidal", beta: float = 9.0) -> np.ndarray:
     """Return the 2-D taper array by name (dispatch helper used by the core).
 
-    Cached per ``(n_pixels, taper, beta)``; the returned array is shared and
+    Cached per ``(n_pixels, taper, beta)`` in the shared
+    :class:`~repro.cache.ArtifactCache`; the returned array is shared and
     read-only — copy before mutating.
     """
-    return _taper_cached(int(n_pixels), taper, float(beta))
+    n_pixels, beta = int(n_pixels), float(beta)
+    key = content_hash("taper", n_pixels, str(taper), beta)
+    return _TAPER_CACHE.get_or_create(
+        key, lambda: _compute_taper(n_pixels, taper, beta)
+    )

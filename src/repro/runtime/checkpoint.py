@@ -19,7 +19,6 @@ mismatched plan instead of silently producing a wrong image.
 
 from __future__ import annotations
 
-import hashlib
 import pathlib
 from dataclasses import dataclass
 from typing import Any
@@ -27,6 +26,7 @@ from typing import Any
 import numpy as np
 
 from repro.atomicio import atomic_savez_compressed
+from repro.hashing import ContentHasher
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -46,25 +46,24 @@ def plan_signature(plan: Any, work_group_size: int) -> str:
     Two runs may share a checkpoint only when their plans cover the same
     work items on the same grid geometry *and* chunk them into the same
     work groups — otherwise completed-group ids would not line up.
+
+    Built on :class:`repro.hashing.ContentHasher` with the exact byte
+    stream of the original implementation (items, frequencies, int64
+    geometry, float64 scalars — untagged), so checkpoints written by
+    earlier builds keep validating; ``tests/test_hashing.py`` pins a
+    known digest.
     """
-    digest = hashlib.sha256()
-    digest.update(np.ascontiguousarray(plan.items).tobytes())
-    digest.update(np.ascontiguousarray(plan.frequencies_hz).tobytes())
-    geometry = np.array(
-        [
-            plan.subgrid_size,
-            plan.kernel_support,
-            plan.gridspec.grid_size,
-            int(work_group_size),
-        ],
-        dtype=np.int64,
+    hasher = ContentHasher()
+    hasher.update_array(plan.items)
+    hasher.update_array(plan.frequencies_hz)
+    hasher.update_ints(
+        plan.subgrid_size,
+        plan.kernel_support,
+        plan.gridspec.grid_size,
+        int(work_group_size),
     )
-    digest.update(geometry.tobytes())
-    scalars = np.array(
-        [plan.gridspec.image_size, plan.w_offset], dtype=np.float64
-    )
-    digest.update(scalars.tobytes())
-    return digest.hexdigest()
+    hasher.update_floats(plan.gridspec.image_size, plan.w_offset)
+    return hasher.hexdigest()
 
 
 @dataclass(frozen=True)

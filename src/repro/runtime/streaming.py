@@ -52,6 +52,7 @@ from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
 from repro.core.pipeline import IDG, mask_flagged
 from repro.core.plan import Plan
+from repro.core.scratch import total_arena_nbytes
 from repro.runtime.checkpoint import load_checkpoint, plan_signature, save_checkpoint
 from repro.runtime.faults import FaultPlan
 from repro.runtime.graph import StageGraph
@@ -382,6 +383,7 @@ class StreamingIDG:
             runner.report.n_groups_completed = len(completed)
         if ckpt_path is not None:
             write_checkpoint()
+        tm.record_gauge("arena_bytes", float(total_arena_nbytes()))
         self.last_telemetry = tm
         return out_grid
 
@@ -509,6 +511,7 @@ class StreamingIDG:
         if runner is not None:
             runner.report.n_groups = len(chunks)
             runner.report.n_groups_completed = n_completed
+        tm.record_gauge("arena_bytes", float(total_arena_nbytes()))
         self.last_telemetry = tm
         return out
 

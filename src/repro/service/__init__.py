@@ -1,0 +1,42 @@
+"""Multi-tenant gridding service (DESIGN.md §13).
+
+Turns the library-direct :class:`~repro.core.IDG` facade into a shared,
+bounded, observable resource: a job API with admission control and
+per-tenant quotas (:mod:`~repro.service.scheduler`), content-hash request
+coalescing (:mod:`~repro.service.coalesce`), artifact sharing through
+:class:`~repro.cache.ArtifactCache`, PR 5 fault isolation, and per-tenant
+telemetry (:mod:`~repro.service.metrics`).  ``repro serve`` /
+``repro bench-service`` are the CLI entry points;
+:mod:`~repro.service.loadgen` fabricates deterministic many-client load.
+"""
+
+from repro.service.coalesce import aterm_signature, execution_key, plan_key
+from repro.service.jobs import (
+    JobKind,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    Overloaded,
+)
+from repro.service.loadgen import LoadReport, LoadSpec, build_specs, run_load
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import GriddingService, JobHandle, ServiceConfig
+
+__all__ = [
+    "GriddingService",
+    "JobHandle",
+    "JobKind",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "LoadReport",
+    "LoadSpec",
+    "Overloaded",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "aterm_signature",
+    "build_specs",
+    "execution_key",
+    "plan_key",
+    "run_load",
+]

@@ -1,0 +1,114 @@
+"""Request identity: the content-hash keys behind coalescing and caching.
+
+Two tenants asking for the same image should cost the service one
+execution — IDG's artifacts are pure functions of their inputs, so identity
+can be decided by hashing the inputs themselves (no cooperation between
+tenants required).  Identity is layered:
+
+* :func:`plan_key` — identifies the *plan*: uvw coverage, frequencies,
+  baselines, grid geometry and the plan-shaping config fields
+  (``subgrid_size``/``kernel_support``/``time_max``), plus the A-term
+  schedule and w offset.  Jobs sharing a plan key share one cached
+  :class:`~repro.core.plan.Plan` (and one cached A-term field evaluation)
+  even when their payloads differ.
+
+* :func:`execution_key` — identifies the *result*: the plan key plus the
+  job kind, the payload bytes (visibilities or model grid), flags, the
+  A-term signature and the full :class:`~repro.core.IDGConfig` (backend,
+  batching and fault-tolerance knobs all change the produced bits or their
+  failure semantics).  Jobs sharing an execution key are *coalesced*:
+  one execution fans its result out to every waiter.
+
+Conservatism rule: when identity cannot be established the answer is
+``None`` — the job still runs, it just never shares.  Fault-injected jobs
+(``spec.faults``) and A-term generators whose state we cannot hash are the
+two cases.  A wrong "not shareable" costs duplicate work; a wrong
+"shareable" returns the wrong science — so unknown always means no.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import IDGConfig
+from repro.hashing import content_hash
+from repro.service.jobs import JobSpec
+
+__all__ = [
+    "aterm_signature",
+    "execution_key",
+    "plan_key",
+]
+
+#: Signature of "no direction-dependent effects" (identity A-terms).
+IDENTITY_ATERM_SIGNATURE = "identity"
+
+
+def aterm_signature(spec: JobSpec) -> str | None:
+    """Content signature of the job's A-term generator, or ``None``.
+
+    Identity generators (or none at all) hash to a fixed sentinel.  Other
+    generators are hashed by class plus constructor state (``vars``) —
+    the repo's generators are parameterised by scalars, so this captures
+    their full behaviour.  A generator whose state contains something
+    :func:`~repro.hashing.content_hash` cannot digest yields ``None``:
+    the job executes normally but is excluded from coalescing and A-term
+    field caching.
+    """
+    aterms = spec.aterms
+    if aterms is None or aterms.is_identity:
+        return IDENTITY_ATERM_SIGNATURE
+    try:
+        return content_hash(
+            "aterm",
+            type(aterms).__module__,
+            type(aterms).__qualname__,
+            dict(sorted(vars(aterms).items())),
+        )
+    except TypeError:
+        return None
+
+
+def plan_key(spec: JobSpec, config: IDGConfig) -> str:
+    """Cache key of the :class:`~repro.core.plan.Plan` this job needs.
+
+    Hashes exactly the inputs of ``IDG.make_plan``: uvw/frequency/baseline
+    geometry, gridspec, the three plan-shaping config fields, the A-term
+    schedule and the w offset.  Backend/batching knobs deliberately do not
+    participate — they change execution, not the plan.
+    """
+    return content_hash(
+        "plan",
+        spec.uvw_m,
+        spec.frequencies_hz,
+        spec.baselines,
+        spec.gridspec,
+        config.subgrid_size,
+        config.kernel_support,
+        config.time_max,
+        spec.aterm_schedule,
+        float(spec.w_offset),
+    )
+
+
+def execution_key(
+    spec: JobSpec, plan_key_: str, config: IDGConfig
+) -> str | None:
+    """Single-flight key: jobs with equal keys produce identical results.
+
+    ``None`` (never coalesce) for fault-injected jobs and for jobs whose
+    A-terms cannot be signed — see the conservatism rule in the module
+    docstring.
+    """
+    if spec.faults is not None:
+        return None
+    signature = aterm_signature(spec)
+    if signature is None:
+        return None
+    return content_hash(
+        "exec",
+        spec.kind.value,
+        plan_key_,
+        spec.payload,
+        spec.flags,
+        signature,
+        config,
+    )

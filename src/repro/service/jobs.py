@@ -1,0 +1,156 @@
+"""Job model of the multi-tenant gridding service.
+
+A *job* is one gridding (``IMAGE``) or degridding (``PREDICT``) request
+submitted by a *tenant*.  :class:`JobSpec` is the immutable request payload;
+:class:`JobResult` is what every waiter receives when the job retires.  The
+scheduler (:mod:`repro.service.scheduler`) decides admission and execution;
+request identity for coalescing and caching lives in
+:mod:`repro.service.coalesce`.
+
+Admission failures are *typed*: an over-committed service raises
+:class:`Overloaded` at submit time (load shedding) instead of queueing
+without bound — callers see the shed immediately and can back off, and the
+service's queue depth stays a hard invariant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.aterms.generators import ATermGenerator
+from repro.aterms.schedule import ATermSchedule
+from repro.gridspec import GridSpec
+
+__all__ = [
+    "JobKind",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "Overloaded",
+]
+
+
+class JobKind(enum.Enum):
+    """What the job computes: a master grid or predicted visibilities."""
+
+    IMAGE = "image"
+    PREDICT = "predict"
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a job (terminal states: DONE/DEAD_LETTERED/FAILED).
+
+    ``DEAD_LETTERED`` is the PR 5 fault-tolerance outcome: the job ran, some
+    work groups were quarantined to dead letters, and the result excludes
+    them (``JobResult.fault_report`` has the accounting).  ``FAILED`` means
+    no result exists at all (the execution raised, e.g. an injected crash or
+    a validation error surfaced late).
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    DEAD_LETTERED = "dead_lettered"
+    FAILED = "failed"
+
+
+class Overloaded(RuntimeError):
+    """Admission refused: the service is shedding load.
+
+    ``reason`` is ``"queue_full"`` (global admission queue at capacity) or
+    ``"tenant_backlog"`` (this tenant alone has too many queued jobs);
+    ``tenant`` names the shed tenant.  Raised synchronously by
+    ``GriddingService.submit`` — a shed request never occupies queue space.
+    """
+
+    def __init__(self, reason: str, tenant: str) -> None:
+        super().__init__(
+            f"service overloaded ({reason}) — request from tenant "
+            f"{tenant!r} shed"
+        )
+        self.reason = reason
+        self.tenant = tenant
+
+
+@dataclass(frozen=True, eq=False)
+class JobSpec:
+    """One immutable gridding/degridding request.
+
+    ``IMAGE`` jobs require ``visibilities``; ``PREDICT`` jobs require
+    ``model_grid``.  Arrays are shared with the caller, not copied — treat
+    them as frozen once submitted (the coalescing keys hash their bytes).
+    ``faults`` installs a deterministic fault-injection plan for this job
+    only; faulted jobs are never coalesced with clean ones.
+    """
+
+    kind: JobKind
+    tenant: str
+    uvw_m: np.ndarray
+    frequencies_hz: np.ndarray
+    baselines: np.ndarray
+    gridspec: GridSpec
+    visibilities: np.ndarray | None = None
+    model_grid: np.ndarray | None = None
+    flags: np.ndarray | None = None
+    aterms: ATermGenerator | None = None
+    aterm_schedule: ATermSchedule | None = None
+    w_offset: float = 0.0
+    priority: int = 0
+    faults: Any = None
+
+    def __post_init__(self) -> None:
+        if self.uvw_m.ndim != 3 or self.uvw_m.shape[-1] != 3:
+            raise ValueError("uvw_m must have shape (n_baselines, n_times, 3)")
+        if self.kind is JobKind.IMAGE and self.visibilities is None:
+            raise ValueError("IMAGE jobs require visibilities")
+        if self.kind is JobKind.PREDICT and self.model_grid is None:
+            raise ValueError("PREDICT jobs require model_grid")
+
+    @property
+    def payload(self) -> np.ndarray:
+        """The kind-specific input array (visibilities or model grid)."""
+        if self.kind is JobKind.IMAGE:
+            assert self.visibilities is not None
+            return self.visibilities
+        assert self.model_grid is not None
+        return self.model_grid
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What every waiter of a retired job receives.
+
+    ``value`` is the ``(4, G, G)`` master grid (``IMAGE``) or the predicted
+    visibility array (``PREDICT``); coalesced waiters share *the same*
+    read-only array object.  ``fault_report`` carries the PR 5 dead-letter
+    accounting when fault tolerance was active.  Timings are per-handle:
+    ``queue_wait_s`` runs from this handle's submit to execution start (a
+    coalesced follower's wait starts at *its own* submit).
+    """
+
+    status: JobStatus
+    tenant: str
+    value: np.ndarray | None = None
+    error: str | None = None
+    fault_report: Any = None
+    coalesced: bool = False
+    queue_wait_s: float = 0.0
+    execution_s: float = 0.0
+    retries: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when a full-fidelity result exists (no dead letters)."""
+        return self.status is JobStatus.DONE
+
+    def unwrap(self) -> np.ndarray:
+        """The result array, raising on FAILED jobs (DEAD_LETTERED results
+        are returned — partial by contract, see ``fault_report``)."""
+        if self.status is JobStatus.FAILED or self.value is None:
+            raise RuntimeError(f"job failed: {self.error or 'no result'}")
+        return self.value

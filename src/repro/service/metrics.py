@@ -1,0 +1,99 @@
+"""Per-tenant service telemetry on top of the PR 2 telemetry layer.
+
+One :class:`ServiceMetrics` wraps one
+:class:`~repro.runtime.telemetry.Telemetry` recorder for the lifetime of a
+:class:`~repro.service.scheduler.GriddingService`.  Counter naming scheme::
+
+    jobs.submitted / jobs.coalesced / jobs.shed / jobs.executed
+    jobs.done / jobs.dead_lettered / jobs.failed / jobs.retries
+    tenant.<tenant>.<event>          # same events, per tenant
+
+plus ``service:exec`` spans (one per *execution*, not per waiter), gauges
+``cache.<name>.bytes``/``hit_rate`` snapshotted from every live
+:class:`~repro.cache.ArtifactCache`, and ``arena.total_bytes``/
+``arena.total_trims`` from the scratch-arena registry — the per-thread
+high-water marks that previously never reached telemetry.
+
+The reconciliation contract audited by ``BENCH_service.json``: every
+submitted request ends in exactly one of coalesced/shed/executed-terminal
+state, so ``submitted == coalesced + shed + done + dead_lettered + failed``
+(with done/dead_lettered/failed counted per *primary* execution plus one
+per coalesced waiter's outcome — the scheduler counts waiter outcomes,
+keeping the identity exact).
+"""
+
+from __future__ import annotations
+
+from repro.cache import all_cache_stats
+from repro.core.scratch import arena_stats
+from repro.runtime.telemetry import Telemetry
+from repro.service.jobs import JobResult
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thin recorder: turns service events into telemetry counters/spans.
+
+    Stateless beyond the wrapped (thread-safe) ``Telemetry``; safe to call
+    from any scheduler thread without extra locking.
+    """
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    # ------------------------------------------------------------- events
+
+    def count(self, event: str, tenant: str | None = None, delta: float = 1.0) -> None:
+        """Bump ``jobs.<event>`` and (when given) ``tenant.<t>.<event>``."""
+        self.telemetry.add_counter(f"jobs.{event}", delta)
+        if tenant is not None:
+            self.telemetry.add_counter(f"tenant.{tenant}.{event}", delta)
+
+    def record_execution(
+        self, item: int, start: float, end: float, worker: str
+    ) -> None:
+        """One span per job execution (coalesced waiters add no span)."""
+        self.telemetry.record_span("service:exec", item, start, end, worker)
+
+    def record_outcome(self, result: JobResult) -> None:
+        """Terminal accounting for one waiter's result."""
+        self.count(result.status.value, result.tenant)
+        if result.retries:
+            self.count("retries", result.tenant, delta=float(result.retries))
+        self.telemetry.add_counter("jobs.queue_wait_s", result.queue_wait_s)
+
+    # ------------------------------------------------------------ snapshots
+
+    def record_caches(self) -> None:
+        """Gauge every live artifact cache (hit/miss/bytes)."""
+        for stats in all_cache_stats():
+            self.telemetry.record_gauge(
+                f"cache.{stats.name}.bytes", float(stats.current_bytes)
+            )
+            self.telemetry.record_gauge(
+                f"cache.{stats.name}.hit_rate", stats.hit_rate
+            )
+
+    def record_arenas(self) -> None:
+        """Gauge the scratch-arena registry: total/peak bytes and trims."""
+        snapshots = arena_stats()
+        self.telemetry.record_gauge(
+            "arena.total_bytes", float(sum(s.nbytes for s in snapshots))
+        )
+        self.telemetry.record_gauge(
+            "arena.peak_bytes", float(sum(s.peak_nbytes for s in snapshots))
+        )
+        self.telemetry.record_gauge(
+            "arena.total_trims", float(sum(s.n_trims for s in snapshots))
+        )
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return self.telemetry.counters
+
+    def summary(self) -> str:
+        """The wrapped telemetry's human-readable run summary."""
+        return self.telemetry.summary()

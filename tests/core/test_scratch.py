@@ -158,6 +158,67 @@ def test_release_drops_everything_and_reports_bytes():
     assert arena.keys == ()
 
 
+def test_stats_tracks_peak_and_trims():
+    from repro.core.scratch import ArenaStats
+
+    arena = ScratchArena()
+    assert arena.stats() == ArenaStats(
+        thread=threading.current_thread().name,
+        nbytes=0, peak_nbytes=0, n_keys=0, n_trims=0, trimmed_bytes=0,
+    )
+    arena.take("a", (1 << 12,), np.float64)
+    arena.take("b", (1 << 10,), np.float64)
+    high = arena.nbytes
+    stats = arena.stats()
+    assert stats.nbytes == stats.peak_nbytes == high
+    assert stats.n_keys == 2
+
+    # Trim down to a smaller phase: nbytes drops, peak stays.
+    arena.trim()
+    arena.take("a", (64,), np.float64)
+    freed = arena.trim()
+    stats = arena.stats()
+    assert stats.nbytes == 64 * 8 < high
+    assert stats.peak_nbytes == high
+    assert stats.n_trims == 2
+    assert stats.trimmed_bytes == freed + 0  # first trim freed nothing
+    assert stats.n_keys == 1
+
+    # Growing again past the old peak raises the peak.
+    arena.take("a", (1 << 13,), np.float64)
+    assert arena.stats().peak_nbytes == arena.nbytes > high
+
+
+def test_arena_stats_snapshots_all_threads():
+    from repro.core.scratch import arena_stats, total_arena_nbytes
+
+    mine = thread_arena()
+    mine.release()
+    mine.take("obs", (512,), np.float64)
+
+    keep = {}
+
+    def worker():
+        arena = thread_arena()
+        arena.release()
+        arena.take("obs", (256,), np.float64)
+        keep["arena"] = arena
+
+    thread = threading.Thread(target=worker, name="stats-worker")
+    thread.start()
+    thread.join()
+
+    snapshots = arena_stats()
+    assert [s.thread for s in snapshots] == sorted(s.thread for s in snapshots)
+    by_thread = {s.thread: s for s in snapshots}
+    assert by_thread[threading.current_thread().name].nbytes >= 512 * 8
+    assert by_thread["stats-worker"].nbytes == 256 * 8
+    assert total_arena_nbytes() == sum(s.nbytes for s in snapshots)
+
+    keep["arena"].release()
+    mine.release()
+
+
 def test_trim_thread_arenas_reaches_all_live_arenas():
     from repro.core.scratch import trim_thread_arenas
 

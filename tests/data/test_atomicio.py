@@ -1,0 +1,83 @@
+"""atomic_savez_compressed under concurrent same-path writers.
+
+The atomicity contract (tempfile + fsync + ``os.replace``) means N racing
+writers to one path must end with the file holding exactly one writer's
+complete payload — last writer wins, never a torn or mixed archive — and
+no stray temp files left behind.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.atomicio import atomic_savez_compressed
+
+N_WRITERS = 8
+N_ROUNDS = 3
+
+
+def _payload(writer: int) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(writer)
+    return {
+        "grid": rng.standard_normal((32, 32)).astype(np.complex64),
+        "tag": np.full(4, writer, dtype=np.int64),
+    }
+
+
+def test_concurrent_writers_last_writer_wins(tmp_path):
+    path = tmp_path / "artifact.npz"
+    barrier = threading.Barrier(N_WRITERS)
+    errors = []
+
+    def writer(i: int) -> None:
+        try:
+            for _ in range(N_ROUNDS):
+                barrier.wait()
+                atomic_savez_compressed(path, **_payload(i))
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(i,)) for i in range(N_WRITERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+    # The surviving file is one writer's payload, complete and coherent.
+    with np.load(path) as archive:
+        assert sorted(archive.files) == ["grid", "tag"]
+        tag = archive["tag"]
+        winner = int(tag[0])
+        assert np.array_equal(tag, np.full(4, winner, dtype=np.int64))
+        expected = _payload(winner)
+        assert np.array_equal(archive["grid"], expected["grid"])
+
+    # No torn temp files left in the directory.
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "artifact.npz"]
+    assert leftovers == []
+
+
+def test_appends_npz_suffix(tmp_path):
+    written = atomic_savez_compressed(tmp_path / "plain", x=np.arange(3))
+    assert written.suffix == ".npz"
+    with np.load(written) as archive:
+        assert np.array_equal(archive["x"], np.arange(3))
+
+
+def test_failed_write_leaves_no_temp(tmp_path):
+    path = tmp_path / "bad.npz"
+
+    class Unpicklable:
+        def __reduce__(self):
+            raise RuntimeError("nope")
+
+    try:
+        atomic_savez_compressed(path, bad=np.array(Unpicklable(), dtype=object))
+    except Exception:
+        pass
+    assert list(tmp_path.iterdir()) == []

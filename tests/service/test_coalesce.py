@@ -1,0 +1,190 @@
+"""Request coalescing and content-hash identity keys."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aterms.generators import GaussianBeamATerm, IdentityATerm
+from repro.core.pipeline import IDGConfig
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.service import (
+    GriddingService,
+    JobKind,
+    JobSpec,
+    JobStatus,
+    ServiceConfig,
+    aterm_signature,
+    execution_key,
+    plan_key,
+)
+from repro.service.coalesce import IDENTITY_ATERM_SIGNATURE
+
+
+@pytest.fixture()
+def make_spec(small_obs, small_baselines, small_gridspec, single_source_vis):
+    def build(tenant="t0", scale=1.0, faults=None, aterms=None, kind=JobKind.IMAGE):
+        payload = (
+            single_source_vis if scale == 1.0 else single_source_vis * scale
+        )
+        return JobSpec(
+            kind=kind,
+            tenant=tenant,
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+            visibilities=payload if kind is JobKind.IMAGE else None,
+            model_grid=(
+                np.zeros((4, small_gridspec.grid_size,
+                          small_gridspec.grid_size), dtype=np.complex64)
+                if kind is JobKind.PREDICT else None
+            ),
+            aterms=aterms,
+            faults=faults,
+        )
+
+    return build
+
+
+# ------------------------------------------------------------------- keys
+
+
+class TestKeys:
+    def test_plan_key_shared_across_payloads(self, make_spec, small_idg):
+        config = small_idg.config
+        assert plan_key(make_spec(scale=1.0), config) == plan_key(
+            make_spec(scale=2.0), config
+        )
+
+    def test_plan_key_sensitive_to_plan_parameters(self, make_spec, small_idg):
+        base = plan_key(make_spec(), small_idg.config)
+        other = IDGConfig(
+            subgrid_size=small_idg.config.subgrid_size,
+            kernel_support=small_idg.config.kernel_support,
+            time_max=small_idg.config.time_max * 2,
+        )
+        assert plan_key(make_spec(), other) != base
+
+    def test_execution_key_separates_payloads_and_kinds(
+        self, make_spec, small_idg
+    ):
+        config = small_idg.config
+        spec_a = make_spec(scale=1.0)
+        spec_b = make_spec(scale=2.0)
+        pkey = plan_key(spec_a, config)
+        assert execution_key(spec_a, pkey, config) == execution_key(
+            make_spec(scale=1.0), pkey, config
+        )
+        assert execution_key(spec_a, pkey, config) != execution_key(
+            spec_b, pkey, config
+        )
+        predict = make_spec(kind=JobKind.PREDICT)
+        assert execution_key(predict, pkey, config) != execution_key(
+            spec_a, pkey, config
+        )
+
+    def test_faulted_jobs_never_get_a_key(self, make_spec, small_idg):
+        spec = make_spec(faults=FaultPlan([FaultSpec("gridder", 0)]))
+        pkey = plan_key(spec, small_idg.config)
+        assert execution_key(spec, pkey, small_idg.config) is None
+
+    def test_aterm_signature(self, make_spec):
+        assert aterm_signature(make_spec()) == IDENTITY_ATERM_SIGNATURE
+        assert (
+            aterm_signature(make_spec(aterms=IdentityATerm()))
+            == IDENTITY_ATERM_SIGNATURE
+        )
+        beam_a = aterm_signature(make_spec(aterms=GaussianBeamATerm(0.5)))
+        beam_b = aterm_signature(make_spec(aterms=GaussianBeamATerm(0.5)))
+        assert beam_a == beam_b != IDENTITY_ATERM_SIGNATURE
+        assert beam_a != aterm_signature(
+            make_spec(aterms=GaussianBeamATerm(0.25))
+        )
+
+
+# -------------------------------------------------------------- behaviour
+
+
+def _config(small_idg, **kwargs):
+    kwargs.setdefault("idg", small_idg.config)
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("autostart", False)
+    return ServiceConfig(**kwargs)
+
+
+def test_identical_requests_share_one_execution(small_idg, make_spec):
+    service = GriddingService(_config(small_idg))
+    handles = [service.submit(make_spec(tenant=f"t{k}")) for k in range(4)]
+    service.start()
+    results = [handle.result(timeout=300) for handle in handles]
+    service.close()
+    assert all(r.status is JobStatus.DONE for r in results)
+    first = results[0]
+    # One execution fanned out: every waiter holds THE SAME array object.
+    assert all(r.value is first.value for r in results[1:])
+    assert not first.coalesced
+    assert all(r.coalesced for r in results[1:])
+    counters = service.metrics.counters
+    assert counters["jobs.executed"] == 1
+    assert counters["jobs.coalesced"] == 3
+    assert counters["jobs.submitted"] == 4
+
+
+def test_plan_shared_across_distinct_payloads(small_idg, make_spec):
+    service = GriddingService(_config(small_idg))
+    h1 = service.submit(make_spec(scale=1.0))
+    h2 = service.submit(make_spec(scale=2.0))
+    service.start()
+    r1, r2 = h1.result(timeout=300), h2.result(timeout=300)
+    service.close()
+    assert r1.status is JobStatus.DONE and r2.status is JobStatus.DONE
+    assert r1.value is not r2.value  # different payloads: two executions
+    plans = service.stats()["plan_cache"]
+    # Two executions, one shared layout: first misses, second hits.
+    assert (plans.misses, plans.hits) == (1, 1)
+
+
+def test_coalesce_disabled_executes_equal_requests_separately(
+    small_idg, make_spec
+):
+    service = GriddingService(_config(small_idg, coalesce=False))
+    h1 = service.submit(make_spec())
+    h2 = service.submit(make_spec())
+    service.start()
+    r1, r2 = h1.result(timeout=300), h2.result(timeout=300)
+    service.close()
+    assert service.metrics.counters["jobs.executed"] == 2
+    assert r1.value is not r2.value
+    # ...but determinism still makes them bit-identical.
+    assert np.array_equal(r1.value, r2.value)
+
+
+def test_faulted_jobs_do_not_coalesce(small_idg, make_spec):
+    config = _config(
+        small_idg,
+        idg=IDGConfig(
+            subgrid_size=small_idg.config.subgrid_size,
+            kernel_support=small_idg.config.kernel_support,
+            time_max=small_idg.config.time_max,
+            max_retries=2,
+            retry_backoff_s=0.0,
+        ),
+    )
+    service = GriddingService(config)
+    # Transient fault plans are stateful: identical-looking requests must
+    # never share an execution.
+    h1 = service.submit(
+        make_spec(faults=FaultPlan([FaultSpec("gridder", 0, times=1)]))
+    )
+    h2 = service.submit(
+        make_spec(faults=FaultPlan([FaultSpec("gridder", 0, times=1)]))
+    )
+    service.start()
+    r1, r2 = h1.result(timeout=300), h2.result(timeout=300)
+    service.close()
+    assert service.metrics.counters["jobs.executed"] == 2
+    assert service.metrics.counters.get("jobs.coalesced", 0) == 0
+    # Both recovered via retries independently.
+    assert r1.status is JobStatus.DONE and r2.status is JobStatus.DONE
+    assert r1.retries >= 1 and r2.retries >= 1

@@ -1,0 +1,139 @@
+"""Fault isolation: a poisoned request must not take the service down.
+
+The acceptance scenario from the issue: one tenant submits a request whose
+execution is fault-injected, concurrent tenants submit clean requests, and
+
+* the poisoned request is retried, then quarantined per PR 5 dead-letter
+  semantics — a ``DEAD_LETTERED`` result carrying the
+  :class:`~repro.runtime.recovery.FaultReport`, never a service crash;
+* the clean tenants' results are bit-identical to library-direct
+  execution;
+* even an injected *crash* (``InjectedCrash`` derives from
+  ``BaseException`` so the retry layer never masks it) fails only its own
+  job, and the worker thread survives to execute later jobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import IDGConfig
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.service import (
+    GriddingService,
+    JobKind,
+    JobSpec,
+    JobStatus,
+    ServiceConfig,
+)
+
+
+@pytest.fixture()
+def tolerant_idg_config(small_idg):
+    return IDGConfig(
+        subgrid_size=small_idg.config.subgrid_size,
+        kernel_support=small_idg.config.kernel_support,
+        time_max=small_idg.config.time_max,
+        max_retries=1,
+        retry_backoff_s=0.0,
+    )
+
+
+@pytest.fixture()
+def make_spec(small_obs, small_baselines, small_gridspec, single_source_vis):
+    def build(tenant, scale=1.0, faults=None):
+        return JobSpec(
+            kind=JobKind.IMAGE,
+            tenant=tenant,
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+            visibilities=(
+                single_source_vis if scale == 1.0
+                else single_source_vis * scale
+            ),
+            faults=faults,
+        )
+
+    return build
+
+
+def test_poisoned_request_dead_lettered_others_bit_identical(
+    small_idg, small_plan, small_obs, single_source_vis, make_spec,
+    tolerant_idg_config,
+):
+    direct = small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    poison = FaultPlan([FaultSpec("gridder", 0, times=-1)])  # permanent
+    config = ServiceConfig(
+        n_workers=2, idg=tolerant_idg_config, autostart=False
+    )
+    service = GriddingService(config)
+    bad = service.submit(make_spec("mallory", faults=poison))
+    clean = [service.submit(make_spec(f"tenant-{k}")) for k in range(3)]
+    service.start()
+    bad_result = bad.result(timeout=300)
+    clean_results = [handle.result(timeout=300) for handle in clean]
+    service.close()
+
+    # Quarantined, not fatal: the report accounts for the lost work group.
+    assert bad_result.status is JobStatus.DEAD_LETTERED
+    report = bad_result.fault_report
+    assert report is not None and not report.ok
+    assert report.n_dead_letters >= 1
+    assert report.n_visibilities_lost > 0
+    assert bad_result.retries >= 1
+    # The partial grid excludes the dead-lettered group but still exists.
+    assert bad_result.value is not None
+    assert not np.array_equal(bad_result.value, direct)
+
+    # Concurrent tenants: bit-identical to library-direct execution.
+    for result in clean_results:
+        assert result.status is JobStatus.DONE
+        assert result.fault_report is not None and result.fault_report.ok
+        assert np.array_equal(result.value, direct)
+
+    counters = service.metrics.counters
+    assert counters["jobs.dead_lettered"] == 1
+    assert counters["tenant.mallory.dead_lettered"] == 1
+    assert counters["jobs.done"] == 3
+
+
+def test_injected_crash_fails_job_but_worker_survives(
+    make_spec, tolerant_idg_config
+):
+    crash = FaultPlan([FaultSpec("gridder", 0, kind="crash", times=-1)])
+    config = ServiceConfig(
+        n_workers=1, idg=tolerant_idg_config, autostart=False
+    )
+    service = GriddingService(config)
+    crashed = service.submit(make_spec("mallory", faults=crash))
+    service.start()
+    result = crashed.result(timeout=300)
+    assert result.status is JobStatus.FAILED
+    assert "injected crash" in result.error
+    assert result.value is None
+
+    # The single worker survived the BaseException: later jobs complete.
+    after = service.submit(make_spec("alice"))
+    assert after.result(timeout=300).status is JobStatus.DONE
+    service.close()
+    counters = service.metrics.counters
+    assert counters["jobs.failed"] == 1
+    assert counters["jobs.done"] == 1
+
+
+def test_transient_fault_recovers_to_done(make_spec, tolerant_idg_config):
+    transient = FaultPlan([FaultSpec("gridder", 0, times=1)])
+    config = ServiceConfig(
+        n_workers=1, idg=tolerant_idg_config, autostart=False
+    )
+    service = GriddingService(config)
+    handle = service.submit(make_spec("alice", faults=transient))
+    service.start()
+    result = handle.result(timeout=300)
+    service.close()
+    assert result.status is JobStatus.DONE
+    assert result.retries == 1
+    assert result.fault_report is not None and result.fault_report.ok

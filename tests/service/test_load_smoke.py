@@ -1,0 +1,71 @@
+"""Load smoke: run_load drives the service end-to-end and reconciles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LoadSpec, ServiceConfig, build_specs, run_load
+
+
+@pytest.fixture()
+def specs_for(small_obs, small_baselines, small_gridspec, single_source_vis):
+    def build(load):
+        return build_specs(
+            load,
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+            visibilities=single_source_vis,
+        )
+
+    return build
+
+
+def test_load_smoke_all_done_and_reconciles(small_idg, specs_for):
+    load = LoadSpec(n_tenants=3, requests_per_tenant=4, n_distinct=2)
+    config = ServiceConfig(n_workers=2, idg=small_idg.config)
+    report = run_load(config, specs_for(load))
+
+    assert report.n_requests == load.n_requests == 12
+    assert report.n_shed == 0
+    assert report.n_completed == 12
+    assert report.statuses == {"done": 12}
+    assert report.requests_per_s > 0
+    assert report.p95_latency_s >= report.mean_latency_s > 0
+    assert all(report.reconciliation().values()), report.reconciliation()
+
+    # Per-tenant counters are present for every synthetic tenant.
+    for t in range(load.n_tenants):
+        assert report.counters[f"tenant.tenant-{t}.submitted"] == 4
+        assert report.counters[f"tenant.tenant-{t}.done"] == 4
+
+    # Coalescing kicked in: only the distinct payloads executed.
+    assert report.counters["jobs.executed"] == load.n_distinct
+    assert report.counters["jobs.coalesced"] == 12 - load.n_distinct
+
+    # Cache stats rode along in the report.
+    assert "service.plans" in report.caches
+    plans = report.caches["service.plans"]
+    assert plans.hits + plans.misses == report.counters["jobs.executed"]
+
+
+def test_load_smoke_with_shedding_still_reconciles(small_idg, specs_for):
+    load = LoadSpec(n_tenants=2, requests_per_tenant=4, n_distinct=8)
+    config = ServiceConfig(
+        n_workers=1, max_queue_depth=2, coalesce=False, idg=small_idg.config
+    )
+    report = run_load(config, specs_for(load))
+
+    assert report.n_shed == report.n_requests - report.n_completed > 0
+    assert report.statuses.get("done", 0) == report.n_completed
+    assert all(report.reconciliation().values()), report.reconciliation()
+    assert report.counters["jobs.shed"] == report.n_shed
+    assert report.counters.get("jobs.coalesced", 0) == 0
+
+
+def test_load_spec_validation():
+    with pytest.raises(ValueError):
+        LoadSpec(n_tenants=0)
+    with pytest.raises(ValueError):
+        LoadSpec(n_distinct=0)

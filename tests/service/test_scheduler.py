@@ -1,0 +1,210 @@
+"""GriddingService: admission control, quotas, priorities, lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    GriddingService,
+    JobKind,
+    JobSpec,
+    JobStatus,
+    Overloaded,
+    ServiceConfig,
+)
+
+
+@pytest.fixture()
+def make_spec(small_obs, small_baselines, small_gridspec, single_source_vis):
+    """Factory for IMAGE specs on the shared small observation; ``scale``
+    varies the payload bytes so specs with different scales never coalesce."""
+
+    def build(tenant="t0", scale=1.0, priority=0, faults=None):
+        return JobSpec(
+            kind=JobKind.IMAGE,
+            tenant=tenant,
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+            visibilities=(
+                single_source_vis if scale == 1.0
+                else single_source_vis * scale
+            ),
+            priority=priority,
+            faults=faults,
+        )
+
+    return build
+
+
+def _service_config(small_idg, **kwargs):
+    kwargs.setdefault("idg", small_idg.config)
+    kwargs.setdefault("n_workers", 2)
+    return ServiceConfig(**kwargs)
+
+
+def test_image_job_bit_identical_to_library_direct(
+    small_idg, small_plan, small_obs, single_source_vis, make_spec
+):
+    direct = small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    with GriddingService(_service_config(small_idg)) as service:
+        result = service.submit(make_spec()).result(timeout=300)
+    assert result.status is JobStatus.DONE
+    assert np.array_equal(result.value, direct)
+    assert not result.value.flags.writeable
+
+
+def test_predict_job_bit_identical_to_library_direct(
+    small_idg, small_plan, small_obs, small_baselines, small_gridspec,
+    single_source_vis,
+):
+    model = small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    direct = small_idg.degrid(small_plan, small_obs.uvw_m, model)
+    spec = JobSpec(
+        kind=JobKind.PREDICT,
+        tenant="t0",
+        uvw_m=small_obs.uvw_m,
+        frequencies_hz=small_obs.frequencies_hz,
+        baselines=small_baselines,
+        gridspec=small_gridspec,
+        model_grid=model,
+    )
+    with GriddingService(_service_config(small_idg)) as service:
+        result = service.submit(spec).result(timeout=300)
+    assert result.status is JobStatus.DONE
+    assert np.array_equal(result.value, direct)
+
+
+def test_queue_full_sheds_with_typed_error(small_idg, make_spec):
+    config = _service_config(
+        small_idg, max_queue_depth=2, autostart=False
+    )
+    service = GriddingService(config)
+    try:
+        service.submit(make_spec(scale=1.0))
+        service.submit(make_spec(scale=2.0))
+        with pytest.raises(Overloaded) as excinfo:
+            service.submit(make_spec(scale=3.0))
+        assert excinfo.value.reason == "queue_full"
+        assert excinfo.value.tenant == "t0"
+        assert service.metrics.counters["jobs.shed"] == 1
+        assert service.metrics.counters["tenant.t0.shed"] == 1
+    finally:
+        service.close(drain=False)
+
+
+def test_tenant_backlog_sheds_only_the_backlogged_tenant(small_idg, make_spec):
+    config = _service_config(
+        small_idg, max_queue_depth=64, tenant_backlog=1, autostart=False
+    )
+    service = GriddingService(config)
+    try:
+        service.submit(make_spec(tenant="a", scale=1.0))
+        with pytest.raises(Overloaded) as excinfo:
+            service.submit(make_spec(tenant="a", scale=2.0))
+        assert excinfo.value.reason == "tenant_backlog"
+        # The other tenant still has room.
+        service.submit(make_spec(tenant="b", scale=3.0))
+    finally:
+        service.close(drain=False)
+
+
+def test_priority_order_with_single_worker(small_idg, make_spec):
+    config = _service_config(
+        small_idg, n_workers=1, autostart=False, coalesce=False
+    )
+    service = GriddingService(config)
+    handles = [
+        service.submit(make_spec(scale=1.0 + k, priority=k)) for k in range(3)
+    ]
+    service.start()
+    for handle in handles:
+        assert handle.result(timeout=300).status is JobStatus.DONE
+    service.close()
+    spans = sorted(
+        service.metrics.telemetry.spans("service:exec"), key=lambda s: s.start
+    )
+    # seq == submission index; highest priority (last submitted) ran first.
+    assert [span.item for span in spans] == [2, 1, 0]
+
+
+def test_tenant_quota_serialises_one_tenants_jobs(small_idg, make_spec):
+    config = _service_config(
+        small_idg, n_workers=2, tenant_quota=1, autostart=False,
+        coalesce=False,
+    )
+    service = GriddingService(config)
+    handles = [
+        service.submit(make_spec(tenant="a", scale=1.0 + k)) for k in range(2)
+    ]
+    service.start()
+    for handle in handles:
+        assert handle.result(timeout=300).status is JobStatus.DONE
+    service.close()
+    spans = sorted(
+        service.metrics.telemetry.spans("service:exec"), key=lambda s: s.start
+    )
+    assert len(spans) == 2
+    # quota 1: the tenant's executions must never overlap, even with two
+    # idle workers available.
+    assert spans[1].start >= spans[0].end
+
+
+def test_close_drain_false_fails_pending(small_idg, make_spec):
+    service = GriddingService(_service_config(small_idg, autostart=False))
+    handle = service.submit(make_spec())
+    service.close(drain=False)
+    result = handle.result(timeout=10)
+    assert result.status is JobStatus.FAILED
+    assert "closed" in result.error
+    with pytest.raises(RuntimeError):
+        service.submit(make_spec())
+
+
+def test_close_drain_completes_queued_jobs(small_idg, make_spec):
+    service = GriddingService(_service_config(small_idg))
+    handle = service.submit(make_spec())
+    service.close(drain=True)
+    assert handle.result(timeout=10).status is JobStatus.DONE
+
+
+def test_result_timeout(small_idg, make_spec):
+    service = GriddingService(_service_config(small_idg, autostart=False))
+    handle = service.submit(make_spec())
+    try:
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.05)
+    finally:
+        service.close(drain=False)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServiceConfig(n_workers=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(max_queue_depth=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(tenant_backlog=0)
+
+
+def test_spec_validation(small_obs, small_baselines, small_gridspec):
+    with pytest.raises(ValueError):
+        JobSpec(
+            kind=JobKind.IMAGE,
+            tenant="t",
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+        )
+    with pytest.raises(ValueError):
+        JobSpec(
+            kind=JobKind.PREDICT,
+            tenant="t",
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+        )

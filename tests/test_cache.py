@@ -1,0 +1,163 @@
+"""ArtifactCache: byte-bounded LRU, exact accounting, single-flight."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, all_cache_stats, default_nbytes
+
+
+def test_get_or_create_and_hit_accounting():
+    cache = ArtifactCache(max_bytes=1024, name="t.basic")
+    calls = []
+    value = cache.get_or_create("k", lambda: calls.append(1) or "v")
+    assert value == "v"
+    assert cache.get_or_create("k", lambda: calls.append(1) or "v2") == "v"
+    assert cache.get("k") == "v"
+    assert cache.get("absent", default="d") == "d"
+    assert len(calls) == 1
+    stats = cache.stats()
+    # Every lookup incremented exactly one of hits/misses.
+    assert (stats.hits, stats.misses) == (2, 2)
+    assert stats.lookups == 4
+    assert stats.hit_rate == 0.5
+    assert stats.entries == len(cache) == 1
+    assert "k" in cache and "absent" not in cache
+
+
+def test_lru_eviction_by_bytes():
+    cache = ArtifactCache(max_bytes=100, name="t.lru")
+    cache.put("a", "A", nbytes=40)
+    cache.put("b", "B", nbytes=40)
+    assert cache.get("a") == "A"  # refresh a: b becomes LRU
+    cache.put("c", "C", nbytes=40)
+    assert cache.get("b") is None  # evicted
+    assert cache.get("a") == "A" and cache.get("c") == "C"
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert stats.current_bytes == 80 <= stats.max_bytes
+
+
+def test_replacement_updates_bytes():
+    cache = ArtifactCache(max_bytes=100, name="t.replace")
+    cache.put("a", "A", nbytes=30)
+    cache.put("a", "A2", nbytes=50)
+    stats = cache.stats()
+    assert stats.current_bytes == 50
+    assert stats.entries == 1
+    assert cache.get("a") == "A2"
+
+
+def test_oversize_value_returned_but_not_stored():
+    cache = ArtifactCache(max_bytes=10, name="t.oversize")
+    value = cache.get_or_create("big", lambda: "x" * 100, nbytes=100)
+    assert value == "x" * 100
+    stats = cache.stats()
+    assert stats.oversize_rejections == 1
+    assert stats.entries == 0 and stats.current_bytes == 0
+    # A later lookup is a fresh miss (the value was never cached).
+    assert cache.get("big") is None
+
+
+def test_clear_keeps_counters():
+    cache = ArtifactCache(max_bytes=1024, name="t.clear")
+    cache.put("a", np.zeros(8))
+    freed = cache.clear()
+    assert freed == 64
+    stats = cache.stats()
+    assert stats.entries == 0 and stats.current_bytes == 0
+    assert stats.insertions == 1
+
+
+def test_single_flight_runs_factory_once():
+    cache = ArtifactCache(max_bytes=1 << 20, name="t.flight")
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+    calls = []
+    call_lock = threading.Lock()
+
+    def factory():
+        with call_lock:
+            calls.append(threading.current_thread().name)
+        return np.arange(16)
+
+    results = [None] * n_threads
+
+    def worker(i):
+        barrier.wait()
+        results[i] = cache.get_or_create("k", factory)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(calls) == 1, f"factory ran {len(calls)} times"
+    first = results[0]
+    assert all(r is first for r in results), "followers must share the value"
+    stats = cache.stats()
+    assert stats.misses == 1 and stats.hits == n_threads - 1
+
+
+def test_single_flight_leader_failure_lets_follower_retry():
+    cache = ArtifactCache(max_bytes=1 << 20, name="t.flightfail")
+    attempts = []
+    attempt_lock = threading.Lock()
+
+    def factory():
+        with attempt_lock:
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("first leader dies")
+        return "ok"
+
+    outcomes = []
+    outcome_lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def worker():
+        barrier.wait()
+        try:
+            value = cache.get_or_create("k", factory)
+        except RuntimeError:
+            value = "raised"
+        with outcome_lock:
+            outcomes.append(value)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Exactly one caller saw the failure; everyone else got the value from
+    # a retried factory (or the cache once it succeeded).
+    assert outcomes.count("raised") == 1
+    assert outcomes.count("ok") == 3
+    assert cache.get("k") == "ok"
+
+
+def test_default_nbytes():
+    assert default_nbytes(np.zeros((4, 4))) == 128
+    assert default_nbytes({"a": np.zeros(4), "b": np.zeros(4)}) == 64
+    assert default_nbytes([np.zeros(2), np.zeros(2)]) == 32
+    assert default_nbytes("x") > 0
+
+
+def test_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        ArtifactCache(max_bytes=0)
+
+
+def test_registry_snapshot_sorted():
+    cache_b = ArtifactCache(max_bytes=64, name="t.zz-registry")
+    cache_a = ArtifactCache(max_bytes=64, name="t.aa-registry")
+    names = [s.name for s in all_cache_stats()]
+    assert "t.aa-registry" in names and "t.zz-registry" in names
+    assert names == sorted(names)
+    # keep references alive until the assertion ran
+    del cache_a, cache_b

@@ -233,3 +233,29 @@ def test_report_command(sim_dataset, tmp_path, capsys):
     assert "Table I" in out
     assert "Fig 16" in out
     assert out_path.exists()
+
+
+def test_serve_command(sim_dataset, capsys):
+    assert main(["serve", str(sim_dataset), "--grid-size", "256",
+                 "--subgrid-size", "16", "--tenants", "2", "--requests", "3",
+                 "--distinct", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "req/s" in out
+    assert "tenant-0" in out and "tenant-1" in out
+    assert "counter reconciliation: exact" in out
+
+
+def test_bench_service_command(sim_dataset, tmp_path, capsys):
+    out_path = tmp_path / "service.json"
+    assert main(["bench-service", str(sim_dataset), "--grid-size", "256",
+                 "--subgrid-size", "16", "--tenants", "2", "--requests", "3",
+                 "--distinct", "2", "--output", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "coalesced" in out and "uncoalesced" in out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["speedup"] > 0
+    for mode in ("coalesced", "uncoalesced"):
+        assert payload[mode]["requests_per_s"] > 0
+        assert all(payload[mode]["reconciliation"].values())

@@ -1,0 +1,122 @@
+"""Shared content hashing: type-tagged digests + the checkpoint byte stream.
+
+The regression that matters most here: ``plan_signature`` moved from an
+inline hashlib implementation onto :class:`repro.hashing.ContentHasher`, and
+checkpoints written by earlier builds must keep validating — so a known
+plan's digest is pinned verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.plan import WORK_ITEM_DTYPE
+from repro.gridspec import GridSpec
+from repro.hashing import ContentHasher, content_hash
+from repro.runtime.checkpoint import plan_signature
+
+#: Digest of _pinned_plan() at work_group_size=7, captured from the
+#: pre-refactor inline implementation.  If this changes, old checkpoints
+#: stop resuming — do not update without a checkpoint-format version bump.
+PINNED_SIGNATURE = (
+    "8e5d18a8791c37658a83d1bf41615da8270ec4c2c8bd632744ac809618f1258b"
+)
+
+
+def _pinned_plan():
+    items = np.zeros(3, dtype=WORK_ITEM_DTYPE)
+    for k in range(3):
+        items[k] = (k, k, k + 1, 2 * k, 2 * k + 2, 0, 3, 10 + k, 20 - k, 0)
+    return SimpleNamespace(
+        items=items,
+        frequencies_hz=np.array([1.0e8, 1.1e8, 1.2e8]),
+        subgrid_size=16,
+        kernel_support=4,
+        gridspec=GridSpec(128, 0.05),
+        w_offset=0.25,
+        flagged=np.zeros((3, 6, 3), dtype=bool),
+    )
+
+
+class TestPlanSignature:
+    def test_pinned_digest_unchanged(self):
+        assert plan_signature(_pinned_plan(), 7) == PINNED_SIGNATURE
+
+    def test_varies_with_work_group_size(self):
+        plan = _pinned_plan()
+        assert plan_signature(plan, 7) != plan_signature(plan, 8)
+
+    def test_varies_with_items(self):
+        plan = _pinned_plan()
+        base = plan_signature(plan, 7)
+        plan.items["corner_u"][0] += 1
+        assert plan_signature(plan, 7) != base
+
+
+class TestContentHasher:
+    def test_deterministic_and_order_sensitive(self):
+        a = ContentHasher()
+        a.update_ints(1, 2)
+        b = ContentHasher()
+        b.update_ints(2, 1)
+        c = ContentHasher()
+        c.update_ints(1, 2)
+        assert a.hexdigest() == c.hexdigest()
+        assert a.hexdigest() != b.hexdigest()
+
+    def test_array_bytes_untagged(self):
+        """The checkpoint stream hashes raw C-order bytes (historical
+        format): same bytes, same digest, dtype/shape notwithstanding."""
+        a = ContentHasher()
+        a.update_array(np.zeros(4, dtype=np.int32))
+        b = ContentHasher()
+        b.update_array(np.zeros(2, dtype=np.int64))
+        assert a.hexdigest() == b.hexdigest()
+
+
+class TestContentHash:
+    def test_stable_across_calls(self):
+        arr = np.arange(6, dtype=np.float32).reshape(2, 3)
+        assert content_hash("x", arr, 1.5) == content_hash("x", arr, 1.5)
+
+    def test_type_tagged(self):
+        """Unlike the checkpoint stream, the cache key *is* type-tagged:
+        equal bytes with different dtype/shape must not collide."""
+        a = np.zeros(4, dtype=np.int32)
+        b = np.zeros(2, dtype=np.int64)
+        assert content_hash(a) != content_hash(b)
+        assert content_hash(np.zeros((2, 3))) != content_hash(np.zeros((3, 2)))
+        assert content_hash(1) != content_hash(1.0)
+        assert content_hash(True) != content_hash(1)
+        assert content_hash("1") != content_hash(1)
+        assert content_hash(None) != content_hash(0)
+
+    def test_scalars_and_containers(self):
+        assert content_hash((1, 2)) == content_hash([1, 2])
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+        assert content_hash(1 + 2j) == content_hash(complex(1, 2))
+
+    def test_dataclasses(self):
+        assert content_hash(GridSpec(128, 0.05)) == content_hash(
+            GridSpec(128, 0.05)
+        )
+        assert content_hash(GridSpec(128, 0.05)) != content_hash(
+            GridSpec(128, 0.06)
+        )
+
+        @dataclasses.dataclass(frozen=True)
+        class Other:
+            grid_size: int = 128
+            image_size: float = 0.05
+
+        # Same field names/values but a different class: distinct keys.
+        assert content_hash(Other()) != content_hash(GridSpec(128, 0.05))
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            content_hash(object())
