@@ -1,0 +1,150 @@
+"""Process-sharded executor scaling, machine-readable.
+
+Two sweeps over ``n_procs`` in {1, 2, 4} with the ``fork`` start method:
+
+``emulated``
+    Each work group sleeps ``EMULATE_S`` inside the worker
+    (``ProcessConfig.emulate_compute_s``) — a stand-in for device compute,
+    mirroring ``RuntimeConfig.emulate_pcie_gbs``.  Workers sleep
+    concurrently, so this measures the executor's *orchestration* scaling
+    (shard partitioning, shm traffic, in-order merge) independent of how
+    many cores the host actually has.  **The acceptance gate lives here**:
+    4 shards must beat 1 shard by >= 1.5x even after the parent's serial
+    merge and respawn-free supervision overhead — the Amdahl bound for the
+    measured serial fraction is reported alongside.
+``cpu-bound``
+    The same plan with real kernels and no sleep — informational only.  On
+    hosts with fewer cores than shards (CI runs this on 1 core) process
+    parallelism cannot help compute-bound work; the JSON records the host's
+    ``cpu_count`` so readers can interpret the numbers.
+
+Every run is asserted bit-identical to the serial executor's grid before
+its timing counts.  Writes ``benchmarks/results/BENCH_process_scaling.json``
+(the CI process-scaling job asserts the gate from this payload) next to the
+usual ASCII table.
+"""
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from _util import RESULTS_DIR, print_series
+
+from repro.core.pipeline import IDG, IDGConfig
+from repro.parallel.process import ProcessConfig, ProcessShardedIDG
+from repro.sky.sources import random_sky
+from repro.sky.simulate import predict_visibilities
+from repro.telescope.observation import ska1_low_observation
+
+PROCS = (1, 2, 4)
+#: Emulated per-work-group device compute (dominates the tiny real kernels).
+EMULATE_S = 0.08
+#: Work-group size chosen so the scaling plan has ~12-24 groups.
+GROUP_SIZE = 4
+#: Acceptance: 4 emulated shards must beat 1 by at least this factor.
+SPEEDUP_GATE = 1.5
+
+
+def _workload():
+    """A small observation whose per-group *real* compute is negligible
+    next to ``EMULATE_S`` (the emulated sweep isolates orchestration)."""
+    obs = ska1_low_observation(
+        n_stations=10, n_times=24, n_channels=4, integration_time_s=60.0,
+        max_radius_m=1500.0, seed=3,
+    )
+    gridspec = obs.fitting_gridspec(256)
+    sky = random_sky(3, gridspec.image_size, fill_factor=0.4,
+                     flux_range=(1.0, 5.0), seed=4)
+    vis = predict_visibilities(
+        obs.uvw_m, obs.frequencies_hz, sky, baselines=obs.array.baselines(),
+    )
+    idg = IDG(gridspec, IDGConfig(subgrid_size=16, kernel_support=4,
+                                  time_max=8, work_group_size=GROUP_SIZE))
+    plan = idg.make_plan(obs.uvw_m, obs.frequencies_hz, obs.array.baselines())
+    return obs, idg, plan, vis
+
+
+def _amdahl(serial_fraction: float, n: int) -> float:
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n)
+
+
+def test_bench_process_scaling():
+    obs, idg, plan, vis = _workload()
+    n_groups = len(list(plan.work_groups(GROUP_SIZE)))
+    assert n_groups >= 8, f"scaling plan too small ({n_groups} groups)"
+    reference = idg.grid(plan, obs.uvw_m, vis)
+
+    def measure(n_procs: int, emulate_s: float) -> float:
+        engine = ProcessShardedIDG(idg, ProcessConfig(
+            n_procs=n_procs, start_method="fork", emulate_compute_s=emulate_s,
+        ))
+        t0 = time.perf_counter()
+        grid = engine.grid(plan, obs.uvw_m, vis)
+        elapsed = time.perf_counter() - t0
+        assert np.array_equal(grid, reference)  # scaling never buys drift
+        return elapsed
+
+    measure(1, 0.0)  # warm BLAS/FFT and the fork machinery once
+    emulated = {n: measure(n, EMULATE_S) for n in PROCS}
+    cpu_bound = {n: measure(n, 0.0) for n in PROCS}
+
+    speedup = {n: emulated[1] / emulated[n] for n in PROCS}
+    cpu_speedup = {n: cpu_bound[1] / cpu_bound[n] for n in PROCS}
+    # Observed serial fraction from the 4-shard emulated point
+    # (s = (n/S - 1)/(n - 1), the Amdahl inversion), and the speedups that
+    # fraction would bound at each shard count.
+    s_observed = max(0.0, (4.0 / speedup[4] - 1.0) / 3.0)
+    amdahl_bound = {n: _amdahl(s_observed, n) for n in PROCS}
+
+    payload = {
+        "benchmark": "process_scaling",
+        "generated_by": "benchmarks/bench_process_scaling.py",
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "start_method": "fork",
+            "work_group_size": GROUP_SIZE,
+            "n_groups": n_groups,
+            "n_subgrids": int(plan.n_subgrids),
+            "emulate_compute_s": EMULATE_S,
+            "speedup_gate": SPEEDUP_GATE,
+        },
+        "emulated": {
+            str(n): {"wall_s": emulated[n], "speedup_vs_1": speedup[n]}
+            for n in PROCS
+        },
+        "cpu_bound": {
+            str(n): {"wall_s": cpu_bound[n], "speedup_vs_1": cpu_speedup[n]}
+            for n in PROCS
+        },
+        "amdahl": {
+            "serial_fraction_observed": s_observed,
+            "bound_by_procs": {str(n): amdahl_bound[n] for n in PROCS},
+        },
+        "speedup_4v1": speedup[4],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_process_scaling.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_series(
+        "Process-sharded executor scaling (emulated device compute)",
+        ["n_procs", "emulated s", "speedup", "amdahl", "cpu-bound s"],
+        [(n, emulated[n], speedup[n], amdahl_bound[n], cpu_bound[n])
+         for n in PROCS],
+    )
+
+    # Acceptance gate: orchestration (shard map, shm slabs, in-order merge)
+    # must not eat the parallelism — 4 emulated shards >= 1.5x one shard.
+    assert speedup[4] >= SPEEDUP_GATE, (
+        f"4-shard emulated speedup {speedup[4]:.2f}x below the "
+        f"{SPEEDUP_GATE}x gate"
+    )

@@ -28,10 +28,11 @@ import numpy as np
 def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     """Executor selection shared by the gridding/degridding commands."""
     parser.add_argument(
-        "--executor", choices=["serial", "threads", "streaming"],
+        "--executor", choices=["serial", "threads", "streaming", "processes"],
         default="serial",
-        help="serial IDG, flat thread pool (ParallelIDG), or the streaming "
-        "stage-graph runtime (StreamingIDG)",
+        help="serial IDG, flat thread pool (ParallelIDG), the streaming "
+        "stage-graph runtime (StreamingIDG), or shared-memory worker "
+        "processes (ProcessShardedIDG)",
     )
     parser.add_argument(
         "--backend", default=None, metavar="NAME",
@@ -50,7 +51,8 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="worker threads (threads executor; default: all cores)",
+        help="worker threads / processes (threads and processes executors; "
+        "default: all cores for threads, 2 for processes)",
     )
     parser.add_argument(
         "--n-buffers", type=int, default=3,
@@ -72,8 +74,8 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--checkpoint", default=None, metavar="PATH",
-        help="streaming executor: snapshot the grid + completed work groups "
-        "to this .npz (atomic) while gridding",
+        help="streaming/processes executors: snapshot the grid + completed "
+        "work groups to this .npz (atomic) while gridding",
     )
     parser.add_argument(
         "--checkpoint-interval", type=int, default=4, metavar="N",
@@ -81,8 +83,9 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--resume", default=None, metavar="PATH",
-        help="streaming executor: resume gridding from a checkpoint written "
-        "by a previous run over the same dataset/plan (bit-exact)",
+        help="streaming/processes executors: resume gridding from a "
+        "checkpoint written by a previous run over the same dataset/plan "
+        "(bit-exact)",
     )
 
 
@@ -299,9 +302,20 @@ def _make_executor(idg, args):
             checkpoint_interval=getattr(args, "checkpoint_interval", 4),
             resume_from=getattr(args, "resume", None),
         ))
+    if args.executor == "processes":
+        from repro.parallel.process import ProcessConfig, ProcessShardedIDG
+
+        config = ProcessConfig(
+            n_procs=args.workers if args.workers else 2,
+            checkpoint_path=getattr(args, "checkpoint", None),
+            checkpoint_interval=getattr(args, "checkpoint_interval", 4),
+            resume_from=getattr(args, "resume", None),
+        )
+        return ProcessShardedIDG(idg, config)
     if getattr(args, "checkpoint", None) or getattr(args, "resume", None):
         raise SystemExit(
-            "error: --checkpoint/--resume require --executor streaming"
+            "error: --checkpoint/--resume require --executor streaming "
+            "or processes"
         )
     return idg
 

@@ -19,7 +19,12 @@ from repro.core.plan import Plan, PlanStatistics, WorkItem
 from repro.core.gridder import grid_work_group, gridder_subgrid
 from repro.core.degridder import degrid_work_group, degridder_subgrid
 from repro.core.subgrid_fft import subgrids_to_fourier, subgrids_to_image
-from repro.core.adder import add_subgrids, split_subgrids
+from repro.core.adder import (
+    add_grid,
+    add_subgrids,
+    split_subgrids,
+    tree_reduce_grids,
+)
 from repro.core.pipeline import IDG, IDGConfig
 from repro.core.scratch import (
     ArenaStats,
@@ -41,8 +46,10 @@ __all__ = [
     "degridder_subgrid",
     "subgrids_to_fourier",
     "subgrids_to_image",
+    "add_grid",
     "add_subgrids",
     "split_subgrids",
+    "tree_reduce_grids",
     "IDG",
     "IDGConfig",
     "ArenaStats",

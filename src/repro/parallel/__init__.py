@@ -15,8 +15,16 @@ from repro.parallel.bucketing import (
     degrid_work_group_batched,
     grid_work_group_batched,
 )
-from repro.parallel.partition import RowPartition, add_subgrids_row_parallel
-from repro.parallel.executor import ParallelIDG
+from repro.parallel.partition import (
+    RowPartition,
+    ShardAssignment,
+    add_subgrids_row_parallel,
+    partition_work_groups,
+    plan_group_weights,
+)
+from repro.parallel.shm import ArenaSpec, SharedArena, shm_dir_entries
+from repro.parallel.executor import ParallelIDG, WorkGroupError
+from repro.parallel.process import ProcessConfig, ProcessShardedIDG, WorkerDeath
 
 __all__ = [
     "chunk_ranges",
@@ -26,6 +34,16 @@ __all__ = [
     "grid_work_group_batched",
     "degrid_work_group_batched",
     "RowPartition",
+    "ShardAssignment",
     "add_subgrids_row_parallel",
+    "partition_work_groups",
+    "plan_group_weights",
+    "ArenaSpec",
+    "SharedArena",
+    "shm_dir_entries",
     "ParallelIDG",
+    "WorkGroupError",
+    "ProcessConfig",
+    "ProcessShardedIDG",
+    "WorkerDeath",
 ]

@@ -1,20 +1,24 @@
 """Thread-parallel IDG pipeline (paper Section V-B).
 
-``ParallelIDG`` wraps a :class:`repro.core.IDG` and distributes work groups
-over a flat thread pool: every worker grids/degrids its own work groups (the
-BLAS matrix products and FFTs inside release the GIL), and the results are
-merged with the lock-free row-partitioned adder as each worker completes.
-Degridding needs no merging at all — work items write disjoint visibility
-blocks — mirroring the paper's observation that the splitter/degridder side
-is trivially parallel.
+``ParallelIDG`` wraps a :class:`repro.core.IDG` and distributes *work groups*
+over a thread pool: one future per work group computes that group's
+Fourier-domain subgrids (the BLAS matrix products and FFTs inside release the
+GIL), and the main thread merges results onto the master grid **in ascending
+work-group order** — an in-order retirement loop over the futures, so the
+pool acts as its own reorder buffer.  Because the adder therefore accumulates
+groups in exactly the serial executor's plan order (and the row-partitioned
+adder keeps each pixel's within-group addition order unchanged), the parallel
+result is bit-identical to :meth:`repro.core.IDG.grid` — the property the
+cross-executor conformance suite pins.  Degridding needs no merging at all —
+work items write disjoint visibility blocks — mirroring the paper's
+observation that the splitter/degridder side is trivially parallel.
 
 Failure semantics: a worker exception is wrapped in :class:`WorkGroupError`
-naming the plan range that caused it, the pool's remaining work is cancelled
-(an abort flag stops in-flight workers at the next work-group boundary, so a
-doomed run does not grind through every remaining batch first), and the
-causal error is re-raised.  ``KeyboardInterrupt`` during the merge loop
-cancels the pool the same way.  With fault tolerance active
-(``IDGConfig.max_retries > 0`` or an injected
+naming the plan range that caused it, an abort flag stops not-yet-started
+groups from touching the backend (so a doomed run does not grind through
+every remaining batch first), and the causal error is re-raised.
+``KeyboardInterrupt`` during the merge loop cancels the pool the same way.
+With fault tolerance active (``IDGConfig.max_retries > 0`` or an injected
 :class:`~repro.runtime.faults.FaultPlan`) failures are instead retried and,
 on budget exhaustion, quarantined per work group — see
 :mod:`repro.runtime.recovery` and DESIGN.md §11.
@@ -23,22 +27,22 @@ on budget exhaustion, quarantined per work group — see
    This is the simple data-parallel executor kept for the Section V-B CPU
    comparison.  The pipelined successor — overlapping gridder, FFT and adder
    stages through bounded buffers, with telemetry — is
-   :class:`repro.runtime.StreamingIDG`; prefer it for new code.
+   :class:`repro.runtime.StreamingIDG`; the multi-process successor is
+   :class:`repro.parallel.process.ProcessShardedIDG`.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
-from repro.core.pipeline import IDG
+from repro.core.pipeline import IDG, mask_flagged
 from repro.core.plan import Plan
-from repro.parallel.batching import interleaved_ranges
 from repro.runtime.faults import FaultPlan
 from repro.runtime.recovery import (
     FaultReport,
@@ -120,107 +124,106 @@ class ParallelIDG:
         uvw_m: np.ndarray,
         visibilities: np.ndarray,
         aterms: ATermGenerator | None = None,
+        flags: np.ndarray | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
     ) -> np.ndarray:
         """Parallel equivalent of :meth:`repro.core.IDG.grid`.
 
-        Subgrid batches are merged onto the master grid as each worker
-        completes (``as_completed``), overlapping adder work with the
-        remaining gridding instead of waiting for the whole pool.
+        One future per work group; the merge loop retires futures in
+        ascending group order, so the master grid accumulates contributions
+        in exactly the serial plan order (bit-identical result) while the
+        pool keeps gridding ahead.  ``flags`` and ``aterm_fields`` behave as
+        on the serial executor.
         """
         idg = self.idg
         backend = idg.backend
-        fields = idg.aterm_fields(plan, aterms)
-        group_size = idg.config.work_group_size
+        idg._check_shapes(plan, uvw_m, visibilities)
+        visibilities = mask_flagged(visibilities, flags)
+        fields = (
+            aterm_fields
+            if aterm_fields is not None
+            else idg.aterm_fields(plan, aterms)
+        )
+        groups = list(plan.work_groups(idg.config.work_group_size))
         runner = self._runner()
         self.last_fault_report = runner.report if runner is not None else None
         abort = threading.Event()
 
-        def worker(worker_id: int) -> list[tuple[int, int, np.ndarray]]:
-            out = []
-            for start, stop in interleaved_ranges(
-                plan.n_subgrids, group_size, worker_id, self.n_workers
-            ):
-                if abort.is_set():
-                    break  # run is doomed; don't grind through the rest
-                group = start // group_size
+        def compute(group: int, start: int, stop: int):
+            """Gridder + subgrid FFT for one work group (worker thread)."""
+            if abort.is_set():
+                return None  # run is doomed; don't grind through the rest
 
-                def grid_body(start: int = start, stop: int = stop) -> np.ndarray:
-                    return backend.grid_work_group(
-                        plan, start, stop, uvw_m, visibilities, idg.taper,
-                        lmn=idg.lmn, aterm_fields=fields,
-                        vis_batch=idg.config.vis_batch,
-                        channel_recurrence=idg.config.channel_recurrence,
-                        batched=idg.config.batched,
-                    )
+            def grid_body() -> np.ndarray:
+                return backend.grid_work_group(
+                    plan, start, stop, uvw_m, visibilities, idg.taper,
+                    lmn=idg.lmn, aterm_fields=fields,
+                    vis_batch=idg.config.vis_batch,
+                    channel_recurrence=idg.config.channel_recurrence,
+                    batched=idg.config.batched,
+                )
 
-                if runner is None:
-                    try:
-                        subgrids = grid_body()
-                        fourier = backend.subgrids_to_fourier(subgrids)
-                    except Exception as exc:
-                        raise WorkGroupError(
-                            f"gridding work group {group} (plan items "
-                            f"[{start}, {stop})) failed in worker "
-                            f"{worker_id}: {exc!r}"
-                        ) from exc
-                    out.append((group, start, fourier))
-                    continue
-                n_vis = group_visibility_count(plan, start, stop)
-                subgrids = runner.run(
-                    "gridder", group, grid_body,
-                    start=start, stop=stop, n_visibilities=n_vis,
-                )
-                if isinstance(subgrids, Quarantined):
-                    continue
-                fourier = runner.run(
-                    "subgrid_fft", group,
-                    lambda subgrids=subgrids: backend.subgrids_to_fourier(subgrids),
-                    start=start, stop=stop, n_visibilities=n_vis,
-                )
-                if isinstance(fourier, Quarantined):
-                    continue
-                out.append((group, start, fourier))
-            return out
+            if runner is None:
+                try:
+                    return backend.subgrids_to_fourier(grid_body())
+                except Exception as exc:
+                    abort.set()
+                    raise WorkGroupError(
+                        f"gridding work group {group} (plan items "
+                        f"[{start}, {stop})) failed: {exc!r}"
+                    ) from exc
+            n_vis = group_visibility_count(plan, start, stop)
+            subgrids = runner.run(
+                "gridder", group, grid_body,
+                start=start, stop=stop, n_visibilities=n_vis,
+            )
+            if isinstance(subgrids, Quarantined):
+                return subgrids
+            return runner.run(
+                "subgrid_fft", group,
+                lambda: backend.subgrids_to_fourier(subgrids),
+                start=start, stop=stop, n_visibilities=n_vis,
+            )
 
         grid = idg.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = [pool.submit(worker, w) for w in range(self.n_workers)]
+            futures = [
+                pool.submit(compute, group, start, stop)
+                for group, (start, stop) in enumerate(groups)
+            ]
             try:
-                for future in as_completed(futures):
-                    # Merge with the lock-free row-parallel adder (Section
-                    # V-B-d) while the remaining workers keep gridding; a
-                    # worker exception surfaces here at the earliest
-                    # completion.
-                    for group, start, fourier in future.result():
-                        if runner is None:
-                            backend.add_subgrids(
-                                grid, plan, fourier, start=start,
-                                n_workers=self.n_workers,
-                            )
-                            continue
-                        stop = start + len(fourier)
-                        runner.run(
-                            "adder", group,
-                            lambda start=start, fourier=fourier:
-                                backend.add_subgrids(
-                                    grid, plan, fourier, start=start,
-                                    n_workers=self.n_workers,
-                                ),
-                            start=start, stop=stop,
-                            n_visibilities=group_visibility_count(
-                                plan, start, stop
-                            ),
+                # In-order retirement: wait for each group in plan order and
+                # add it while later groups keep computing in the pool.  The
+                # row-parallel adder preserves each pixel's within-group
+                # addition order, so the overall fold matches serial bitwise.
+                for group, (start, stop) in enumerate(groups):
+                    fourier = futures[group].result()
+                    if fourier is None or isinstance(fourier, Quarantined):
+                        continue
+                    if runner is None:
+                        backend.add_subgrids(
+                            grid, plan, fourier, start=start,
+                            n_workers=self.n_workers,
                         )
+                        continue
+                    runner.run(
+                        "adder", group,
+                        lambda f=fourier, st=start: backend.add_subgrids(
+                            grid, plan, f, start=st, n_workers=self.n_workers,
+                        ),
+                        start=start, stop=stop,
+                        n_visibilities=group_visibility_count(plan, start, stop),
+                    )
             except BaseException:  # noqa: B036 — incl. KeyboardInterrupt
                 # Cancel queued futures and flag in-flight workers to stop
-                # at their next work-group boundary before re-raising the
-                # causal error.
+                # before touching the backend, then re-raise the causal
+                # error.
                 abort.set()
                 for future in futures:
                     future.cancel()
                 raise
         if runner is not None:
-            self._finish_report(runner, self._n_groups(plan))
+            self._finish_report(runner, len(groups))
         return grid
 
     # ----------------------------------------------------------- degridding
@@ -231,67 +234,73 @@ class ParallelIDG:
         uvw_m: np.ndarray,
         grid: np.ndarray,
         aterms: ATermGenerator | None = None,
+        aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
     ) -> np.ndarray:
         """Parallel equivalent of :meth:`repro.core.IDG.degrid`.
 
         Work items cover disjoint (baseline, time, channel) blocks, so all
-        workers write into the shared output without synchronisation.  A
+        workers write into the shared output without synchronisation (each
+        visibility is written exactly once — no accumulation, hence
+        bit-identical to serial regardless of completion order).  A
         quarantined work group (tolerant mode) leaves its block zero.
         """
         idg = self.idg
         backend = idg.backend
-        fields = idg.aterm_fields(plan, aterms)
-        group_size = idg.config.work_group_size
+        fields = (
+            aterm_fields
+            if aterm_fields is not None
+            else idg.aterm_fields(plan, aterms)
+        )
+        groups = list(plan.work_groups(idg.config.work_group_size))
         n_bl, n_times, _ = uvw_m.shape
         out = np.zeros((n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE)
         runner = self._runner()
         self.last_fault_report = runner.report if runner is not None else None
         abort = threading.Event()
 
-        def worker(worker_id: int) -> None:
-            for start, stop in interleaved_ranges(
-                plan.n_subgrids, group_size, worker_id, self.n_workers
-            ):
-                if abort.is_set():
-                    break
-                group = start // group_size
+        def compute(group: int, start: int, stop: int) -> None:
+            if abort.is_set():
+                return
 
-                def degrid_body(start: int = start, stop: int = stop) -> None:
-                    patches = backend.split_subgrids(grid, plan, start, stop)
-                    backend.degrid_work_group(
-                        plan, start, stop, backend.subgrids_to_image(patches),
-                        uvw_m, out,
-                        idg.taper, lmn=idg.lmn, aterm_fields=fields,
-                        vis_batch=idg.config.vis_batch,
-                        channel_recurrence=idg.config.channel_recurrence,
-                        batched=idg.config.batched,
-                    )
-
-                if runner is None:
-                    try:
-                        degrid_body()
-                    except Exception as exc:
-                        raise WorkGroupError(
-                            f"degridding work group {group} (plan items "
-                            f"[{start}, {stop})) failed in worker "
-                            f"{worker_id}: {exc!r}"
-                        ) from exc
-                    continue
-                runner.run(
-                    "degridder", group, degrid_body, start=start, stop=stop,
-                    n_visibilities=group_visibility_count(plan, start, stop),
+            def degrid_body() -> None:
+                patches = backend.split_subgrids(grid, plan, start, stop)
+                backend.degrid_work_group(
+                    plan, start, stop, backend.subgrids_to_image(patches),
+                    uvw_m, out,
+                    idg.taper, lmn=idg.lmn, aterm_fields=fields,
+                    vis_batch=idg.config.vis_batch,
+                    channel_recurrence=idg.config.channel_recurrence,
+                    batched=idg.config.batched,
                 )
 
+            if runner is None:
+                try:
+                    degrid_body()
+                except Exception as exc:
+                    abort.set()
+                    raise WorkGroupError(
+                        f"degridding work group {group} (plan items "
+                        f"[{start}, {stop})) failed: {exc!r}"
+                    ) from exc
+                return
+            runner.run(
+                "degridder", group, degrid_body, start=start, stop=stop,
+                n_visibilities=group_visibility_count(plan, start, stop),
+            )
+
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = [pool.submit(worker, w) for w in range(self.n_workers)]
+            futures = [
+                pool.submit(compute, group, start, stop)
+                for group, (start, stop) in enumerate(groups)
+            ]
             try:
-                for future in as_completed(futures):
-                    future.result()  # surface worker exceptions promptly
+                for future in futures:
+                    future.result()  # surface worker exceptions
             except BaseException:  # noqa: B036 — incl. KeyboardInterrupt
                 abort.set()
                 for future in futures:
                     future.cancel()
                 raise
         if runner is not None:
-            self._finish_report(runner, self._n_groups(plan))
+            self._finish_report(runner, len(groups))
         return out

@@ -40,7 +40,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
@@ -173,6 +173,26 @@ class FaultPlan:
         """How many attempts of ``(stage, group)`` have been observed."""
         with self._lock:
             return self._attempt_count.get((stage, group), 0)
+
+    def seed_attempts(self, counts: Mapping[tuple[str, int], int]) -> None:
+        """Pre-load attempt counters (process-sharded executor respawns).
+
+        A respawned worker process rebuilds its :class:`FaultPlan` from specs
+        and would otherwise restart every counter at zero — a transient
+        ``crash`` fault (``times=1``) would then kill the replacement worker
+        too, forever.  The parent tracks deaths per target and seeds the
+        rebuilt plan so the schedule continues where the dead worker left
+        off.  Counters only ever move forward (``max`` with the existing
+        value).
+        """
+        with self._lock:
+            for key, n in counts.items():
+                n = int(n)
+                if n < 0:
+                    raise ValueError("seeded attempt counts must be >= 0")
+                self._attempt_count[key] = max(
+                    self._attempt_count.get(key, 0), n
+                )
 
     def _next_attempt(self, key: tuple[str, int]) -> int:
         with self._lock:

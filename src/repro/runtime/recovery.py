@@ -263,6 +263,38 @@ class WorkGroupRunner:
                     )
                 self._retry(stage, group, attempt)
 
+    def fail_external(
+        self,
+        stage: str,
+        group: int,
+        *,
+        start: int,
+        stop: int,
+        n_visibilities: int,
+        attempts: int,
+        error: BaseException,
+    ) -> Quarantined | None:
+        """Account a failed attempt observed from *outside* the stage call.
+
+        The process-sharded executor uses this for worker-process deaths: the
+        exception (a SIGKILL, an OOM kill, a segfault) never crosses the
+        process boundary, so there is nothing for :meth:`run` to catch — the
+        parent observes the exit code and charges the active work group one
+        attempt.  Within budget the failure is recorded as a retry (the
+        respawn latency *is* the backoff, so none is slept here) and ``None``
+        is returned — the caller respawns the shard.  Once ``attempts``
+        exhausts ``1 + max_retries`` the group is quarantined exactly like an
+        in-process failure and the :class:`Quarantined` sentinel is returned.
+        """
+        if attempts >= 1 + self.policy.max_retries:
+            return self._quarantine(
+                stage, group, start, stop, n_visibilities, attempts, error
+            )
+        self.report.record_retry()
+        if self.telemetry is not None:
+            self.telemetry.add_counter("retries", 1)
+        return None
+
     # ------------------------------------------------------------- internal
 
     def _retry(self, stage: str, group: int, attempt: int) -> None:

@@ -1,0 +1,227 @@
+"""The shared corpus for the cross-executor conformance harness.
+
+Every executor — serial :class:`~repro.core.IDG`, thread-parallel
+:class:`~repro.parallel.ParallelIDG`, pipelined
+:class:`~repro.runtime.StreamingIDG`, process-sharded
+:class:`~repro.parallel.process.ProcessShardedIDG` — runs the same corpus of
+small but structurally varied plans (plain, w-offset, A-term schedule,
+wideband C = 512, flagged visibilities) and must reproduce the serial
+executor's grids and visibilities **bit-identically** (``np.array_equal``,
+no tolerance).  This replaces the ad-hoc pairwise bit-exactness checks that
+used to live in ``tests/runtime/test_streaming.py`` and
+``tests/parallel/test_executor.py``.
+
+Workloads and serial references are computed once per case and cached for
+the whole session in :class:`ConformanceCorpus` (synthesising the wideband
+case is the expensive part).  The process executor runs with the ``fork``
+start method so the harness stays fast on single-core CI hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.aterms.generators import GaussianBeamATerm
+from repro.aterms.schedule import ATermSchedule
+from repro.core.pipeline import IDG, IDGConfig
+from repro.telescope.observation import ska1_low_observation
+
+#: Executors held to bit-identical agreement with ``serial``.
+EXECUTORS = ("serial", "threads", "streaming", "processes")
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One corpus entry: an observation geometry plus plan parameters."""
+
+    name: str
+    n_stations: int = 5
+    n_times: int = 6
+    n_channels: int = 4
+    grid_size: int = 128
+    subgrid_size: int = 12
+    kernel_support: int = 4
+    time_max: int = 4
+    max_radius_m: float = 400.0
+    fill_factor: float = 0.9
+    w_offset: float = 0.0
+    aterm_interval: int | None = None
+    #: Fraction of (baseline, time, channel) samples flagged at random.
+    flag_fraction: float = 0.0
+    seed: int = 0
+
+
+CONFORMANCE_CASES = (
+    ConformanceCase("baseline", seed=11),
+    ConformanceCase("w-offset", w_offset=15.0, fill_factor=1.4, seed=12),
+    ConformanceCase("aterms", aterm_interval=3, seed=13),
+    ConformanceCase(
+        "wideband",
+        n_stations=3,
+        n_times=2,
+        n_channels=512,
+        subgrid_size=8,
+        kernel_support=2,
+        max_radius_m=250.0,
+        seed=14,
+    ),
+    ConformanceCase("flagged", flag_fraction=0.25, seed=16),
+)
+
+
+class ConformanceCorpus:
+    """Builds and caches per-case workloads and per-(case, executor) runs."""
+
+    #: The case table, reachable from the ``conformance`` fixture (test
+    #: modules in this directory have no package, so they cannot import
+    #: this conftest directly).
+    cases: tuple[ConformanceCase, ...] = ()  # filled in below
+
+    def __init__(self) -> None:
+        self._workloads: dict[str, dict] = {}
+        self._references: dict[str, dict] = {}
+
+    # -------------------------------------------------------------- workload
+
+    def workload(self, case: ConformanceCase) -> dict:
+        """Observation, plan, visibilities, model grid and flags of a case."""
+        if case.name not in self._workloads:
+            obs = ska1_low_observation(
+                n_stations=case.n_stations,
+                n_times=case.n_times,
+                n_channels=case.n_channels,
+                integration_time_s=60.0,
+                max_radius_m=case.max_radius_m,
+                seed=case.seed,
+            )
+            gridspec = obs.fitting_gridspec(
+                case.grid_size, fill_factor=case.fill_factor
+            )
+            rng = np.random.default_rng(case.seed)
+            vis_shape = (
+                obs.array.n_baselines, case.n_times, case.n_channels, 2, 2
+            )
+            vis = (
+                rng.standard_normal(vis_shape)
+                + 1j * rng.standard_normal(vis_shape)
+            ).astype(np.complex64)
+            model_shape = (4, case.grid_size, case.grid_size)
+            model = (
+                rng.standard_normal(model_shape)
+                + 1j * rng.standard_normal(model_shape)
+            ).astype(np.complex64)
+            aterms = schedule = None
+            if case.aterm_interval is not None:
+                aterms = GaussianBeamATerm(
+                    fwhm=1.5 * gridspec.image_size, gain_drift_rms=0.05
+                )
+                schedule = ATermSchedule(case.aterm_interval)
+            flags = None
+            if case.flag_fraction > 0.0:
+                flags = rng.random(vis_shape[:3]) < case.flag_fraction
+                assert flags.any() and not flags.all()
+            idg = IDG(
+                gridspec,
+                IDGConfig(
+                    subgrid_size=case.subgrid_size,
+                    kernel_support=case.kernel_support,
+                    time_max=case.time_max,
+                    work_group_size=8,
+                ),
+            )
+            plan = idg.make_plan(
+                obs.uvw_m,
+                obs.frequencies_hz,
+                obs.array.baselines(),
+                aterm_schedule=schedule,
+                w_offset=case.w_offset,
+            )
+            assert plan.statistics.n_visibilities_gridded > 0
+            self._workloads[case.name] = {
+                "obs": obs,
+                "idg": idg,
+                "plan": plan,
+                "vis": vis,
+                "model": model,
+                "aterms": aterms,
+                "flags": flags,
+            }
+        return self._workloads[case.name]
+
+    # ------------------------------------------------------------- execution
+
+    def reference(self, case: ConformanceCase) -> dict:
+        """Serial grid and degrid results of a case (the oracle)."""
+        if case.name not in self._references:
+            self._references[case.name] = {
+                "grid": self.run("serial", case, "grid"),
+                "degrid": self.run("serial", case, "degrid"),
+            }
+        return self._references[case.name]
+
+    def run(self, executor: str, case: ConformanceCase, kind: str) -> np.ndarray:
+        """One (executor, case, kind) execution; returns the value array."""
+        w = self.workload(case)
+        idg, plan, obs = w["idg"], w["plan"], w["obs"]
+        if executor == "serial":
+            if kind == "grid":
+                return idg.grid(
+                    plan, obs.uvw_m, w["vis"],
+                    aterms=w["aterms"], flags=w["flags"],
+                )
+            return idg.degrid(plan, obs.uvw_m, w["model"], aterms=w["aterms"])
+        if executor == "threads":
+            from repro.parallel.executor import ParallelIDG
+
+            engine = ParallelIDG(idg, n_workers=2)
+            if kind == "grid":
+                return engine.grid(
+                    plan, obs.uvw_m, w["vis"],
+                    aterms=w["aterms"], flags=w["flags"],
+                )
+            return engine.degrid(plan, obs.uvw_m, w["model"], aterms=w["aterms"])
+        if executor == "streaming":
+            from repro.runtime import RuntimeConfig, StreamingIDG
+
+            engine = StreamingIDG(
+                idg,
+                RuntimeConfig(
+                    n_buffers=3, gridder_workers=2, fft_workers=2,
+                    degridder_workers=2,
+                ),
+            )
+            if kind == "grid":
+                return engine.grid(
+                    plan, obs.uvw_m, w["vis"],
+                    aterms=w["aterms"], flags=w["flags"],
+                )
+            return engine.degrid(plan, obs.uvw_m, w["model"], aterms=w["aterms"])
+        if executor == "processes":
+            from repro.parallel.process import ProcessConfig, ProcessShardedIDG
+
+            engine = ProcessShardedIDG(
+                idg, ProcessConfig(n_procs=2, start_method="fork")
+            )
+            if kind == "grid":
+                return engine.grid(
+                    plan, obs.uvw_m, w["vis"],
+                    aterms=w["aterms"], flags=w["flags"],
+                )
+            return engine.degrid(plan, obs.uvw_m, w["model"], aterms=w["aterms"])
+        raise ValueError(f"unknown executor {executor!r}")
+
+
+ConformanceCorpus.cases = CONFORMANCE_CASES
+
+
+@pytest.fixture(scope="session")
+def conformance():
+    return ConformanceCorpus()
+
+
+@pytest.fixture(params=CONFORMANCE_CASES, ids=lambda c: c.name)
+def conformance_case(request):
+    return request.param

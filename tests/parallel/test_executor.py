@@ -1,9 +1,13 @@
-"""Integration tests: the parallel pipeline must match the serial one."""
+"""ParallelIDG failure semantics and configuration.
 
-import numpy as np
+Serial-equivalence (now bit-exact, not allclose) is pinned for every
+executor by ``test_executor_conformance.py``; this module keeps the
+thread-executor-specific behaviours — error attribution, early
+cancellation, fault-report plumbing.
+"""
+
 import pytest
 
-from repro.aterms.generators import GaussianBeamATerm
 from repro.parallel.executor import ParallelIDG
 
 
@@ -25,34 +29,6 @@ def test_worker_exceptions_surface(small_idg, small_plan, small_obs,
     par = ParallelIDG(small_idg.with_config(work_group_size=5), n_workers=2)
     with pytest.raises(Exception):
         par.grid(small_plan, small_obs.uvw_m, bad_vis)
-
-
-@pytest.mark.parametrize("n_workers", [1, 2, 4])
-def test_parallel_grid_matches_serial(small_idg, small_plan, small_obs,
-                                      single_source_vis, n_workers):
-    serial = small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
-    par = ParallelIDG(small_idg.with_config(work_group_size=5), n_workers=n_workers)
-    parallel = par.grid(small_plan, small_obs.uvw_m, single_source_vis)
-    np.testing.assert_allclose(parallel, serial, atol=2e-4)
-
-
-@pytest.mark.parametrize("n_workers", [1, 3])
-def test_parallel_degrid_matches_serial(small_idg, small_plan, small_obs,
-                                        single_source_vis, n_workers):
-    grid = small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
-    serial = small_idg.degrid(small_plan, small_obs.uvw_m, grid)
-    par = ParallelIDG(small_idg.with_config(work_group_size=7), n_workers=n_workers)
-    parallel = par.degrid(small_plan, small_obs.uvw_m, grid)
-    np.testing.assert_allclose(parallel, serial, atol=2e-4)
-
-
-def test_parallel_with_aterms(small_idg, small_plan, small_obs, single_source_vis,
-                              small_gridspec):
-    beam = GaussianBeamATerm(fwhm=1.5 * small_gridspec.image_size)
-    serial = small_idg.grid(small_plan, small_obs.uvw_m, single_source_vis, aterms=beam)
-    par = ParallelIDG(small_idg.with_config(work_group_size=4), n_workers=3)
-    parallel = par.grid(small_plan, small_obs.uvw_m, single_source_vis, aterms=beam)
-    np.testing.assert_allclose(parallel, serial, atol=2e-4)
 
 
 def test_worker_error_names_the_work_group(small_idg, small_plan, small_obs,

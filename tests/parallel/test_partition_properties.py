@@ -1,0 +1,104 @@
+"""Property tests for the LPT shard partitioner (hypothesis).
+
+The process-sharded executor's correctness leans on three properties of
+:func:`repro.parallel.partition.partition_work_groups`:
+
+* **exactly-once** — every work group lands on exactly one shard (shards
+  jointly cover the plan, no group is duplicated or dropped);
+* **balance bound** — no shard carries more than ``total/n_shards`` plus one
+  maximal group (the classic greedy-LPT guarantee the scaling benchmark's
+  Amdahl comparison assumes);
+* **stability** — the assignment is a pure function of the weights:
+  deterministic across calls, and for distinct weights a permutation of the
+  input permutes the assignment identically (shard choice follows the
+  weight, not the position).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.partition import (
+    partition_work_groups,
+    plan_group_weights,
+)
+
+weights_st = st.lists(st.integers(min_value=0, max_value=10_000), max_size=64)
+shards_st = st.integers(min_value=1, max_value=8)
+
+
+@settings(deadline=None)
+@given(weights=weights_st, n_shards=shards_st)
+def test_every_group_assigned_exactly_once(weights, n_shards):
+    assignment = partition_work_groups(weights, n_shards)
+    assert assignment.n_groups == len(weights)
+    assert all(0 <= s < n_shards for s in assignment.shard_of)
+    covered = sorted(
+        g for s in range(n_shards) for g in assignment.groups_for(s)
+    )
+    assert covered == list(range(len(weights)))
+    for shard in range(n_shards):
+        groups = assignment.groups_for(shard)
+        assert list(groups) == sorted(groups)  # ascending plan order
+
+
+@settings(deadline=None)
+@given(weights=weights_st, n_shards=shards_st)
+def test_lpt_balance_bound(weights, n_shards):
+    assignment = partition_work_groups(weights, n_shards)
+    loads = assignment.loads()
+    assert sum(loads) == sum(weights)
+    assert max(loads, default=0) <= assignment.balance_bound()
+
+
+@settings(deadline=None)
+@given(weights=weights_st, n_shards=shards_st)
+def test_assignment_is_deterministic(weights, n_shards):
+    first = partition_work_groups(weights, n_shards)
+    second = partition_work_groups(list(weights), n_shards)
+    assert first == second
+
+
+@settings(deadline=None)
+@given(
+    weights=st.lists(
+        st.integers(min_value=1, max_value=10_000), max_size=32, unique=True
+    ),
+    n_shards=shards_st,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_permutation_stability_for_distinct_weights(weights, n_shards, seed):
+    """With distinct weights the placement order is weight-only, so shard
+    choice follows the weight wherever it sits in the input."""
+    assignment = partition_work_groups(weights, n_shards)
+    perm = np.random.default_rng(seed).permutation(len(weights))
+    permuted = partition_work_groups([weights[p] for p in perm], n_shards)
+    for i, p in enumerate(perm):
+        assert permuted.shard_of[i] == assignment.shard_of[p]
+
+
+@settings(deadline=None)
+@given(n_shards=st.integers(max_value=0))
+def test_invalid_shard_count_rejected(n_shards):
+    try:
+        partition_work_groups([1, 2, 3], n_shards)
+    except ValueError:
+        return
+    raise AssertionError("n_shards <= 0 must be rejected")
+
+
+def test_negative_weights_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        partition_work_groups([3, -1], 2)
+
+
+def test_plan_group_weights_cover_the_plan(conformance):
+    case = next(c for c in conformance.cases if c.name == "baseline")
+    plan = conformance.workload(case)["plan"]
+    weights = plan_group_weights(plan, 8)
+    assert len(weights) == len(list(plan.work_groups(8)))
+    assert all(w >= 1 for w in weights)  # empty groups still get assigned

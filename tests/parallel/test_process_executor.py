@@ -1,0 +1,202 @@
+"""ProcessShardedIDG: config validation, reductions, telemetry, checkpoints.
+
+Cross-executor bit-exactness is pinned by ``test_executor_conformance.py``;
+this module covers the process executor's own contract — the LPT shard map,
+per-shard telemetry, the tree reduction's determinism, the fail-fast error
+text, spawn-method support and checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import WorkGroupError
+from repro.parallel.process import ProcessConfig, ProcessShardedIDG
+
+
+@pytest.fixture(scope="module")
+def baseline(conformance):
+    """The conformance corpus's baseline workload plus serial references."""
+    case = next(c for c in conformance.cases if c.name == "baseline")
+    w = conformance.workload(case)
+    ref = conformance.reference(case)
+    return {**w, "ref_grid": ref["grid"], "ref_degrid": ref["degrid"]}
+
+
+def _engine(baseline, **kwargs):
+    kwargs.setdefault("n_procs", 2)
+    kwargs.setdefault("start_method", "fork")
+    return ProcessShardedIDG(baseline["idg"], ProcessConfig(**kwargs))
+
+
+# ------------------------------------------------------------- configuration
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ProcessConfig(n_procs=0)
+    with pytest.raises(ValueError):
+        ProcessConfig(reduction="bogus")
+    with pytest.raises(ValueError):
+        ProcessConfig(start_method="bogus")
+    with pytest.raises(ValueError):
+        ProcessConfig(poll_interval_s=-0.1)
+    with pytest.raises(ValueError):
+        ProcessConfig(checkpoint_interval=0)
+    with pytest.raises(ValueError):
+        ProcessConfig(emulate_compute_s=-1.0)
+    assert ProcessConfig().reduction == "exact"
+
+
+def test_checkpoint_refused_for_tree_reduction(tmp_path):
+    """Tree-reduced shard grids are not a plan-order prefix sum, so a
+    checkpoint taken from them could never resume bit-exactly."""
+    path = str(tmp_path / "ck.npz")
+    with pytest.raises(ValueError, match="exact reduction"):
+        ProcessConfig(reduction="tree", checkpoint_path=path)
+    with pytest.raises(ValueError, match="exact reduction"):
+        ProcessConfig(reduction="tree", resume_from=path)
+
+
+def test_n_procs_shorthand(baseline):
+    engine = ProcessShardedIDG(baseline["idg"], n_procs=3)
+    assert engine.config.n_procs == 3
+    # shorthand overrides an explicit config's shard count too
+    overridden = ProcessShardedIDG(baseline["idg"], ProcessConfig(), n_procs=3)
+    assert overridden.config.n_procs == 3
+
+
+# ---------------------------------------------------------------- reductions
+
+
+def test_three_shards_bit_exact(baseline):
+    """More shards than the conformance default; grid and degrid both."""
+    engine = _engine(baseline, n_procs=3)
+    obs = baseline["obs"]
+    grid = engine.grid(baseline["plan"], obs.uvw_m, baseline["vis"])
+    assert np.array_equal(grid, baseline["ref_grid"])
+    degridded = engine.degrid(baseline["plan"], obs.uvw_m, baseline["model"])
+    assert np.array_equal(degridded, baseline["ref_degrid"])
+
+
+def test_spawn_start_method_bit_exact(baseline):
+    """The portable default start method round-trips the shard task through
+    pickle (fresh interpreters, nothing inherited by fork)."""
+    engine = _engine(baseline, start_method="spawn")
+    obs = baseline["obs"]
+    grid = engine.grid(baseline["plan"], obs.uvw_m, baseline["vis"])
+    assert np.array_equal(grid, baseline["ref_grid"])
+
+
+def test_tree_reduction_deterministic_and_close(baseline):
+    """Tree mode reassociates the shard sums (so only *close* to serial) but
+    the pinned pairwise reduction order makes it deterministic run-to-run."""
+    obs = baseline["obs"]
+    first = _engine(baseline, n_procs=3, reduction="tree").grid(
+        baseline["plan"], obs.uvw_m, baseline["vis"]
+    )
+    second = _engine(baseline, n_procs=3, reduction="tree").grid(
+        baseline["plan"], obs.uvw_m, baseline["vis"]
+    )
+    assert np.array_equal(first, second)
+    np.testing.assert_allclose(first, baseline["ref_grid"], rtol=1e-5, atol=1e-5)
+
+
+# ------------------------------------------------- assignment and telemetry
+
+
+def test_assignment_covers_every_group_once(baseline):
+    engine = _engine(baseline, n_procs=3)
+    obs = baseline["obs"]
+    engine.grid(baseline["plan"], obs.uvw_m, baseline["vis"])
+    assignment = engine.last_assignment
+    assert assignment is not None and assignment.n_shards == 3
+    n_groups = len(list(baseline["plan"].work_groups(8)))
+    assert assignment.n_groups == n_groups
+    all_groups = [g for s in range(3) for g in assignment.groups_for(s)]
+    assert sorted(all_groups) == list(range(n_groups))
+    assert max(assignment.loads()) <= assignment.balance_bound()
+
+
+def test_per_shard_telemetry(baseline):
+    engine = _engine(baseline, n_procs=2)
+    obs = baseline["obs"]
+    engine.grid(baseline["plan"], obs.uvw_m, baseline["vis"])
+    telemetry = engine.last_telemetry
+    assert telemetry is not None
+    n_groups = len(list(baseline["plan"].work_groups(8)))
+    # every work group produced one worker-side compute span...
+    assert len(telemetry.spans("shard_compute")) == n_groups
+    # ...attributed to a shard whose group counter adds up
+    shard_groups = sum(
+        int(telemetry.counters.get(f"shard{k}.groups", 0)) for k in range(2)
+    )
+    assert shard_groups == n_groups
+    # and the parent retired every group through the adder, in plan order
+    assert len(telemetry.spans("adder")) == n_groups
+    assert telemetry.counters["visibilities"] > 0
+
+
+# ------------------------------------------------------------------ failures
+
+
+def test_failfast_error_names_group_and_shard(baseline, monkeypatch):
+    """Without a fault-tolerance layer, a worker-side failure aborts the run
+    with the plan range and shard in the message (fork inherits the patch)."""
+    backend_cls = type(baseline["idg"].backend)
+    real = backend_cls.grid_work_group
+
+    def failing(self, plan, start, stop, *args, **kwargs):
+        if start >= 8:
+            raise RuntimeError("injected kernel failure")
+        return real(self, plan, start, stop, *args, **kwargs)
+
+    monkeypatch.setattr(backend_cls, "grid_work_group", failing)
+    engine = _engine(baseline)
+    obs = baseline["obs"]
+    with pytest.raises(WorkGroupError) as err:
+        engine.grid(baseline["plan"], obs.uvw_m, baseline["vis"])
+    assert re.search(
+        r"work group \d+ \(plan items \[\d+, \d+\)\) failed in shard \d",
+        str(err.value),
+    )
+    assert "injected kernel failure" in str(err.value)
+
+
+# ---------------------------------------------------------------- checkpoint
+
+
+def test_checkpoint_and_resume_bit_exact(baseline, tmp_path):
+    """A checkpointed run leaves a final snapshot; resuming from any snapshot
+    of it reproduces the uninterrupted grid bit-exactly."""
+    obs = baseline["obs"]
+    path = str(tmp_path / "ck.npz")
+    first = _engine(baseline, checkpoint_path=path, checkpoint_interval=2).grid(
+        baseline["plan"], obs.uvw_m, baseline["vis"]
+    )
+    assert np.array_equal(first, baseline["ref_grid"])
+    resumed = _engine(baseline, resume_from=path).grid(
+        baseline["plan"], obs.uvw_m, baseline["vis"]
+    )
+    assert np.array_equal(resumed, baseline["ref_grid"])
+
+
+def test_resume_rejects_mismatched_plan(baseline, conformance, tmp_path):
+    """A checkpoint is bound to its plan signature; resuming a different
+    plan must fail loudly rather than blend two observations."""
+    obs = baseline["obs"]
+    path = str(tmp_path / "ck.npz")
+    _engine(baseline, checkpoint_path=path).grid(
+        baseline["plan"], obs.uvw_m, baseline["vis"]
+    )
+    other_case = next(c for c in conformance.cases if c.name == "w-offset")
+    other = conformance.workload(other_case)
+    engine = ProcessShardedIDG(
+        other["idg"],
+        ProcessConfig(n_procs=2, start_method="fork", resume_from=path),
+    )
+    with pytest.raises(ValueError):
+        engine.grid(other["plan"], other["obs"].uvw_m, other["vis"])

@@ -1,28 +1,45 @@
-"""Failure-injection matrix: {serial, threads, streaming} executors x
-{gridder, subgrid_fft, adder} fault sites.
+"""Failure-injection matrix: {serial, threads, streaming, processes}
+executors x {gridder, subgrid_fft, adder} fault sites, plus the
+process-executor kill matrix (worker SIGKILL mid-shard).
 
 For every cell: a permanent fault on one work group, retries exhausted, must
 yield exactly one dead letter with exact plan/visibility accounting, and the
 surviving output must equal a clean run over the remaining work groups —
 dropping a whole group leaves every other group's floating-point work
-untouched, so the comparison is tight (rtol 1e-12; the thread-pool executor
-merges in completion order, so it gets the differential-test tolerance
-instead)."""
+untouched, and every executor retires groups in plan order, so the
+comparison is tight (rtol 1e-12).
+
+The kill matrix covers the failure mode only processes have: the worker
+*dies* (``kind="crash"`` faults SIGKILL the worker from inside).  A death
+within the retry budget respawns the worker and converges to the bit-exact
+clean result; an exhausted budget quarantines the in-flight group as a
+``stage="worker"`` dead letter; an external SIGKILL without a tolerance
+layer aborts fail-fast, leaving a prefix-closed checkpoint that resumes
+bit-exactly (DESIGN.md §14)."""
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.constants import COMPLEX_DTYPE
 from repro.parallel import ParallelIDG
+from repro.parallel.process import ProcessConfig, ProcessShardedIDG
 from repro.runtime import (
     FaultPlan,
     RuntimeConfig,
     StreamingIDG,
     group_visibility_count,
 )
+from repro.runtime.checkpoint import load_checkpoint
 
 WORK_GROUP_SIZE = 5
 STAGES = ("gridder", "subgrid_fft", "adder")
+EXECUTORS = ("serial", "threads", "streaming", "processes")
 FAULT_GROUP = 1
 MAX_RETRIES = 2
 
@@ -60,6 +77,12 @@ def grid_excluding(idg, plan, uvw_m, vis, skip=()):
     return grid
 
 
+def process_engine(idg, faults=None, **overrides):
+    overrides.setdefault("n_procs", 2)
+    overrides.setdefault("start_method", "fork")
+    return ProcessShardedIDG(idg, ProcessConfig(**overrides), faults=faults)
+
+
 def run_gridding(executor, idg, plan, uvw_m, vis, faults):
     if executor == "serial":
         grid = idg.grid(plan, uvw_m, vis, faults=faults)
@@ -67,11 +90,14 @@ def run_gridding(executor, idg, plan, uvw_m, vis, faults):
     if executor == "threads":
         engine = ParallelIDG(idg, n_workers=2, faults=faults)
         return engine.grid(plan, uvw_m, vis), engine.last_fault_report
+    if executor == "processes":
+        engine = process_engine(idg, faults=faults)
+        return engine.grid(plan, uvw_m, vis), engine.last_fault_report
     engine = StreamingIDG(idg, RuntimeConfig(n_buffers=2), faults=faults)
     return engine.grid(plan, uvw_m, vis), engine.last_fault_report
 
 
-@pytest.mark.parametrize("executor", ["serial", "threads", "streaming"])
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("stage", STAGES)
 def test_matrix_dead_letter_accounting_and_surviving_output(
     executor, stage, tolerant_idg, small_plan, small_obs, single_source_vis,
@@ -96,22 +122,22 @@ def test_matrix_dead_letter_accounting_and_surviving_output(
     assert report.n_retries == MAX_RETRIES
     assert report.n_groups == len(groups)
     assert report.n_groups_completed == len(groups) - 1
-    # the injected fault consumed exactly the budgeted attempts
-    assert faults.attempts(stage, FAULT_GROUP) == 1 + MAX_RETRIES
+    if executor != "processes":
+        # the injected fault consumed exactly the budgeted attempts (the
+        # process executor's worker-side counters live in the children, so
+        # the parent plan object never sees them)
+        assert faults.attempts(stage, FAULT_GROUP) == 1 + MAX_RETRIES
 
-    # surviving output == clean run over the unaffected work groups
+    # surviving output == clean run over the unaffected work groups (every
+    # executor retires groups in plan order, so the comparison is tight)
     expected = grid_excluding(
         tolerant_idg, small_plan, small_obs.uvw_m, single_source_vis,
         skip={FAULT_GROUP},
     )
-    if executor == "threads":
-        # completion-order merge: same data, different FP summation order
-        np.testing.assert_allclose(grid, expected, atol=2e-4)
-    else:
-        np.testing.assert_allclose(grid, expected, rtol=1e-12, atol=0.0)
+    np.testing.assert_allclose(grid, expected, rtol=1e-12, atol=0.0)
 
 
-@pytest.mark.parametrize("executor", ["serial", "streaming"])
+@pytest.mark.parametrize("executor", EXECUTORS)
 def test_transient_fault_retries_to_bit_exact_result(
     executor, tolerant_idg, small_plan, small_obs, single_source_vis,
 ):
@@ -144,7 +170,7 @@ def test_corrupt_and_raise_kinds_both_quarantine(
     assert expected_error in report.dead_letters[0].error
 
 
-@pytest.mark.parametrize("executor", ["serial", "threads", "streaming"])
+@pytest.mark.parametrize("executor", EXECUTORS)
 def test_degrid_dead_letter_leaves_block_zero(
     executor, tolerant_idg, small_plan, small_obs, groups,
 ):
@@ -167,6 +193,10 @@ def test_degrid_dead_letter_leaves_block_zero(
         engine = ParallelIDG(tolerant_idg, n_workers=2, faults=faults)
         predicted = engine.degrid(small_plan, small_obs.uvw_m, model_grid)
         report = engine.last_fault_report
+    elif executor == "processes":
+        engine = process_engine(tolerant_idg, faults=faults)
+        predicted = engine.degrid(small_plan, small_obs.uvw_m, model_grid)
+        report = engine.last_fault_report
     else:
         engine = StreamingIDG(tolerant_idg, RuntimeConfig(n_buffers=2), faults=faults)
         predicted = engine.degrid(small_plan, small_obs.uvw_m, model_grid)
@@ -185,3 +215,109 @@ def test_degrid_dead_letter_leaves_block_zero(
             row["channel_start"]:row["channel_end"],
         ] = 0
     np.testing.assert_allclose(predicted, expected, rtol=1e-12, atol=0.0)
+
+
+# ------------------------------------------------------ process kill matrix
+
+
+def test_worker_sigkill_within_budget_respawns_to_bit_exact(
+    tolerant_idg, small_plan, small_obs, single_source_vis,
+):
+    """A ``crash`` fault SIGKILLs the worker mid-shard; one death is within
+    the retry budget, so the parent respawns the shard, the replacement
+    re-runs the in-flight group, and the result is bit-identical to clean."""
+    clean = tolerant_idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    faults = FaultPlan.single("gridder", FAULT_GROUP, kind="crash", times=1)
+    engine = process_engine(tolerant_idg, faults=faults)
+    recovered = engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    report = engine.last_fault_report
+    assert report is not None and report.ok
+    assert report.n_retries >= 1  # the death charged one attempt
+    assert engine.last_telemetry.counters["worker_respawns"] == 1
+    assert np.array_equal(recovered, clean)
+
+
+def test_worker_sigkill_budget_exhausted_dead_letters_exactly(
+    tolerant_idg, small_plan, small_obs, single_source_vis, groups,
+):
+    """A worker that dies on every attempt exhausts the budget: exactly one
+    ``stage="worker"`` dead letter for the in-flight group, exact attempt
+    accounting, and the survivors equal the clean run without that group."""
+    faults = FaultPlan.single("gridder", FAULT_GROUP, kind="crash", times=-1)
+    engine = process_engine(tolerant_idg, faults=faults)
+    grid = engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    report = engine.last_fault_report
+    assert report is not None
+    assert report.n_dead_letters == 1
+    letter = report.dead_letters[0]
+    start, stop = groups[FAULT_GROUP]
+    assert letter.stage == "worker"
+    assert letter.group == FAULT_GROUP
+    assert (letter.start, letter.stop) == (start, stop)
+    assert letter.attempts == 1 + MAX_RETRIES
+    assert letter.n_visibilities == group_visibility_count(small_plan, start, stop)
+    assert report.n_groups_completed == len(groups) - 1
+    # every death respawned the shard: budgeted attempts, then quarantine
+    assert engine.last_telemetry.counters["worker_respawns"] == 1 + MAX_RETRIES
+    expected = grid_excluding(
+        tolerant_idg, small_plan, small_obs.uvw_m, single_source_vis,
+        skip={FAULT_GROUP},
+    )
+    assert np.array_equal(grid, expected)
+
+
+def test_external_kill_failfast_checkpoint_is_prefix_closed_and_resumes(
+    small_idg, small_plan, small_obs, single_source_vis, tmp_path,
+):
+    """SIGKILL a worker from outside with no tolerance layer: the run aborts
+    fail-fast (so the master grid stops at a plan-order *prefix*), the abort
+    checkpoint's completed set is prefix-closed, and resuming from it
+    reproduces the uninterrupted serial grid bit-exactly (DESIGN.md §14 —
+    only prefix-closed completed sets can resume without reassociating the
+    floating-point accumulation)."""
+    idg = small_idg.with_config(work_group_size=WORK_GROUP_SIZE)
+    assert idg.config.max_retries == 0  # fail-fast: no runner, no respawn
+    clean = idg.grid(small_plan, small_obs.uvw_m, single_source_vis)
+    n_groups = len(list(small_plan.work_groups(WORK_GROUP_SIZE)))
+    path = str(tmp_path / "killed.npz")
+    engine = process_engine(
+        idg, checkpoint_path=path, checkpoint_interval=1,
+        emulate_compute_s=0.15,
+    )
+    before = set(mp.active_children())
+    outcome = {}
+
+    def target():
+        try:
+            engine.grid(small_plan, small_obs.uvw_m, single_source_vis)
+            outcome["error"] = None
+        except Exception as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 30.0
+    victim = None
+    while victim is None and time.monotonic() < deadline:
+        workers = [p for p in mp.active_children() if p not in before]
+        if workers:
+            victim = workers[0]
+        else:
+            time.sleep(0.01)
+    assert victim is not None, "no worker process appeared to kill"
+    time.sleep(0.4)  # let a few groups retire so the prefix is non-trivial
+    os.kill(victim.pid, signal.SIGKILL)
+    thread.join(60.0)
+    assert not thread.is_alive(), "executor hung after worker SIGKILL"
+    assert outcome["error"] is not None, "worker death did not abort the run"
+    assert "died" in str(outcome["error"])
+
+    checkpoint = load_checkpoint(path)
+    completed = checkpoint.completed_set
+    assert completed == set(range(len(completed))), "not prefix-closed"
+    assert len(completed) < n_groups
+
+    resumed = process_engine(idg, resume_from=path).grid(
+        small_plan, small_obs.uvw_m, single_source_vis
+    )
+    assert np.array_equal(resumed, clean)
