@@ -14,6 +14,12 @@ deconvolve → predict loop plus the performance model, all operating on
 * ``perfmodel`` — print the hardware-model predictions for a dataset's plan;
 * ``report``    — render the paper's full Section VI evaluation for a
   dataset (all figures, formatted text).
+
+Out-of-core datasets: every command that reads a dataset accepts either a
+``.npz`` archive or a schema-v2 chunked store directory
+(:mod:`repro.data.store`) — the format is auto-detected.  ``makedata``
+synthesises arbitrarily large datasets chunk-at-a-time with bounded memory,
+and ``convert-dataset`` converts between the two formats.
 """
 
 from __future__ import annotations
@@ -112,11 +118,43 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="SEFD [Jy]; 0 disables thermal noise")
     sim.add_argument("--seed", type=int, default=0)
 
+    make = sub.add_parser(
+        "makedata",
+        help="synthesise a large noise dataset chunk-at-a-time "
+        "(bounded memory; for out-of-core benchmarks)",
+    )
+    make.add_argument("output",
+                      help="output store directory (or .npz with --format npz)")
+    make.add_argument("--stations", type=int, default=16)
+    make.add_argument("--times", type=int, default=1024)
+    make.add_argument("--channels", type=int, default=8)
+    make.add_argument("--integration", type=float, default=120.0,
+                      help="integration time per step [s]")
+    make.add_argument("--radius", type=float, default=3000.0,
+                      help="array radius [m]")
+    make.add_argument("--seed", type=int, default=0)
+    make.add_argument("--format", choices=["chunked", "npz"],
+                      default="chunked",
+                      help="chunked mmap store directory (default) or a "
+                      "v1 .npz archive (materialises in memory)")
+    make.add_argument("--time-chunk", type=int, default=256,
+                      help="timesteps generated and written per slab")
+
+    conv = sub.add_parser(
+        "convert-dataset",
+        help="convert between .npz (v1) and chunked store (v2) formats; "
+        "direction is inferred from the input",
+    )
+    conv.add_argument("input", help="dataset (.npz or store directory)")
+    conv.add_argument("output", help="converted dataset")
+    conv.add_argument("--time-chunk", type=int, default=256,
+                      help="timesteps copied per slab when writing a store")
+
     info = sub.add_parser("info", help="summarise a dataset")
-    info.add_argument("dataset", help="dataset (.npz)")
+    info.add_argument("dataset", help="dataset (.npz or chunked store)")
 
     img = sub.add_parser("image", help="make a dirty image")
-    img.add_argument("dataset")
+    img.add_argument("dataset", help="dataset (.npz or chunked store)")
     img.add_argument("output", help="output image (.npz)")
     img.add_argument("--grid-size", type=int, default=512)
     img.add_argument("--subgrid-size", type=int, default=24)
@@ -134,10 +172,15 @@ def _build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--gain", type=float, default=0.1)
 
     pred = sub.add_parser("predict", help="degrid a model image to visibilities")
-    pred.add_argument("dataset", help="dataset supplying uvw/frequencies")
+    pred.add_argument("dataset",
+                      help="dataset supplying uvw/frequencies "
+                      "(.npz or chunked store)")
     pred.add_argument("model", help="model image (.npz with 'model' of shape (G, G))")
-    pred.add_argument("output", help="output dataset (.npz)")
+    pred.add_argument("output", help="output dataset")
     pred.add_argument("--subgrid-size", type=int, default=24)
+    pred.add_argument("--format", choices=["npz", "chunked"], default="npz",
+                      help="output format; 'chunked' degrids straight into "
+                      "a store's mmap (no in-memory copy of the result)")
     _add_executor_args(pred)
 
     flag = sub.add_parser("flag", help="sigma-clip RFI flagging")
@@ -247,12 +290,107 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_info(args) -> int:
-    from repro.data.io import load_dataset
+def _open_input(path):
+    """``(dataset, store-or-None)`` for any dataset argument.
 
-    ds = load_dataset(args.dataset)
+    Auto-detects the format: a v1 ``.npz`` archive loads in memory
+    (``store`` is ``None``); a schema-v2 chunked store directory is opened
+    read-only as memory maps — the returned dataset's columns then page
+    lazily, and ``store`` carries the handle the gridding commands use to
+    stream visibilities (``store.source()``) instead of materialising them.
+    """
+    from repro.data import open_dataset
+    from repro.data.store import ChunkedStore
+
+    opened = open_dataset(path)
+    if isinstance(opened, ChunkedStore):
+        return opened.as_dataset(), opened
+    return opened, None
+
+
+def _cmd_makedata(args) -> int:
+    from repro.data.store import DatasetWriter
+    from repro.telescope.observation import ska1_low_observation
+    from repro.telescope.uvw import enu_to_equatorial, synthesize_uvw
+
+    obs = ska1_low_observation(
+        n_stations=args.stations, n_times=args.times, n_channels=args.channels,
+        integration_time_s=args.integration, max_radius_m=args.radius,
+        seed=args.seed,
+    )
+    bvec = enu_to_equatorial(
+        obs.array.baseline_vectors_enu(), obs.array.latitude_rad
+    )
+    hour_angles = obs.hour_angles_rad
+    rng = np.random.default_rng(args.seed)
+    chunk = max(1, args.time_chunk)
+
+    def noise_vis(n: int):
+        """One ``(n_baselines, n, C, 2, 2)`` slab of unit complex noise."""
+        shape = (obs.n_baselines, n, obs.n_channels, 2, 2)
+        real = rng.standard_normal(shape, dtype=np.float32)
+        imag = rng.standard_normal(shape, dtype=np.float32)
+        return real + 1j * imag
+
+    if args.format == "npz":
+        from repro.data.dataset import VisibilityDataset
+        from repro.data.io import save_dataset
+
+        dataset = VisibilityDataset(
+            uvw_m=obs.uvw_m,
+            visibilities=noise_vis(obs.n_times),
+            frequencies_hz=obs.frequencies_hz,
+            baselines=obs.array.baselines(),
+        )
+        save_dataset(dataset, args.output)
+        n_vis = dataset.n_visibilities
+        vis_bytes = dataset.visibilities.nbytes
+    else:
+        with DatasetWriter(
+            args.output, n_baselines=obs.n_baselines, n_times=obs.n_times,
+            n_channels=obs.n_channels,
+        ) as writer:
+            writer.set_frequencies(obs.frequencies_hz)
+            writer.set_baselines(obs.array.baselines())
+            for t0 in range(0, obs.n_times, chunk):
+                n = min(chunk, obs.n_times - t0)
+                uvw = synthesize_uvw(
+                    bvec, hour_angles[t0:t0 + n], obs.declination_rad
+                )
+                writer.write_times(t0, uvw, noise_vis(n))
+            store = writer.finalize()
+        n_vis = store.n_visibilities
+        vis_bytes = store.visibility_nbytes
+    print(f"wrote {n_vis:,} visibilities "
+          f"({obs.n_baselines} baselines x {obs.n_times} x "
+          f"{obs.n_channels}; {vis_bytes / 1e6:.1f} MB of visibilities) "
+          f"to {args.output} [{args.format}]")
+    return 0
+
+
+def _cmd_convert_dataset(args) -> int:
+    from repro.data.io import save_dataset
+    from repro.data.store import is_store, write_store
+
+    ds, store = _open_input(args.input)
+    if store is not None:
+        if is_store(args.output):
+            raise SystemExit(f"error: {args.output} is already a store")
+        save_dataset(ds, args.output)
+        direction = "store -> npz"
+    else:
+        write_store(ds, args.output, time_chunk=max(1, args.time_chunk))
+        direction = "npz -> store"
+    print(f"converted {args.input} -> {args.output} ({direction}, "
+          f"{ds.n_visibilities:,} visibilities)")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    ds, store = _open_input(args.dataset)
     uv_max = float(np.linalg.norm(ds.uvw_m[:, :, :2], axis=2).max())
-    print(f"dataset: {args.dataset}")
+    kind = "chunked store (schema v2)" if store is not None else ".npz (v1)"
+    print(f"dataset: {args.dataset}  [{kind}]")
     print(f"  baselines: {ds.n_baselines}  times: {ds.n_times}  "
           f"channels: {ds.n_channels}")
     print(f"  visibilities: {ds.n_visibilities:,}  "
@@ -261,7 +399,19 @@ def _cmd_info(args) -> int:
           f"{ds.frequencies_hz.max() / 1e6:.2f} MHz")
     print(f"  max |uv|: {uv_max:.1f} m   max |w|: "
           f"{np.abs(ds.uvw_m[:, :, 2]).max():.1f} m")
-    print(f"  mean |V|: {np.abs(ds.visibilities).mean():.4f}")
+    if store is not None:
+        # Chunk-wise |V| so a dataset far larger than memory still
+        # summarises with bounded RSS.
+        total = 0.0
+        for t0 in range(0, ds.n_times, 256):
+            total += float(
+                np.abs(store.visibilities[:, t0:t0 + 256]).sum()
+            )
+            store.drop_caches()
+        mean_v = total / max(1, ds.n_visibilities * 4)
+    else:
+        mean_v = float(np.abs(ds.visibilities).mean())
+    print(f"  mean |V|: {mean_v:.4f}")
     return 0
 
 
@@ -337,11 +487,10 @@ def _report_run(engine, args) -> None:
 
 
 def _cmd_image(args) -> int:
-    from repro.data.io import load_dataset
     from repro.imaging.image import dirty_image_from_grid, stokes_i_image
     from repro.imaging.weighting import apply_weights, uniform_weights
 
-    ds = load_dataset(args.dataset)
+    ds, store = _open_input(args.dataset)
     idg, gridspec = _make_idg(
         ds, args.grid_size, args.subgrid_size, backend=args.backend,
         batched=args.batched, max_retries=args.max_retries,
@@ -349,9 +498,18 @@ def _cmd_image(args) -> int:
     )
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
 
-    vis = ds.visibilities
+    # Chunked stores stream blocks straight from the mmap (flagged samples
+    # masked lazily per block); .npz datasets grid the in-memory array.
+    vis = store.source() if store is not None else ds.visibilities
     weight_sum = float(plan.statistics.n_visibilities_gridded)
     if args.weighting == "uniform":
+        if store is not None:
+            raise SystemExit(
+                "error: --weighting uniform materialises a reweighted copy "
+                "of the visibilities and is not supported on chunked "
+                "stores; convert to .npz first (repro convert-dataset) or "
+                "use natural weighting"
+            )
         weights = uniform_weights(ds.uvw_m, ds.frequencies_hz, gridspec)
         weights[plan.flagged] = 0.0
         vis = apply_weights(vis, weights)
@@ -376,10 +534,9 @@ def _cmd_image(args) -> int:
 
 
 def _cmd_clean(args) -> int:
-    from repro.data.io import load_dataset
     from repro.imaging.cycle import ImagingCycle
 
-    ds = load_dataset(args.dataset)
+    ds, _ = _open_input(args.dataset)
     idg, gridspec = _make_idg(ds, args.grid_size, args.subgrid_size)
     cycle = ImagingCycle(idg, ds.uvw_m, ds.frequencies_hz, ds.baselines)
     result = cycle.run(
@@ -399,10 +556,11 @@ def _cmd_clean(args) -> int:
 
 
 def _cmd_predict(args) -> int:
-    from repro.data.io import load_dataset, save_dataset
+    from repro.data.io import save_dataset
+    from repro.data.store import DatasetWriter
     from repro.imaging.image import model_image_to_grid
 
-    ds = load_dataset(args.dataset)
+    ds, _ = _open_input(args.dataset)
     with np.load(args.model) as archive:
         model = archive["model"]
     g = model.shape[-1]
@@ -416,15 +574,30 @@ def _cmd_predict(args) -> int:
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
     grid = model_image_to_grid(model4, gridspec)
     engine = _make_executor(idg, args)
-    predicted = engine.degrid(plan, ds.uvw_m, grid)
-    _report_run(engine, args)
-    save_dataset(ds.with_visibilities(predicted), args.output)
-    print(f"wrote predicted visibilities to {args.output}")
+    if args.format == "chunked":
+        # Degrid straight into the output store's visibility map: the
+        # prediction streams to disk (fresh w+ maps are zero-filled, the
+        # contract degrid's ``out=`` requires) instead of materialising.
+        with DatasetWriter(
+            args.output, n_baselines=ds.n_baselines, n_times=ds.n_times,
+            n_channels=ds.n_channels,
+        ) as writer:
+            writer.set_frequencies(ds.frequencies_hz)
+            writer.set_baselines(ds.baselines)
+            writer.uvw_m[:] = ds.uvw_m
+            writer.mark_written(0, ds.n_times)
+            engine.degrid(plan, ds.uvw_m, grid, out=writer.visibilities)
+            writer.finalize()
+        _report_run(engine, args)
+    else:
+        predicted = engine.degrid(plan, ds.uvw_m, grid)
+        _report_run(engine, args)
+        save_dataset(ds.with_visibilities(predicted), args.output)
+    print(f"wrote predicted visibilities to {args.output} [{args.format}]")
     return 0
 
 
 def _cmd_perfmodel(args) -> int:
-    from repro.data.io import load_dataset
     from repro.perfmodel import (
         ALL_ARCHITECTURES,
         attainable_ops,
@@ -434,7 +607,7 @@ def _cmd_perfmodel(args) -> int:
         throughput_mvis,
     )
 
-    ds = load_dataset(args.dataset)
+    ds, _ = _open_input(args.dataset)
     idg, _ = _make_idg(ds, args.grid_size, args.subgrid_size)
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
     counts = gridder_counts(plan)
@@ -454,10 +627,10 @@ def _cmd_perfmodel(args) -> int:
 
 
 def _cmd_flag(args) -> int:
-    from repro.data.io import load_dataset, save_dataset
+    from repro.data.io import save_dataset
     from repro.data.rfi import flag_rfi
 
-    ds = load_dataset(args.dataset)
+    ds, _ = _open_input(args.dataset)
     before = ds.flags.sum()
     flagged = flag_rfi(ds, threshold=args.threshold)
     save_dataset(flagged, args.output)
@@ -469,11 +642,11 @@ def _cmd_flag(args) -> int:
 
 def _cmd_calibrate(args) -> int:
     from repro.calibration import apply_gains, stefcal
-    from repro.data.io import load_dataset, save_dataset
+    from repro.data.io import save_dataset
     from repro.sky.model import SkyModel
     from repro.sky.simulate import predict_visibilities
 
-    ds = load_dataset(args.dataset)
+    ds, _ = _open_input(args.dataset)
     n_stations = int(ds.baselines.max()) + 1
     sky = SkyModel.single(args.model_l, args.model_m, flux=args.model_flux)
     model_vis = predict_visibilities(
@@ -501,10 +674,9 @@ def _cmd_calibrate(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.data.io import load_dataset
     from repro.perfmodel.report import evaluation_report
 
-    ds = load_dataset(args.dataset)
+    ds, _ = _open_input(args.dataset)
     idg, _ = _make_idg(ds, args.grid_size, args.subgrid_size)
     plan = idg.make_plan(ds.uvw_m, ds.frequencies_hz, ds.baselines)
     report = evaluation_report(plan)
@@ -518,10 +690,9 @@ def _cmd_report(args) -> int:
 
 def _service_setup(args, coalesce: bool):
     """(ServiceConfig, job specs) for the serve/bench-service commands."""
-    from repro.data.io import load_dataset
     from repro.service import LoadSpec, ServiceConfig, build_specs
 
-    ds = load_dataset(args.dataset)
+    ds, _ = _open_input(args.dataset)
     idg, gridspec = _make_idg(
         ds, args.grid_size, args.subgrid_size, backend=args.backend
     )
@@ -617,6 +788,8 @@ def _cmd_bench_service(args) -> int:
 
 _COMMANDS: Final = {
     "simulate": _cmd_simulate,
+    "makedata": _cmd_makedata,
+    "convert-dataset": _cmd_convert_dataset,
     "report": _cmd_report,
     "flag": _cmd_flag,
     "calibrate": _cmd_calibrate,

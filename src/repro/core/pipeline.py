@@ -32,6 +32,7 @@ from repro.aterms.schedule import ATermSchedule
 from repro.constants import COMPLEX_DTYPE
 from repro.core.gridder import subgrid_lmn
 from repro.core.plan import Plan
+from repro.data.store import ChunkedVisibilitySource
 from repro.gridspec import GridSpec
 from repro.kernels.spheroidal import taper_for
 
@@ -54,6 +55,24 @@ def mask_flagged(
             f"flags shape {flags.shape} != {visibilities.shape[:3]}"
         )
     return np.where(flags[..., np.newaxis, np.newaxis], 0, visibilities)
+
+
+def prepare_visibilities(
+    visibilities, flags: np.ndarray | None
+) -> np.ndarray | ChunkedVisibilitySource:
+    """Apply ``flags`` without materialising out-of-core inputs.
+
+    In-memory arrays go through :func:`mask_flagged` (an O(dataset) masked
+    copy, as before).  A :class:`~repro.data.store.ChunkedVisibilitySource`
+    instead absorbs the flags into its per-block lazy mask
+    (:meth:`~repro.data.store.ChunkedVisibilitySource.with_flags`) — the
+    kernels then read masked blocks straight off the memory map, so peak
+    memory stays bounded by the work groups in flight, and each block is
+    bit-identical to the eager path's slice.
+    """
+    if isinstance(visibilities, ChunkedVisibilitySource):
+        return visibilities.with_flags(flags)
+    return mask_flagged(visibilities, flags)
 
 
 @dataclass(frozen=True)
@@ -241,7 +260,10 @@ class IDG:
         uvw_m:
             ``(n_baselines, n_times, 3)`` uvw in metres.
         visibilities:
-            ``(n_baselines, n_times, n_channels, 2, 2)`` complex.
+            ``(n_baselines, n_times, n_channels, 2, 2)`` complex — an
+            in-memory array or a
+            :class:`~repro.data.store.ChunkedVisibilitySource` streaming
+            blocks from an on-disk store with bounded resident memory.
         aterms:
             Optional direction-dependent effects (must match the generator
             used when simulating/calibrating the data).
@@ -267,7 +289,11 @@ class IDG:
         of raising.
         """
         self._check_shapes(plan, uvw_m, visibilities)
-        visibilities = mask_flagged(visibilities, flags)
+        visibilities = prepare_visibilities(visibilities, flags)
+        source = (
+            visibilities
+            if isinstance(visibilities, ChunkedVisibilitySource) else None
+        )
         if grid is None:
             grid = self.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         fields = (
@@ -292,6 +318,8 @@ class IDG:
                 backend.add_subgrids(
                     grid, plan, backend.subgrids_to_fourier(subgrids), start=start
                 )
+                if source is not None:
+                    source.drop_caches()
                 continue
             from repro.runtime.recovery import Quarantined, group_visibility_count
 
@@ -327,6 +355,8 @@ class IDG:
             )
             if not isinstance(result, Quarantined):
                 runner.report.n_groups_completed += 1
+            if source is not None:
+                source.drop_caches()
         return grid
 
     # ----------------------------------------------------------- degridding
@@ -339,6 +369,7 @@ class IDG:
         aterms: ATermGenerator | None = None,
         faults=None,
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Predict visibilities from a model grid (degridding).
 
@@ -347,12 +378,17 @@ class IDG:
         active, a quarantined work group leaves its visibility block zero
         (the same convention) and is reported on ``last_fault_report``.
         ``aterm_fields`` overrides evaluation from ``aterms`` as in
-        :meth:`grid`.
+        :meth:`grid`.  ``out``, when given, receives the prediction in place
+        (it must be zero-initialised — e.g. a fresh
+        :class:`~repro.data.store.DatasetWriter` visibility map, which lets
+        predictions stream to disk instead of RAM) and is returned.
         """
         n_bl, n_times, _ = uvw_m.shape
-        out = np.zeros(
-            (n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE
-        )
+        expected = (n_bl, n_times, plan.n_channels, 2, 2)
+        if out is None:
+            out = np.zeros(expected, dtype=COMPLEX_DTYPE)
+        elif out.shape != expected:
+            raise ValueError(f"out shape {out.shape} != {expected}")
         fields = (
             aterm_fields
             if aterm_fields is not None

@@ -294,12 +294,15 @@ class Plan:
             raise ValueError("subgrid larger than the master grid")
         schedule = aterm_schedule or ATermSchedule(0)
 
-        # Pixel coordinates of every (baseline, time, channel) visibility.
+        # Pixel-coordinate scale: u_pix = u_m * (f/c) * image_size + G/2.
+        # The (T, C) coordinate arrays are computed per baseline inside the
+        # loop, not as one (n_bl, T, C) block up front, so planning memory
+        # stays O(T * C) — ``uvw_m`` may be a chunked-store memmap backing a
+        # dataset far larger than RAM, and the out-of-core RSS bound covers
+        # plan construction too.  Per-element arithmetic is identical either
+        # way, so the resulting plan is bit-for-bit unchanged.
         scale = frequencies_hz / SPEED_OF_LIGHT  # (C,)
         half_grid = gridspec.grid_size // 2
-        # (n_bl, T, C): u_pix = u_m * (f/c) * image_size + G/2
-        pu = uvw_m[:, :, 0, np.newaxis] * scale * gridspec.image_size + half_grid
-        pv = uvw_m[:, :, 1, np.newaxis] * scale * gridspec.image_size + half_grid
 
         half_support = kernel_support / 2.0
         # Span bound: bbox + kernel support must fit the subgrid *after* the
@@ -313,7 +316,9 @@ class Plan:
 
         for b in range(n_bl):
             p_station, q_station = int(baselines[b, 0]), int(baselines[b, 1])
-            bu, bv = pu[b], pv[b]  # (T, C)
+            # (T, C) pixel coordinates of this baseline's visibilities.
+            bu = uvw_m[b, :, 0, np.newaxis] * scale * gridspec.image_size + half_grid
+            bv = uvw_m[b, :, 1, np.newaxis] * scale * gridspec.image_size + half_grid
 
             # work queue of (t_start, c0, c1) segments, LIFO order is fine
             segments = [(0, 0, n_chan)]

@@ -5,17 +5,42 @@ everything one subband observation produces — uvw tracks, visibilities,
 flags, frequencies, station pairs — with selection, averaging and
 (de)serialisation, plus a radiometer-equation thermal-noise model for
 realistic simulations.  All gridders in the package consume the same arrays
-the dataset carries.
+the dataset carries.  For datasets larger than RAM, :mod:`repro.data.store`
+provides the chunked memory-mapped schema-v2 store and the streaming
+:class:`ChunkedVisibilitySource` the executors consume out of core.
 """
 
 from repro.data.dataset import VisibilityDataset
-from repro.data.io import load_dataset, save_dataset
+from repro.data.io import (
+    DatasetFormatError,
+    load_dataset,
+    open_dataset,
+    save_dataset,
+)
 from repro.data.noise import add_thermal_noise, thermal_noise_sigma
+from repro.data.store import (
+    ChunkedStore,
+    ChunkedVisibilitySource,
+    DatasetWriter,
+    StoreError,
+    is_store,
+    open_store,
+    write_store,
+)
 
 __all__ = [
     "VisibilityDataset",
+    "DatasetFormatError",
     "load_dataset",
+    "open_dataset",
     "save_dataset",
     "add_thermal_noise",
     "thermal_noise_sigma",
+    "ChunkedStore",
+    "ChunkedVisibilitySource",
+    "DatasetWriter",
+    "StoreError",
+    "is_store",
+    "open_store",
+    "write_store",
 ]

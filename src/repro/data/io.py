@@ -1,10 +1,12 @@
 """Dataset (de)serialisation.
 
-A single compressed ``.npz`` per dataset — the pragmatic stand-in for a
-MeasurementSet when the workload is synthetic.  The on-disk schema is
-versioned so future layouts can migrate.  Writes are atomic (temp file +
-rename via :mod:`repro.atomicio`): a crash mid-save leaves any existing
-dataset intact instead of a truncated archive, and missing parent
+Schema v1 is a single compressed ``.npz`` per dataset — the pragmatic
+stand-in for a MeasurementSet when the workload is synthetic.  The on-disk
+schema is versioned so future layouts can migrate; schema v2 is the chunked
+memory-mapped store directory in :mod:`repro.data.store`, and
+:func:`open_dataset` auto-detects either by path shape.  Writes are atomic
+(temp file + rename via :mod:`repro.atomicio`): a crash mid-save leaves any
+existing dataset intact instead of a truncated archive, and missing parent
 directories are created.
 """
 
@@ -17,8 +19,18 @@ import numpy as np
 from repro.atomicio import atomic_savez_compressed
 from repro.data.dataset import VisibilityDataset
 
-#: Current on-disk schema version.
+#: Current ``.npz`` on-disk schema version (v2 is the chunked store).
 SCHEMA_VERSION = 1
+
+#: Every key a schema-v1 archive must carry, and no others.
+_ARCHIVE_KEYS = frozenset(
+    {"schema_version", "uvw_m", "visibilities", "frequencies_hz",
+     "baselines", "flags"}
+)
+
+
+class DatasetFormatError(ValueError):
+    """A dataset archive whose structure does not match the schema."""
 
 
 def save_dataset(
@@ -41,9 +53,22 @@ def save_dataset(
 
 
 def load_dataset(path: str | pathlib.Path) -> VisibilityDataset:
-    """Read a dataset written by :func:`save_dataset`."""
+    """Read a dataset written by :func:`save_dataset`.
+
+    Raises :class:`DatasetFormatError` when the archive is structurally
+    wrong — missing or unexpected keys — rather than a raw ``KeyError``,
+    and ``ValueError`` on a schema-version mismatch.
+    """
     path = pathlib.Path(path)
     with np.load(path) as archive:
+        present = set(archive.files)
+        missing = sorted(_ARCHIVE_KEYS - present)
+        extra = sorted(present - _ARCHIVE_KEYS)
+        if missing or extra:
+            raise DatasetFormatError(
+                f"{path} is not a schema-v{SCHEMA_VERSION} dataset archive: "
+                f"missing keys {missing}, unexpected keys {extra}"
+            )
         version = int(archive["schema_version"])
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -57,3 +82,27 @@ def load_dataset(path: str | pathlib.Path) -> VisibilityDataset:
             baselines=archive["baselines"],
             flags=archive["flags"],
         )
+
+
+def open_dataset(path: str | pathlib.Path):
+    """Open either dataset format by path: ``.npz`` file or store directory.
+
+    Returns a :class:`VisibilityDataset` for a schema-v1 archive and a
+    :class:`repro.data.store.ChunkedStore` for a schema-v2 store directory
+    (call its ``as_dataset()`` / ``source()`` as needed).  Raises
+    :class:`DatasetFormatError` when the path is neither.
+    """
+    from repro.data.store import is_store, open_store
+
+    path = pathlib.Path(path)
+    if is_store(path):
+        return open_store(path)
+    if path.is_file():
+        return load_dataset(path)
+    if path.is_dir():
+        raise DatasetFormatError(
+            f"{path} is a directory but not a chunked dataset store "
+            "(no manifest.json — an interrupted writer leaves the "
+            "directory uncommitted)"
+        )
+    raise DatasetFormatError(f"no dataset at {path}")

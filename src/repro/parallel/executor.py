@@ -41,7 +41,8 @@ import numpy as np
 
 from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
-from repro.core.pipeline import IDG, mask_flagged
+from repro.core.pipeline import IDG, prepare_visibilities
+from repro.data.store import ChunkedVisibilitySource
 from repro.core.plan import Plan
 from repro.runtime.faults import FaultPlan
 from repro.runtime.recovery import (
@@ -138,7 +139,11 @@ class ParallelIDG:
         idg = self.idg
         backend = idg.backend
         idg._check_shapes(plan, uvw_m, visibilities)
-        visibilities = mask_flagged(visibilities, flags)
+        visibilities = prepare_visibilities(visibilities, flags)
+        source = (
+            visibilities
+            if isinstance(visibilities, ChunkedVisibilitySource) else None
+        )
         fields = (
             aterm_fields
             if aterm_fields is not None
@@ -198,6 +203,10 @@ class ParallelIDG:
                 # addition order, so the overall fold matches serial bitwise.
                 for group, (start, stop) in enumerate(groups):
                     fourier = futures[group].result()
+                    if source is not None:
+                        # Retired groups' mmap pages are dead weight; evict
+                        # them so resident memory tracks groups in flight.
+                        source.drop_caches()
                     if fourier is None or isinstance(fourier, Quarantined):
                         continue
                     if runner is None:
@@ -235,6 +244,7 @@ class ParallelIDG:
         grid: np.ndarray,
         aterms: ATermGenerator | None = None,
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Parallel equivalent of :meth:`repro.core.IDG.degrid`.
 
@@ -243,6 +253,8 @@ class ParallelIDG:
         visibility is written exactly once — no accumulation, hence
         bit-identical to serial regardless of completion order).  A
         quarantined work group (tolerant mode) leaves its block zero.
+        ``out`` (zero-initialised, e.g. a writable dataset-store map)
+        receives the prediction in place as on the serial executor.
         """
         idg = self.idg
         backend = idg.backend
@@ -253,7 +265,11 @@ class ParallelIDG:
         )
         groups = list(plan.work_groups(idg.config.work_group_size))
         n_bl, n_times, _ = uvw_m.shape
-        out = np.zeros((n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE)
+        expected = (n_bl, n_times, plan.n_channels, 2, 2)
+        if out is None:
+            out = np.zeros(expected, dtype=COMPLEX_DTYPE)
+        elif out.shape != expected:
+            raise ValueError(f"out shape {out.shape} != {expected}")
         runner = self._runner()
         self.last_fault_report = runner.report if runner is not None else None
         abort = threading.Event()

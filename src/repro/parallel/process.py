@@ -64,8 +64,9 @@ import numpy as np
 from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
 from repro.core.adder import add_grid, tree_reduce_grids
-from repro.core.pipeline import IDG, IDGConfig, mask_flagged
+from repro.core.pipeline import IDG, IDGConfig, prepare_visibilities
 from repro.core.plan import Plan
+from repro.data.store import ChunkedVisibilitySource, open_store
 from repro.parallel.executor import WorkGroupError
 from repro.parallel.partition import (
     ShardAssignment,
@@ -188,6 +189,11 @@ class _ShardTask:
     emulate_compute_s: float
     reduction: str
     aterm_fields: dict[tuple[int, int], np.ndarray] | None
+    #: Chunked-store directory to read visibilities from (out-of-core
+    #: gridding).  When set there is no "vis" slab in the arena: each worker
+    #: re-opens the store and maps the visibility file read-only itself —
+    #: no payload pickling, no shared-memory copy, page cache shared by all.
+    store_path: str | None = None
 
 
 def _write_text(row: np.ndarray, text: str) -> None:
@@ -263,7 +269,12 @@ def _run_grid_shard(
     plan = task.plan
     backend = idg.backend
     uvw = arena["uvw"]
-    vis = arena["vis"]
+    if task.store_path is not None:
+        # Out-of-core shard: attach the chunked store read-only in this
+        # process; the kernels stream masked blocks straight off the map.
+        vis = open_store(task.store_path).source()
+    else:
+        vis = arena["vis"]
     fourier = arena["fourier"]
     status = arena["status"]
     retries = arena["retries"]
@@ -306,6 +317,8 @@ def _run_grid_shard(
                 backend.add_subgrids(shard_grid, plan, block, start=start)
             durations[group] = time.perf_counter() - t0
             status[group] = _DONE
+            if task.store_path is not None:
+                vis.drop_caches()  # retired group's file pages -> OS
             continue
 
         n_vis = group_visibility_count(plan, start, stop)
@@ -338,6 +351,8 @@ def _run_grid_shard(
             _publish_quarantine(arena, group, runner.report.dead_letters[-1])
         else:
             status[group] = _DONE
+        if task.store_path is not None:
+            vis.drop_caches()  # retired group's file pages -> OS
 
 
 def _run_degrid_shard(
@@ -426,6 +441,7 @@ class _ShardSupervisor:
         faults: FaultPlan | None,
         aterm_fields: dict[tuple[int, int], np.ndarray] | None,
         skip: frozenset[int] = frozenset(),
+        store_path: str | None = None,
     ) -> None:
         self.kind = kind
         self.idg = idg
@@ -438,6 +454,7 @@ class _ShardSupervisor:
         self.fault_specs = faults.specs if faults is not None else None
         self.aterm_fields = aterm_fields
         self.skip = skip
+        self.store_path = store_path
         self.status = arena["status"]
         self.procs: dict[int, mp.process.BaseProcess] = {}
         self.death_counts: dict[int, int] = {}
@@ -514,6 +531,7 @@ class _ShardSupervisor:
             emulate_compute_s=self.config.emulate_compute_s,
             reduction=self.config.reduction,
             aterm_fields=self.aterm_fields,
+            store_path=self.store_path,
         )
         proc = self._ctx.Process(target=_worker_main, args=(task,), daemon=True)
         proc.start()
@@ -696,13 +714,25 @@ class ProcessShardedIDG:
         In exact reduction mode the result is bit-identical to the serial
         executor (module docstring); quarantined work groups are excluded
         and reported on ``last_fault_report`` exactly like the other
-        executors.
+        executors.  A store-backed
+        :class:`~repro.data.store.ChunkedVisibilitySource` is passed to the
+        workers *by path*: no "vis" slab is allocated, each worker maps the
+        store's visibility file read-only itself (sharing the page cache),
+        so out-of-core datasets never cross the process boundary.
         """
         idg = self.idg
         cfg = self.config
         backend = idg.backend
         idg._check_shapes(plan, uvw_m, visibilities)
-        visibilities = mask_flagged(visibilities, flags)
+        visibilities = prepare_visibilities(visibilities, flags)
+        store_path = None
+        if isinstance(visibilities, ChunkedVisibilitySource):
+            store_path = visibilities.store_path
+            if store_path is None:
+                # A source without a backing store (or carrying extra flags
+                # the store does not record) cannot be re-opened inside the
+                # workers; fall back to the shared-memory slab.
+                visibilities = visibilities.materialize()
         fields = (
             aterm_fields
             if aterm_fields is not None
@@ -742,10 +772,13 @@ class ProcessShardedIDG:
 
         with SharedArena() as arena:
             np.copyto(arena.allocate("uvw", uvw_m.shape, uvw_m.dtype), uvw_m)
-            np.copyto(
-                arena.allocate("vis", visibilities.shape, visibilities.dtype),
-                visibilities,
-            )
+            if store_path is None:
+                np.copyto(
+                    arena.allocate(
+                        "vis", visibilities.shape, visibilities.dtype
+                    ),
+                    visibilities,
+                )
             n = plan.subgrid_size
             fourier = arena.allocate(
                 "fourier", (plan.n_subgrids, n, n, 2, 2), COMPLEX_DTYPE
@@ -760,7 +793,7 @@ class ProcessShardedIDG:
                 kind="grid", idg=idg, config=cfg, plan=plan,
                 assignment=assignment, arena=arena, runner=runner,
                 telemetry=telemetry, faults=self.faults, aterm_fields=fields,
-                skip=frozenset(completed),
+                skip=frozenset(completed), store_path=store_path,
             )
             try:
                 supervisor.start()
@@ -851,12 +884,17 @@ class ProcessShardedIDG:
         grid: np.ndarray,
         aterms: ATermGenerator | None = None,
         aterm_fields: dict[tuple[int, int], np.ndarray] | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Process-parallel equivalent of :meth:`repro.core.IDG.degrid`.
 
         Work groups cover disjoint visibility blocks, so shards write the
         shared output slab without synchronisation; a quarantined group
-        leaves its block zero (the shared convention).
+        leaves its block zero (the shared convention).  ``out``
+        (zero-initialised, e.g. a writable dataset-store map) receives the
+        prediction instead of a fresh copy — note the shared-memory
+        ``visout`` slab itself remains O(dataset); streaming degrid output
+        without the slab is the StreamingIDG path's job.
         """
         idg = self.idg
         cfg = self.config
@@ -912,7 +950,16 @@ class ProcessShardedIDG:
                     telemetry.add_counter(
                         "visibilities", group_visibility_count(plan, start, stop)
                     )
-                result = visout.copy()
+                if out is None:
+                    result = visout.copy()
+                else:
+                    expected = (n_bl, n_times, plan.n_channels, 2, 2)
+                    if out.shape != expected:
+                        raise ValueError(
+                            f"out shape {out.shape} != {expected}"
+                        )
+                    np.copyto(out, visout)
+                    result = out
             finally:
                 supervisor.shutdown()
         if runner is not None:

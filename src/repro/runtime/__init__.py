@@ -37,6 +37,7 @@ from repro.runtime.faults import (
     InjectedFault,
 )
 from repro.runtime.graph import StageGraph
+from repro.runtime.memory import peak_rss_bytes, record_memory_gauges, rss_bytes
 from repro.runtime.queues import Channel, ChannelClosed, CreditGate, PipelineAborted
 from repro.runtime.recovery import (
     DeadLetter,
@@ -75,6 +76,9 @@ __all__ = [
     "group_visibility_count",
     "load_checkpoint",
     "modeled_schedule_jobs",
+    "peak_rss_bytes",
     "plan_signature",
+    "record_memory_gauges",
+    "rss_bytes",
     "save_checkpoint",
 ]

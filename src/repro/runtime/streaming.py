@@ -50,12 +50,13 @@ import numpy as np
 
 from repro.aterms.generators import ATermGenerator
 from repro.constants import COMPLEX_DTYPE
-from repro.core.pipeline import IDG, mask_flagged
+from repro.core.pipeline import IDG, prepare_visibilities
 from repro.core.plan import Plan
-from repro.core.scratch import total_arena_nbytes
+from repro.data.store import ChunkedVisibilitySource
 from repro.runtime.checkpoint import load_checkpoint, plan_signature, save_checkpoint
 from repro.runtime.faults import FaultPlan
 from repro.runtime.graph import StageGraph
+from repro.runtime.memory import record_memory_gauges
 from repro.runtime.queues import CreditGate
 from repro.runtime.recovery import (
     FaultReport,
@@ -231,7 +232,11 @@ class StreamingIDG:
         idg = self.idg
         backend = idg.backend
         idg._check_shapes(plan, uvw_m, visibilities)
-        visibilities = mask_flagged(visibilities, flags)
+        visibilities = prepare_visibilities(visibilities, flags)
+        source = (
+            visibilities
+            if isinstance(visibilities, ChunkedVisibilitySource) else None
+        )
         if grid is None:
             grid = idg.gridspec.allocate_grid(dtype=COMPLEX_DTYPE)
         fields = idg.aterm_fields(plan, aterms)
@@ -271,10 +276,30 @@ class StreamingIDG:
             if runner is not None:
                 runner.report.n_checkpoints += 1
 
-        def grid_group(group: int, start: int, stop: int) -> Any:
+        def do_read(
+            seq: int, payload: tuple[int, tuple[int, int]]
+        ) -> Any:
+            # Out-of-core reader stage: materialise exactly the visibility
+            # blocks this work group needs (masked, copied off the memory
+            # map).  Downstream stages never touch the map, and the credit
+            # gate bounds the prefetched groups resident to `n_buffers`.
+            group, (start, stop) = payload
+            def body():
+                return source.prefetch_group(plan, start, stop)
+            if runner is None:
+                return (group, (start, stop), body())
+            result = runner.run(
+                "reader", group, body, start=start, stop=stop,
+                n_visibilities=group_visibility_count(plan, start, stop),
+            )
+            if isinstance(result, Quarantined):
+                return result
+            return (group, (start, stop), result)
+
+        def grid_group(group: int, start: int, stop: int, vis_in: Any) -> Any:
             def body() -> np.ndarray:
                 return backend.grid_work_group(
-                    plan, start, stop, uvw_m, visibilities, idg.taper,
+                    plan, start, stop, uvw_m, vis_in, idg.taper,
                     lmn=idg.lmn, aterm_fields=fields,
                     vis_batch=idg.config.vis_batch,
                     channel_recurrence=idg.config.channel_recurrence,
@@ -287,11 +312,14 @@ class StreamingIDG:
                 n_visibilities=group_visibility_count(plan, start, stop),
             )
 
-        def do_grid(
-            seq: int, payload: tuple[int, tuple[int, int]]
-        ) -> Any:
-            group, (start, stop) = payload
-            result = grid_group(group, start, stop)
+        def do_grid(seq: int, payload: Any) -> Any:
+            if isinstance(payload, Quarantined):
+                # A reader-stage dead letter: pass the sentinel through so
+                # sequencing and credit accounting stay exact.
+                return payload
+            group, (start, stop) = payload[0], payload[1]
+            vis_in = payload[2] if len(payload) == 3 else visibilities
+            result = grid_group(group, start, stop, vis_in)
             if isinstance(result, Quarantined):
                 return result
             return (group, start, result)
@@ -349,15 +377,23 @@ class StreamingIDG:
                 gate.release()
                 next_seq += 1
                 n_retired += 1
+                if source is not None and n_retired % 8 == 0:
+                    # Retired groups' file pages are dead weight: evict them
+                    # and snapshot the memory gauges so the trace shows RSS
+                    # staying flat as data streams through.  Every 8th group
+                    # is often enough — each madvise sweep walks the whole
+                    # mapping's page tables, and the un-evicted residue is
+                    # bounded by 8 groups' worth of file pages.
+                    source.drop_caches()
+                    record_memory_gauges(tm)
                 if ckpt_path is not None and (
                     n_retired % self.config.checkpoint_interval == 0
                 ):
                     write_checkpoint()
 
-        def do_htod(
-            seq: int, payload: tuple[int, tuple[int, int]]
-        ) -> tuple[int, tuple[int, int]]:
-            self._transfer(chunk_transfer_bytes(plan, *payload[1])[0])
+        def do_htod(seq: int, payload: Any) -> Any:
+            if not isinstance(payload, Quarantined):
+                self._transfer(chunk_transfer_bytes(plan, *payload[1])[0])
             return payload
 
         def do_dtoh(seq: int, payload: Any) -> Any:
@@ -368,6 +404,11 @@ class StreamingIDG:
         graph = StageGraph("grid", n_buffers=self.config.n_buffers, telemetry=tm)
         graph.add_abortable(gate)
         graph.add_source("splitter", self._gated_chunks(pending, gate))
+        if source is not None:
+            # Disk-read stage ahead of the (emulated) device upload: with
+            # the credit gate upstream, at most `n_buffers` prefetched
+            # groups exist at once — the RSS bound of the out-of-core path.
+            graph.add_stage("reader", do_read)
         if self.config.emulate_pcie_gbs is not None:
             graph.add_stage("htod", do_htod)
         graph.add_stage("gridder", do_grid, workers=self.config.gridder_workers)
@@ -383,7 +424,7 @@ class StreamingIDG:
             runner.report.n_groups_completed = len(completed)
         if ckpt_path is not None:
             write_checkpoint()
-        tm.record_gauge("arena_bytes", float(total_arena_nbytes()))
+        record_memory_gauges(tm)
         self.last_telemetry = tm
         return out_grid
 
@@ -396,18 +437,25 @@ class StreamingIDG:
         grid: np.ndarray,
         aterms: ATermGenerator | None = None,
         telemetry: Telemetry | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Pipelined equivalent of :meth:`repro.core.IDG.degrid`.
 
         With fault tolerance active, a quarantined work group leaves its
         visibility block zero (the same convention the plan uses for
         unplaceable samples) and is reported on ``last_fault_report``.
+        ``out`` (zero-initialised, e.g. a writable dataset-store map)
+        receives the prediction in place as on the serial executor.
         """
         idg = self.idg
         backend = idg.backend
         fields = idg.aterm_fields(plan, aterms)
         n_bl, n_times, _ = uvw_m.shape
-        out = np.zeros((n_bl, n_times, plan.n_channels, 2, 2), dtype=COMPLEX_DTYPE)
+        expected = (n_bl, n_times, plan.n_channels, 2, 2)
+        if out is None:
+            out = np.zeros(expected, dtype=COMPLEX_DTYPE)
+        elif out.shape != expected:
+            raise ValueError(f"out shape {out.shape} != {expected}")
 
         tm = telemetry if telemetry is not None else Telemetry()
         runner = self._runner(tm)
@@ -511,7 +559,7 @@ class StreamingIDG:
         if runner is not None:
             runner.report.n_groups = len(chunks)
             runner.report.n_groups_completed = n_completed
-        tm.record_gauge("arena_bytes", float(total_arena_nbytes()))
+        record_memory_gauges(tm)
         self.last_telemetry = tm
         return out
 

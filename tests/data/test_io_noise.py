@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.data.dataset import VisibilityDataset
-from repro.data.io import SCHEMA_VERSION, load_dataset, save_dataset
+from repro.data.io import (
+    SCHEMA_VERSION,
+    DatasetFormatError,
+    load_dataset,
+    open_dataset,
+    save_dataset,
+)
 from repro.data.noise import add_thermal_noise, thermal_noise_sigma
 
 
@@ -41,6 +47,54 @@ def test_load_rejects_future_schema(dataset, tmp_path):
     )
     with pytest.raises(ValueError):
         load_dataset(path)
+
+
+def test_load_rejects_missing_keys(dataset, tmp_path):
+    path = tmp_path / "short.npz"
+    np.savez_compressed(
+        path, schema_version=np.int64(SCHEMA_VERSION),
+        uvw_m=dataset.uvw_m, visibilities=dataset.visibilities,
+        frequencies_hz=dataset.frequencies_hz, baselines=dataset.baselines,
+        # flags omitted
+    )
+    with pytest.raises(DatasetFormatError, match="missing"):
+        load_dataset(path)
+
+
+def test_load_rejects_unexpected_keys(dataset, tmp_path):
+    path = tmp_path / "extra.npz"
+    np.savez_compressed(
+        path, schema_version=np.int64(SCHEMA_VERSION),
+        uvw_m=dataset.uvw_m, visibilities=dataset.visibilities,
+        frequencies_hz=dataset.frequencies_hz, baselines=dataset.baselines,
+        flags=dataset.flags, bogus=np.zeros(3),
+    )
+    with pytest.raises(DatasetFormatError, match="unexpected"):
+        load_dataset(path)
+
+
+def test_open_dataset_autodetects_format(dataset, tmp_path):
+    from repro.data.store import ChunkedStore, write_store
+
+    npz = tmp_path / "data.npz"
+    save_dataset(dataset, npz)
+    loaded = open_dataset(npz)
+    assert isinstance(loaded, VisibilityDataset)
+    np.testing.assert_array_equal(loaded.visibilities, dataset.visibilities)
+
+    store_path = tmp_path / "data.store"
+    write_store(dataset, store_path)
+    opened = open_dataset(store_path)
+    assert isinstance(opened, ChunkedStore)
+    np.testing.assert_array_equal(opened.visibilities[:], dataset.visibilities)
+
+
+def test_open_dataset_typed_errors(tmp_path):
+    with pytest.raises(DatasetFormatError):
+        open_dataset(tmp_path / "nothing-here.npz")
+    (tmp_path / "empty-dir").mkdir()
+    with pytest.raises(DatasetFormatError):
+        open_dataset(tmp_path / "empty-dir")
 
 
 def test_save_creates_parent_directories(dataset, tmp_path):
