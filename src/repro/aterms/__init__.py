@@ -21,11 +21,13 @@ from repro.aterms.jones import (
 )
 from repro.aterms.generators import (
     ATermGenerator,
+    GainATerm,
     GaussianBeamATerm,
     IdentityATerm,
     IonosphereATerm,
     LeakageATerm,
     PointingErrorATerm,
+    ProductATerm,
 )
 from repro.aterms.schedule import ATermSchedule
 
@@ -36,10 +38,12 @@ __all__ = [
     "identity_jones_field",
     "jones_multiply",
     "ATermGenerator",
+    "GainATerm",
     "GaussianBeamATerm",
     "IdentityATerm",
     "IonosphereATerm",
     "LeakageATerm",
     "PointingErrorATerm",
+    "ProductATerm",
     "ATermSchedule",
 ]

@@ -19,6 +19,7 @@ import abc
 
 import numpy as np
 
+from repro.constants import ACCUM_DTYPE
 from repro.kernels.fft import image_coordinates
 from repro.aterms.jones import identity_jones
 
@@ -157,6 +158,85 @@ class LeakageATerm(ATermGenerator):
         out[..., 0, 1] = d_xy
         out[..., 1, 0] = d_yx
         return out
+
+
+class GainATerm(ATermGenerator):
+    """Direction-independent station gains as (flat) Jones fields.
+
+    The self-calibration loop folds StEFCal solutions back into the gridder
+    through this generator — the gains become A-terms on the existing
+    :class:`~repro.aterms.schedule.ATermSchedule`, so the calibrated image
+    falls out of an ordinary (re-)gridding pass instead of a separate
+    visibility-correction step.
+
+    Two modes, matching the two sides of the measurement equation:
+
+    * ``mode="corrupt"``: ``A_s = g_s * I``.  Degridding applies the forward
+      sandwich ``A_p B A_q^H``, predicting *corrupted* visibilities
+      ``g_p M conj(g_q)`` from a true-sky model.
+    * ``mode="calibrate"``: ``A_s = (1 / conj(g_s)) * I``.  Gridding applies
+      the adjoint sandwich ``A_p^H S A_q = (1/g_p) V (1/conj(g_q))``, which
+      undoes exactly that corruption while imaging.
+
+    Parameters
+    ----------
+    gains:
+        ``(n_intervals, n_stations)`` complex gains (a 1-D array is treated
+        as one interval).  The A-term interval index passed by the gridder
+        is clamped to the last row, so a schedule with more intervals than
+        solutions reuses the final solution.
+    mode:
+        ``"corrupt"`` or ``"calibrate"``.
+    """
+
+    def __init__(self, gains: np.ndarray, mode: str = "corrupt"):
+        gains = np.atleast_2d(np.asarray(gains, dtype=ACCUM_DTYPE))
+        if gains.ndim != 2:
+            raise ValueError("gains must be (n_intervals, n_stations)")
+        if mode not in ("corrupt", "calibrate"):
+            raise ValueError(f"mode must be 'corrupt' or 'calibrate', got {mode!r}")
+        if mode == "calibrate" and np.any(gains == 0):
+            raise ValueError("cannot calibrate with a zero gain")
+        self.gains = gains
+        self.mode = mode
+
+    def _factor(self, station: int, interval: int) -> complex:
+        """The scalar this station's Jones field multiplies the identity by."""
+        n_intervals, n_stations = self.gains.shape
+        if not (0 <= station < n_stations):
+            raise ValueError(f"station {station} out of range [0, {n_stations})")
+        g = self.gains[min(max(interval, 0), n_intervals - 1), station]
+        if self.mode == "corrupt":
+            return complex(g)
+        return complex(1.0 / np.conj(g))
+
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        l = np.asarray(l)
+        return identity_jones(l.shape) * self._factor(station, interval)
+
+
+class ProductATerm(ATermGenerator):
+    """Jones-matrix product of several generators: ``A = A_1 @ A_2 @ ...``.
+
+    Composes independent effects — e.g. a primary beam times a gain
+    solution — in measurement-equation order (leftmost applied last to the
+    sky signal).
+    """
+
+    def __init__(self, *generators: ATermGenerator):
+        if not generators:
+            raise ValueError("ProductATerm needs at least one generator")
+        self.generators = tuple(generators)
+
+    def evaluate(self, station: int, interval: int, l: np.ndarray, m: np.ndarray) -> np.ndarray:
+        out = self.generators[0].evaluate(station, interval, l, m)
+        for generator in self.generators[1:]:
+            out = out @ generator.evaluate(station, interval, l, m)
+        return out
+
+    @property
+    def is_identity(self) -> bool:
+        return all(g.is_identity for g in self.generators)
 
 
 class IonosphereATerm(ATermGenerator):

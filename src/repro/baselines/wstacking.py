@@ -62,8 +62,8 @@ class WStackingGridder:
 
     def _plane_assignment(
         self, uvw_m: np.ndarray, frequencies_hz: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """(plane_centres, per-visibility plane index) over the w range."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(plane_centres, per-visibility plane index, w in wavelengths)."""
         frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
         scale = frequencies_hz / SPEED_OF_LIGHT
         w_wl = (uvw_m[:, :, 2, np.newaxis] * scale)  # (n_bl, T, C)
@@ -77,7 +77,39 @@ class WStackingGridder:
             idx = np.clip(
                 np.rint((w_wl - centres[0]) / step).astype(np.int64), 0, self.n_planes - 1
             )
-        return centres, idx
+        return centres, idx, w_wl
+
+    def _validate_visibilities(
+        self, uvw_m: np.ndarray, frequencies_hz: np.ndarray, visibilities: np.ndarray
+    ) -> None:
+        """Reject mis-shaped visibility arrays up front.
+
+        Without this, a wrong-shaped array broadcasts silently through the
+        ``np.where`` plane masking below and grids garbage.
+        """
+        n_bl, n_times, _ = uvw_m.shape
+        n_chan = np.atleast_1d(np.asarray(frequencies_hz)).size
+        expected = (n_bl, n_times, n_chan, 2, 2)
+        if visibilities.shape != expected:
+            raise ValueError(
+                f"visibilities must have shape {expected}, got {visibilities.shape}"
+            )
+
+    def _plane_gridder(self, residual_w: np.ndarray) -> WProjectionGridder:
+        """Inner gridder whose w quantisation covers one plane's residuals.
+
+        The inner gridder would otherwise set its w range lazily from *all*
+        visibilities — including the zero-filled off-plane ones, whose large
+        residual w would stretch the quantisation over the full stack range.
+        In-plane visibilities then match against kernels tabulated for far-off
+        w values, losing energy to kernel truncation and skewing the taper
+        normalisation.  Pinning the range to the plane's own residuals keeps
+        the kernels (and hence the per-visibility weight) accurate.
+        """
+        gridder = self._inner_gridder()
+        if residual_w.size:
+            gridder.set_w_range(float(residual_w.min()), float(residual_w.max()))
+        return gridder
 
     def _inner_gridder(self) -> WProjectionGridder:
         return WProjectionGridder(
@@ -105,7 +137,8 @@ class WStackingGridder:
         Grid correction and weight normalisation are applied; reduce with
         :func:`repro.imaging.image.stokes_i_image` for a real Stokes-I map.
         """
-        centres, plane_idx = self._plane_assignment(uvw_m, frequencies_hz)
+        self._validate_visibilities(uvw_m, frequencies_hz, visibilities)
+        centres, plane_idx, w_wl = self._plane_assignment(uvw_m, frequencies_hz)
         g = self.gridspec.grid_size
         accum = np.zeros((4, g, g), dtype=np.complex128)
         total_gridded = 0
@@ -118,7 +151,7 @@ class WStackingGridder:
             vis_plane = np.where(
                 mask[..., np.newaxis, np.newaxis], visibilities, 0
             ).astype(COMPLEX_DTYPE)
-            gridder = self._inner_gridder()
+            gridder = self._plane_gridder(w_wl[mask] - float(w_p))
             grid = gridder.grid(uvw_m, frequencies_hz, vis_plane, w_offset=float(w_p))
             flagged = gridder.flagged_mask(uvw_m, frequencies_hz)
             total_gridded += int((mask & ~flagged).sum())
@@ -141,7 +174,7 @@ class WStackingGridder:
         g = self.gridspec.grid_size
         if model_image.shape != (4, g, g):
             raise ValueError(f"model image must be (4, {g}, {g}), got {model_image.shape}")
-        centres, plane_idx = self._plane_assignment(uvw_m, frequencies_hz)
+        centres, plane_idx, w_wl = self._plane_assignment(uvw_m, frequencies_hz)
         corr = grid_correction(g)
         pre = model_image / corr
         n_bl, n_times, _ = uvw_m.shape
@@ -153,7 +186,7 @@ class WStackingGridder:
                 continue
             screened = pre * self._w_screen(float(w_p), sign=-1.0)
             grid = centered_fft2(screened, axes=(-2, -1)).astype(COMPLEX_DTYPE)
-            gridder = self._inner_gridder()
+            gridder = self._plane_gridder(w_wl[mask] - float(w_p))
             pred = gridder.degrid(uvw_m, frequencies_hz, grid, w_offset=float(w_p))
             out[mask] = pred[mask]
         return out

@@ -6,7 +6,9 @@ direction-independent piece: per-station complex gains estimated with the
 alternating-direction implicit solver of Salvini & Wijnholds (2014),
 universally known as **StEFCal** — the algorithm LOFAR and SKA pipelines
 use.  ``gains`` applies/corrupts with gain solutions; ``stefcal`` estimates
-them from (data, model) visibility pairs.
+them from (data, model) visibility pairs; ``selfcal`` closes the loop with
+imaging — alternating CLEAN model building and StEFCal solving, folding the
+solutions back into the gridder as A-terms.
 """
 
 from repro.calibration.gains import (
@@ -15,6 +17,15 @@ from repro.calibration.gains import (
     random_gains,
 )
 from repro.calibration.stefcal import StefcalResult, stefcal
+from repro.calibration.selfcal import (
+    SelfCalConfig,
+    SelfCalIteration,
+    SelfCalResult,
+    corrupt_with_interval_gains,
+    gain_amplitude_error,
+    self_calibrate,
+    selfcal_schedule,
+)
 
 __all__ = [
     "apply_gains",
@@ -22,4 +33,11 @@ __all__ = [
     "random_gains",
     "StefcalResult",
     "stefcal",
+    "SelfCalConfig",
+    "SelfCalIteration",
+    "SelfCalResult",
+    "corrupt_with_interval_gains",
+    "gain_amplitude_error",
+    "self_calibrate",
+    "selfcal_schedule",
 ]

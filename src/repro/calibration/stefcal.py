@@ -33,12 +33,18 @@ class StefcalResult:
     n_iterations:
         Iterations used per interval.
     converged:
-        Convergence flag per interval.
+        Convergence flag per interval.  An interval containing any
+        unconstrained station reports ``False``.
+    constrained:
+        ``(n_intervals, n_stations)`` bool: False where a station appears on
+        no baseline with model power in that interval — its gain is not
+        determined by the data and is reported as exactly 1.
     """
 
     gains: np.ndarray
     n_iterations: np.ndarray
     converged: np.ndarray
+    constrained: np.ndarray
 
     @property
     def n_intervals(self) -> int:
@@ -72,9 +78,14 @@ def _solve_interval(
     max_iterations: int,
     tolerance: float,
     reference_station: int,
-) -> tuple[np.ndarray, int, bool]:
+) -> tuple[np.ndarray, int, bool, np.ndarray]:
     n_stations = a.shape[0]
     gains = np.ones(n_stations, dtype=np.complex128)
+    # A station with an all-zero row in B appears on no baseline with model
+    # power: its closed-form update is 0/0 and nothing in the data constrains
+    # it.  Solve the rest normally; the unconstrained stations keep unit gain
+    # and force the interval's converged flag to False.
+    constrained = b.any(axis=1)
     converged = False
     iteration = 0
     for iteration in range(1, max_iterations + 1):
@@ -93,7 +104,10 @@ def _solve_interval(
             converged = True
             break
     gains = gains * np.exp(-1j * np.angle(gains[reference_station]))
-    return gains, iteration, converged
+    gains[~constrained] = 1.0
+    if not constrained.all():
+        converged = False
+    return gains, iteration, converged, constrained
 
 
 def stefcal(
@@ -152,12 +166,18 @@ def stefcal(
     gains = np.empty((n_intervals, n_stations), dtype=np.complex128)
     iterations = np.empty(n_intervals, dtype=np.int64)
     converged = np.empty(n_intervals, dtype=bool)
+    constrained = np.empty((n_intervals, n_stations), dtype=bool)
     for k in range(n_intervals):
         t0, t1 = k * interval, min((k + 1) * interval, n_times)
         d = diag_data[:, t0:t1].reshape(n_bl, -1).astype(np.complex128)
         m = diag_model[:, t0:t1].reshape(n_bl, -1).astype(np.complex128)
         a, b = _accumulate_normal_matrices(d, m, baselines, n_stations)
-        gains[k], iterations[k], converged[k] = _solve_interval(
+        gains[k], iterations[k], converged[k], constrained[k] = _solve_interval(
             a, b, max_iterations, tolerance, reference_station
         )
-    return StefcalResult(gains=gains, n_iterations=iterations, converged=converged)
+    return StefcalResult(
+        gains=gains,
+        n_iterations=iterations,
+        converged=converged,
+        constrained=constrained,
+    )

@@ -11,6 +11,8 @@ deconvolve → predict loop plus the performance model, all operating on
 * ``predict``   — degrid a model image back to visibilities;
 * ``flag``      — sigma-clip RFI flagging;
 * ``calibrate`` — StEFCal gain calibration against a point-source model;
+* ``selfcal``   — self-calibration major cycles (CLEAN + StEFCal closed
+  loop, gain solutions applied as A-terms in the gridder);
 * ``perfmodel`` — print the hardware-model predictions for a dataset's plan;
 * ``report``    — render the paper's full Section VI evaluation for a
   dataset (all figures, formatted text).
@@ -197,6 +199,36 @@ def _build_parser() -> argparse.ArgumentParser:
     cal.add_argument("--model-m", type=float, required=True)
     cal.add_argument("--model-flux", type=float, required=True)
     cal.add_argument("--solution-interval", type=int, default=0)
+
+    scal = sub.add_parser(
+        "selfcal",
+        help="self-calibration major cycles: CLEAN model building and "
+        "StEFCal gain solving closed-loop, gains applied as A-terms",
+    )
+    scal.add_argument("dataset", help="dataset (.npz or chunked store)")
+    scal.add_argument("output",
+                      help="output (.npz: gains, model, residual, psf)")
+    scal.add_argument("--grid-size", type=int, default=512)
+    scal.add_argument("--subgrid-size", type=int, default=24)
+    scal.add_argument("--cycles", type=int, default=20,
+                      help="maximum self-cal major cycles")
+    scal.add_argument("--solution-interval", type=int, default=0,
+                      help="timesteps per gain solution (0 = whole obs)")
+    scal.add_argument("--kind",
+                      choices=["2d", "wstack", "facets", "wstack_facets"],
+                      default="2d",
+                      help="FT processor used for the imaging side")
+    scal.add_argument("--w-planes", type=int, default=4,
+                      help="w layers (wstack kinds)")
+    scal.add_argument("--facets", type=int, default=2,
+                      help="facets per axis (facet kinds)")
+    scal.add_argument("--threshold-factor", type=float, default=3.0,
+                      help="CLEAN auto-threshold: factor x residual rms")
+    scal.add_argument("--executor",
+                      choices=["serial", "threads", "streaming", "processes"],
+                      default="serial")
+    scal.add_argument("--workers", type=int, default=2,
+                      help="executor workers (ignored by serial)")
 
     perf = sub.add_parser("perfmodel", help="hardware-model predictions")
     perf.add_argument("dataset")
@@ -673,6 +705,52 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _cmd_selfcal(args) -> int:
+    from repro.calibration.selfcal import SelfCalConfig, self_calibrate
+    from repro.imaging.pipeline import ImagingContext
+
+    ds, _ = _open_input(args.dataset)
+    idg, gridspec = _make_idg(ds, args.grid_size, args.subgrid_size)
+    n_stations = int(ds.baselines.max()) + 1
+    context = ImagingContext(
+        idg=idg, uvw_m=ds.uvw_m, frequencies_hz=ds.frequencies_hz,
+        baselines=ds.baselines, executor=args.executor,
+        executor_workers=args.workers,
+    )
+    config = SelfCalConfig(
+        n_cycles=args.cycles,
+        solution_interval=args.solution_interval,
+        threshold_factor=args.threshold_factor,
+    )
+    options = {}
+    if args.kind in ("wstack", "wstack_facets"):
+        options["n_w_planes"] = args.w_planes
+    if args.kind in ("facets", "wstack_facets"):
+        options["n_facets"] = args.facets
+    result = self_calibrate(
+        context, ds.visibilities, n_stations,
+        config=config, kind=args.kind, **options,
+    )
+    np.savez_compressed(
+        args.output,
+        gains=result.gains, model=result.model_image,
+        residual=result.residual_image, psf=result.psf,
+        image_size=gridspec.image_size,
+    )
+    for h in result.history:
+        print(f"cycle {h.cycle}: residual rms {h.residual_rms:.5f}  "
+              f"dynamic range {h.dynamic_range:.1f}  "
+              f"CLEANed flux {h.clean_flux:.3f}  "
+              f"gain change {h.gain_change:.5f}")
+    amp = np.abs(result.gains)
+    state = "converged" if result.converged else "cycle budget exhausted"
+    print(f"{result.n_cycles} cycle(s), {state}; {n_stations} stations, "
+          f"gain amplitudes {amp.min():.3f} - {amp.max():.3f} "
+          f"(reference station amplitude pinned to 1)")
+    print(f"wrote gains/model/residual/psf to {args.output}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.perfmodel.report import evaluation_report
 
@@ -793,6 +871,7 @@ _COMMANDS: Final = {
     "report": _cmd_report,
     "flag": _cmd_flag,
     "calibrate": _cmd_calibrate,
+    "selfcal": _cmd_selfcal,
     "info": _cmd_info,
     "image": _cmd_image,
     "clean": _cmd_clean,

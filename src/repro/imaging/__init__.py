@@ -30,6 +30,27 @@ from repro.imaging.spectral import (
     fit_spectral_index,
     make_subbands,
 )
+from repro.imaging.facets import (
+    Facet,
+    FacetScheme,
+    facet_rotation_phasor,
+    facet_shifted_uvw,
+    plan_facets,
+)
+from repro.imaging.pipeline import (
+    FTProcessor,
+    ImagingContext,
+    InvertResult,
+    invert_2d,
+    invert_facets,
+    invert_wstack,
+    invert_wstack_facets,
+    make_ftprocessor,
+    predict_2d,
+    predict_facets,
+    predict_wstack,
+    predict_wstack_facets,
+)
 
 __all__ = [
     "dirty_image_from_grid",
@@ -53,4 +74,21 @@ __all__ = [
     "SubbandImage",
     "fit_spectral_index",
     "make_subbands",
+    "Facet",
+    "FacetScheme",
+    "facet_rotation_phasor",
+    "facet_shifted_uvw",
+    "plan_facets",
+    "FTProcessor",
+    "ImagingContext",
+    "InvertResult",
+    "invert_2d",
+    "invert_facets",
+    "invert_wstack",
+    "invert_wstack_facets",
+    "make_ftprocessor",
+    "predict_2d",
+    "predict_facets",
+    "predict_wstack",
+    "predict_wstack_facets",
 ]

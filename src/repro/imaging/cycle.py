@@ -74,7 +74,12 @@ class MajorCycleResult:
 
 
 class ImagingCycle:
-    """Drives major cycles over a fixed observation with a given gridder."""
+    """Drives major cycles over a fixed observation with a given gridder.
+
+    ``processor`` optionally replaces the direct grid/IFFT path with any
+    :class:`repro.imaging.pipeline.FTProcessor` (w-stacked, faceted, ...);
+    the major-cycle logic is identical, only invert/predict are delegated.
+    """
 
     def __init__(
         self,
@@ -84,20 +89,32 @@ class ImagingCycle:
         baselines: np.ndarray,
         aterms: ATermGenerator | None = None,
         aterm_schedule: ATermSchedule | None = None,
+        processor=None,
     ):
         self.idg = idg
         self.uvw_m = np.asarray(uvw_m, dtype=np.float64)
         self.frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
         self.baselines = np.asarray(baselines)
         self.aterms = aterms
-        self.plan = idg.make_plan(
-            self.uvw_m, self.frequencies_hz, self.baselines, aterm_schedule=aterm_schedule
-        )
+        self.processor = processor
+        if processor is not None:
+            self.plan = processor.plan
+        else:
+            self.plan = idg.make_plan(
+                self.uvw_m, self.frequencies_hz, self.baselines,
+                aterm_schedule=aterm_schedule,
+            )
         self._weight_sum = float(self.plan.statistics.n_visibilities_gridded)
 
     # ------------------------------------------------------------ building
     def make_dirty_image(self, visibilities: np.ndarray) -> np.ndarray:
         """Stokes-I dirty image of a visibility set (grid + IFFT + correct)."""
+        if self.processor is not None:
+            # Only override the processor's own A-term default when this
+            # cycle was given one explicitly.
+            if self.aterms is not None:
+                return self.processor.invert(visibilities, aterms=self.aterms).stokes_i
+            return self.processor.invert(visibilities).stokes_i
         grid = self.idg.grid(self.plan, self.uvw_m, visibilities, aterms=self.aterms)
         image = dirty_image_from_grid(
             grid, self.idg.gridspec, weight_sum=self._weight_sum,
@@ -120,6 +137,10 @@ class ImagingCycle:
 
     def predict(self, model_image_stokes_i: np.ndarray) -> np.ndarray:
         """Predict visibilities of a Stokes-I model image (FFT + degrid)."""
+        if self.processor is not None:
+            if self.aterms is not None:
+                return self.processor.predict(model_image_stokes_i, aterms=self.aterms)
+            return self.processor.predict(model_image_stokes_i)
         g = self.idg.gridspec.grid_size
         model4 = np.zeros((4, g, g), dtype=np.complex128)
         model4[0] = model_image_stokes_i  # XX = YY = I (B = I*eye convention)

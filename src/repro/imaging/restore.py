@@ -61,6 +61,15 @@ def restore_image(
         beam = fit_beam(psf)
     kernel = gaussian_beam_kernel(beam)
     g = model_image.shape[0]
+    if kernel.shape[0] > g:
+        # A beam broader than the image (tiny grids, pathological PSF fits)
+        # must be cropped: the embedding slice below would go negative and
+        # wrap, scattering kernel corners across the image.  Keep the largest
+        # odd footprint that fits — the lost wings carry negligible power
+        # relative to the wrap-around corruption they would cause.
+        size = g if g % 2 == 1 else g - 1
+        trim = (kernel.shape[0] - size) // 2
+        kernel = kernel[trim : trim + size, trim : trim + size]
     padded = np.zeros((g, g))
     half = kernel.shape[0] // 2
     centre = g // 2

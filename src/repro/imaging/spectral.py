@@ -17,12 +17,19 @@ subband; wide-band imaging combines them.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.aterms.generators import ATermGenerator
 from repro.core.pipeline import IDG
 from repro.imaging.image import dirty_image_from_grid, stokes_i_image
+from repro.imaging.pipeline import (
+    ImagingContext,
+    make_ftprocessor,
+    plan_weight_sum,
+)
+from repro.imaging.weighting import apply_weights
 from repro.telescope.observation import Observation, subband_frequencies
 
 
@@ -77,24 +84,56 @@ class SpectralImager:
     All subbands share the IDG instance's grid geometry (the field of view
     is fixed; uv *pixel* coordinates differ per subband because they scale
     with frequency, which each subband's own plan accounts for).
+
+    ``kind`` selects an :class:`~repro.imaging.pipeline.FTProcessor` variant
+    for the per-subband inverts (``"wstack"``, ``"facets"``, ...), with
+    ``ft_options`` forwarded to its constructor; ``None`` keeps the direct
+    plain-IDG gridding path.  Both paths take per-visibility imaging weights
+    (e.g. Briggs from :mod:`repro.imaging.weighting`) — weighted wide-band
+    imaging is the composition of the two modules.
     """
 
-    def __init__(self, idg: IDG):
+    def __init__(self, idg: IDG, kind: str | None = None, **ft_options: Any):
         self.idg = idg
+        self.kind = kind
+        self.ft_options = ft_options
 
     def image_subband(
         self,
         observation: Observation,
         visibilities: np.ndarray,
         aterms: ATermGenerator | None = None,
+        weights: np.ndarray | None = None,
     ) -> SubbandImage:
         """Dirty Stokes-I image of one subband."""
         baselines = observation.array.baselines()
+        frequency = float(observation.frequencies_hz.mean())
+        if self.kind is not None:
+            context = ImagingContext(
+                idg=self.idg,
+                uvw_m=observation.uvw_m,
+                frequencies_hz=observation.frequencies_hz,
+                baselines=baselines,
+                aterms=aterms,
+            )
+            processor = make_ftprocessor(
+                context, kind=self.kind, **self.ft_options
+            )
+            result = processor.invert(visibilities, weights=weights)
+            return SubbandImage(
+                frequency_hz=frequency,
+                image=result.stokes_i,
+                weight=result.weight_sum,
+            )
         plan = self.idg.make_plan(
             observation.uvw_m, observation.frequencies_hz, baselines
         )
+        if weights is not None:
+            visibilities = apply_weights(visibilities, np.asarray(weights))
+            weight = plan_weight_sum(plan, weights)
+        else:
+            weight = float(plan.statistics.n_visibilities_gridded)
         grid = self.idg.grid(plan, observation.uvw_m, visibilities, aterms=aterms)
-        weight = float(plan.statistics.n_visibilities_gridded)
         image = stokes_i_image(
             dirty_image_from_grid(
                 grid, self.idg.gridspec, weight_sum=weight,
@@ -102,7 +141,7 @@ class SpectralImager:
             )
         )
         return SubbandImage(
-            frequency_hz=float(observation.frequencies_hz.mean()),
+            frequency_hz=frequency,
             image=image,
             weight=weight,
         )

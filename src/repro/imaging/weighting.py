@@ -5,6 +5,10 @@ Imaging weights trade sensitivity against PSF shape: *natural* weighting
 of the uv distribution (paper Fig 8) a heavy PSF; *uniform* weighting divides
 by the local uv sample density to flatten the PSF.  Weights multiply the
 visibilities before gridding and their sum normalises the dirty image.
+
+Density-based schemes accept an optional ``flags`` mask: flagged samples are
+excluded from the per-cell counts (so they cannot skew the weights of live
+visibilities sharing their cell) and receive weight zero themselves.
 """
 
 from __future__ import annotations
@@ -15,22 +19,34 @@ from repro.constants import SPEED_OF_LIGHT
 from repro.gridspec import GridSpec
 
 
+class WeightingError(ValueError):
+    """No usable sample for a density-based weighting scheme.
+
+    Raised by :func:`briggs_weights` when no unflagged visibility lands on
+    the uv grid — the mean cell occupancy is then 0/0 and the robust scale
+    ``f^2`` undefined, so the caller gets a typed error instead of an array
+    of NaNs silently propagating into the imager.
+    """
+
+
 def natural_weights(uvw_m: np.ndarray, n_channels: int) -> np.ndarray:
     """Unit weight per (baseline, time, channel) visibility."""
     n_bl, n_times, _ = uvw_m.shape
     return np.ones((n_bl, n_times, n_channels), dtype=np.float64)
 
 
-def uniform_weights(
+def _grid_occupancy(
     uvw_m: np.ndarray,
     frequencies_hz: np.ndarray,
     gridspec: GridSpec,
-) -> np.ndarray:
-    """Uniform (density-inverse) weights.
+    flags: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-visibility cell indices, live-and-on-grid mask, and cell counts.
 
-    Counts visibilities per uv cell (nearest-cell binning over all baselines,
-    times and channels) and assigns each visibility the reciprocal of its
-    cell's count.  Off-grid samples get weight zero.
+    Returns ``(iu, iv, live, counts)`` with ``iu``/``iv`` the nearest-cell
+    pixel coordinates of every (baseline, time, channel) sample, ``live``
+    True where the sample is on-grid *and* unflagged, and ``counts`` the
+    ``(G, G)`` occupancy histogram of the live samples.
     """
     frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
     scale = frequencies_hz / SPEED_OF_LIGHT
@@ -40,13 +56,37 @@ def uniform_weights(
     pv = uvw_m[:, :, 1, np.newaxis] * scale * gridspec.image_size + g // 2
     iu = np.rint(pu).astype(np.int64)
     iv = np.rint(pv).astype(np.int64)
-    inside = (iu >= 0) & (iu < g) & (iv >= 0) & (iv < g)
+    live = (iu >= 0) & (iu < g) & (iv >= 0) & (iv < g)
+    if flags is not None:
+        flags = np.asarray(flags, dtype=bool)
+        if flags.shape != live.shape:
+            raise ValueError(
+                f"flags shape {flags.shape} does not match visibility "
+                f"layout {live.shape}"
+            )
+        live &= ~flags
 
-    counts = np.zeros((g, g), dtype=np.int64)
-    np.add.at(counts, (iv[inside], iu[inside]), 1)
+    counts = np.zeros((g, g), dtype=np.float64)
+    np.add.at(counts, (iv[live], iu[live]), 1.0)
+    return iu, iv, live, counts
 
-    weights = np.zeros(pu.shape, dtype=np.float64)
-    weights[inside] = 1.0 / counts[iv[inside], iu[inside]]
+
+def uniform_weights(
+    uvw_m: np.ndarray,
+    frequencies_hz: np.ndarray,
+    gridspec: GridSpec,
+    flags: np.ndarray | None = None,
+) -> np.ndarray:
+    """Uniform (density-inverse) weights.
+
+    Counts visibilities per uv cell (nearest-cell binning over all baselines,
+    times and channels) and assigns each visibility the reciprocal of its
+    cell's count.  Off-grid and flagged samples get weight zero and do not
+    contribute to the counts.
+    """
+    iu, iv, live, counts = _grid_occupancy(uvw_m, frequencies_hz, gridspec, flags)
+    weights = np.zeros(live.shape, dtype=np.float64)
+    weights[live] = 1.0 / counts[iv[live], iu[live]]
     return weights
 
 
@@ -55,6 +95,7 @@ def briggs_weights(
     frequencies_hz: np.ndarray,
     gridspec: GridSpec,
     robust: float = 0.0,
+    flags: np.ndarray | None = None,
 ) -> np.ndarray:
     """Briggs (robust) weighting: the natural/uniform continuum.
 
@@ -64,26 +105,28 @@ def briggs_weights(
     ``w = 1 / (1 + N_k * f^2)``,  ``f^2 = (5 * 10^-robust)^2 / <N>``
 
     so ``robust = +2`` approaches natural weighting and ``robust = -2``
-    approaches uniform.  Off-grid samples get weight zero.
-    """
-    frequencies_hz = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
-    scale = frequencies_hz / SPEED_OF_LIGHT
-    g = gridspec.grid_size
-    pu = uvw_m[:, :, 0, np.newaxis] * scale * gridspec.image_size + g // 2
-    pv = uvw_m[:, :, 1, np.newaxis] * scale * gridspec.image_size + g // 2
-    iu = np.rint(pu).astype(np.int64)
-    iv = np.rint(pv).astype(np.int64)
-    inside = (iu >= 0) & (iu < g) & (iv >= 0) & (iv < g)
+    approaches uniform.  Off-grid and flagged samples get weight zero and do
+    not contribute to the counts.
 
-    counts = np.zeros((g, g), dtype=np.float64)
-    np.add.at(counts, (iv[inside], iu[inside]), 1.0)
+    Raises
+    ------
+    WeightingError
+        When no unflagged visibility lands on the grid (the mean occupancy
+        would be 0/0).
+    """
+    iu, iv, live, counts = _grid_occupancy(uvw_m, frequencies_hz, gridspec, flags)
     occupied = counts[counts > 0]
+    if occupied.size == 0:
+        raise WeightingError(
+            "briggs_weights: no unflagged visibility lands on the uv grid "
+            "(cannot form the mean cell occupancy)"
+        )
     # mean weighted cell occupancy: sum(N^2) / sum(N), the Briggs definition
     mean_occupancy = float((occupied**2).sum() / occupied.sum())
     f2 = (5.0 * 10.0 ** (-robust)) ** 2 / mean_occupancy
 
-    weights = np.zeros(pu.shape, dtype=np.float64)
-    weights[inside] = 1.0 / (1.0 + counts[iv[inside], iu[inside]] * f2)
+    weights = np.zeros(live.shape, dtype=np.float64)
+    weights[live] = 1.0 / (1.0 + counts[iv[live], iu[live]] * f2)
     return weights
 
 

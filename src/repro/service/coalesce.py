@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from repro.core.pipeline import IDGConfig
 from repro.hashing import content_hash
-from repro.service.jobs import JobSpec
+from repro.service.jobs import JobKind, JobSpec
 
 __all__ = [
     "aterm_signature",
@@ -94,11 +94,14 @@ def execution_key(
 ) -> str | None:
     """Single-flight key: jobs with equal keys produce identical results.
 
-    ``None`` (never coalesce) for fault-injected jobs and for jobs whose
+    ``None`` (never coalesce) for fault-injected jobs, for jobs whose
     A-terms cannot be signed — see the conservatism rule in the module
-    docstring.
+    docstring — and for ``SELFCAL`` jobs, whose identity would have to
+    cover the full loop configuration (an unhashable dataclass-of-knobs);
+    an iterative solve is also far past the cheap-hash/expensive-execution
+    trade the coalescer is built for.
     """
-    if spec.faults is not None:
+    if spec.faults is not None or spec.kind is JobKind.SELFCAL:
         return None
     signature = aterm_signature(spec)
     if signature is None:

@@ -35,10 +35,12 @@ __all__ = [
 
 
 class JobKind(enum.Enum):
-    """What the job computes: a master grid or predicted visibilities."""
+    """What the job computes: a master grid, predicted visibilities, or a
+    self-calibration solve (gains + model/residual images)."""
 
     IMAGE = "image"
     PREDICT = "predict"
+    SELFCAL = "selfcal"
 
 
 class JobStatus(enum.Enum):
@@ -80,11 +82,13 @@ class Overloaded(RuntimeError):
 class JobSpec:
     """One immutable gridding/degridding request.
 
-    ``IMAGE`` jobs require ``visibilities``; ``PREDICT`` jobs require
-    ``model_grid``.  Arrays are shared with the caller, not copied — treat
-    them as frozen once submitted (the coalescing keys hash their bytes).
-    ``faults`` installs a deterministic fault-injection plan for this job
-    only; faulted jobs are never coalesced with clean ones.
+    ``IMAGE`` and ``SELFCAL`` jobs require ``visibilities``; ``PREDICT``
+    jobs require ``model_grid``; ``SELFCAL`` additionally requires
+    ``n_stations`` (and takes its loop parameters from ``selfcal`` /
+    ``ft_kind`` / ``ft_options``).  Arrays are shared with the caller, not
+    copied — treat them as frozen once submitted (the coalescing keys hash
+    their bytes).  ``faults`` installs a deterministic fault-injection plan
+    for this job only; faulted jobs are never coalesced with clean ones.
     """
 
     kind: JobKind
@@ -101,6 +105,10 @@ class JobSpec:
     w_offset: float = 0.0
     priority: int = 0
     faults: Any = None
+    n_stations: int = 0
+    selfcal: Any = None
+    ft_kind: str = "2d"
+    ft_options: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.uvw_m.ndim != 3 or self.uvw_m.shape[-1] != 3:
@@ -109,15 +117,20 @@ class JobSpec:
             raise ValueError("IMAGE jobs require visibilities")
         if self.kind is JobKind.PREDICT and self.model_grid is None:
             raise ValueError("PREDICT jobs require model_grid")
+        if self.kind is JobKind.SELFCAL:
+            if self.visibilities is None:
+                raise ValueError("SELFCAL jobs require visibilities")
+            if self.n_stations <= 0:
+                raise ValueError("SELFCAL jobs require n_stations > 0")
 
     @property
     def payload(self) -> np.ndarray:
         """The kind-specific input array (visibilities or model grid)."""
-        if self.kind is JobKind.IMAGE:
-            assert self.visibilities is not None
-            return self.visibilities
-        assert self.model_grid is not None
-        return self.model_grid
+        if self.kind is JobKind.PREDICT:
+            assert self.model_grid is not None
+            return self.model_grid
+        assert self.visibilities is not None
+        return self.visibilities
 
 
 @dataclass(frozen=True)

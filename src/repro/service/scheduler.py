@@ -402,9 +402,10 @@ class GriddingService:
         value: np.ndarray | None = None
         report: Any = None
         error: str | None = None
+        metadata: dict[str, Any] = {}
         status = JobStatus.DONE
         try:
-            value, report = self._run_job(job)
+            value, report, metadata = self._run_job(job)
             if report is not None and not report.ok:
                 status = JobStatus.DEAD_LETTERED
         except InjectedCrash as exc:
@@ -414,12 +415,14 @@ class GriddingService:
             status = JobStatus.FAILED
             error = f"{type(exc).__name__}: {exc}"
         end = monotonic()
-        self._fan_out(job, status, value, error, report, start, end)
+        self._fan_out(job, status, value, error, report, start, end, metadata=metadata)
 
-    def _run_job(self, job: _Job) -> tuple[np.ndarray, Any]:
+    def _run_job(self, job: _Job) -> tuple[np.ndarray, Any, dict[str, Any]]:
         """Execute through the IDG facade, sharing plan and A-term-field
         artifacts through the content-hash caches."""
         spec = job.spec
+        if spec.kind is JobKind.SELFCAL:
+            return self._run_selfcal(job)
         idg = IDG(spec.gridspec, self.config.idg)
         plan = self._plans.get_or_create(
             job.plan_key,
@@ -451,7 +454,7 @@ class GriddingService:
                     faults=spec.faults,
                     aterm_fields=fields,
                 )
-            return value, idg.last_fault_report
+            return value, idg.last_fault_report, {}
         # The parallel executors take fault plans at construction, not per
         # call; all executors produce bit-identical values (the conformance
         # suite pins this), so the choice stays out of the execution key.
@@ -485,7 +488,48 @@ class GriddingService:
             value = executor.degrid(
                 plan, spec.uvw_m, spec.model_grid, aterm_fields=fields
             )
-        return value, executor.last_fault_report
+        return value, executor.last_fault_report, {}
+
+    def _run_selfcal(self, job: _Job) -> tuple[np.ndarray, Any, dict[str, Any]]:
+        """Run a full self-calibration loop for one SELFCAL job.
+
+        The job's ``value`` is the ``(n_intervals, n_stations)`` gain
+        solution; the model/residual images and per-cycle telemetry travel
+        in ``JobResult.metadata``.  The loop builds its own per-plane/facet
+        plans, so the service plan cache is not involved.
+        """
+        from repro.calibration.selfcal import self_calibrate
+        from repro.imaging.pipeline import ImagingContext
+
+        spec = job.spec
+        context = ImagingContext(
+            idg=IDG(spec.gridspec, self.config.idg),
+            uvw_m=spec.uvw_m,
+            frequencies_hz=spec.frequencies_hz,
+            baselines=spec.baselines,
+            executor=self.config.executor,
+            executor_workers=self.config.executor_workers,
+            start_method=self.config.executor_start_method,
+        )
+        result = self_calibrate(
+            context,
+            spec.visibilities,
+            spec.n_stations,
+            config=spec.selfcal,
+            kind=spec.ft_kind,
+            **(spec.ft_options or {}),
+        )
+        last = result.history[-1]
+        metadata = {
+            "n_cycles": result.n_cycles,
+            "converged": result.converged,
+            "residual_rms": last.residual_rms,
+            "dynamic_range": last.dynamic_range,
+            "model_image": result.model_image,
+            "residual_image": result.residual_image,
+            "history": result.history,
+        }
+        return result.gains, None, metadata
 
     def _fields_for(
         self, job: _Job, idg: IDG, plan: Any
@@ -512,6 +556,7 @@ class GriddingService:
         exec_start: float,
         exec_end: float,
         executed: bool = True,
+        metadata: dict[str, Any] | None = None,
     ) -> None:
         """Retire one execution: release its quota slot and publish the
         (shared, read-only) result to every attached handle.
@@ -546,6 +591,7 @@ class GriddingService:
                 queue_wait_s=max(0.0, exec_start - handle.submitted_at),
                 execution_s=exec_end - exec_start,
                 retries=retries,
+                metadata=dict(metadata) if metadata else {},
             )
             handle._finish(result)
             self.metrics.record_outcome(result)

@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.aterms.generators import (
+    GainATerm,
     GaussianBeamATerm,
     IdentityATerm,
     IonosphereATerm,
     PointingErrorATerm,
+    ProductATerm,
 )
 
 
@@ -96,5 +98,94 @@ def test_non_identity_generators_report_not_identity():
         GaussianBeamATerm(fwhm=0.1),
         PointingErrorATerm(fwhm=0.1, pointing_rms=0.01),
         IonosphereATerm(rms_rad=0.1, field_of_view=0.1),
+        GainATerm(np.array([1.0 + 1.0j, 2.0])),
     ):
         assert not gen.is_identity
+
+
+# ------------------------------------------------------------ gain A-terms
+
+
+def test_gain_aterm_corrupt_is_flat_scaled_identity():
+    gains = np.array([0.5 + 0.5j, 2.0 - 1.0j])
+    gen = GainATerm(gains, mode="corrupt")
+    l = np.linspace(-0.01, 0.01, 4)
+    out = gen.evaluate(1, 0, l, np.zeros_like(l))
+    assert out.shape == (4, 2, 2)
+    # direction-independent: the same g * I everywhere on the sky
+    np.testing.assert_allclose(
+        out, np.broadcast_to(gains[1] * np.eye(2), (4, 2, 2)), atol=1e-7
+    )
+
+
+def test_gain_aterm_calibrate_is_inverse_conjugate():
+    gains = np.array([0.5 + 0.5j, 2.0 - 1.0j])
+    gen = GainATerm(gains, mode="calibrate")
+    out = gen.evaluate(0, 0, np.array([0.0]), np.array([0.0]))
+    np.testing.assert_allclose(
+        out[0], (1.0 / np.conj(gains[0])) * np.eye(2), atol=1e-7
+    )
+
+
+def test_gain_aterm_clamps_interval_to_last_solution():
+    gains = np.array([[1.0, 2.0], [3.0, 4.0]])
+    gen = GainATerm(gains, mode="corrupt")
+    point = (np.array([0.0]), np.array([0.0]))
+    np.testing.assert_allclose(gen.evaluate(0, 1, *point)[0], 3.0 * np.eye(2))
+    # intervals beyond the solutions reuse the final row; negatives clamp to 0
+    np.testing.assert_allclose(gen.evaluate(0, 99, *point)[0], 3.0 * np.eye(2))
+    np.testing.assert_allclose(gen.evaluate(1, -1, *point)[0], 2.0 * np.eye(2))
+
+
+def test_gain_aterm_validation():
+    with pytest.raises(ValueError):
+        GainATerm(np.ones(3), mode="invert")
+    with pytest.raises(ValueError):
+        GainATerm(np.array([1.0, 0.0]), mode="calibrate")
+    with pytest.raises(ValueError):
+        GainATerm(np.ones(2)).evaluate(5, 0, np.array([0.0]), np.array([0.0]))
+
+
+def test_gain_aterm_corrupt_degrid_matches_post_corruption():
+    """Degridding through a corrupt-mode GainATerm equals predicting clean
+    and corrupting the visibilities afterwards — the A-term sandwich applies
+    exactly ``g_p M conj(g_q)``."""
+    from repro.calibration.gains import corrupt_with_gains, random_gains
+    from repro.core.pipeline import IDG, IDGConfig
+    from repro.imaging.pipeline import ImagingContext, make_ftprocessor
+    from repro.telescope.observation import ska1_low_observation
+
+    obs = ska1_low_observation(
+        n_stations=6, n_times=8, n_channels=1, integration_time_s=120.0,
+        max_radius_m=1500.0, seed=4,
+    )
+    gridspec = obs.fitting_gridspec(64, fill_factor=1.2)
+    idg = IDG(gridspec, IDGConfig(subgrid_size=16, kernel_support=6, time_max=8))
+    baselines = obs.array.baselines()
+    context = ImagingContext(
+        idg=idg, uvw_m=obs.uvw_m, frequencies_hz=obs.frequencies_hz,
+        baselines=baselines,
+    )
+    processor = make_ftprocessor(context, kind="2d")
+    model = np.zeros((64, 64))
+    model[32 - 5, 32 + 6] = 3.0
+    clean = processor.predict(model, aterms=None)
+    gains = random_gains(6, amplitude_rms=0.2, phase_rms_rad=0.6, seed=7)
+    corrupted = processor.predict(model, aterms=GainATerm(gains, mode="corrupt"))
+    expected = corrupt_with_gains(clean, gains, baselines)
+    scale = np.abs(expected).max()
+    np.testing.assert_allclose(corrupted, expected, atol=2e-3 * scale)
+
+
+def test_product_aterm_composes_in_order():
+    gains = np.array([2.0 + 0.0j])
+    beam = GaussianBeamATerm(fwhm=0.05)
+    product = ProductATerm(GainATerm(gains), beam)
+    l = np.array([0.01])
+    m = np.array([-0.005])
+    expected = GainATerm(gains).evaluate(0, 0, l, m) @ beam.evaluate(0, 0, l, m)
+    np.testing.assert_allclose(product.evaluate(0, 0, l, m), expected)
+    assert not product.is_identity
+    assert ProductATerm(IdentityATerm(), IdentityATerm()).is_identity
+    with pytest.raises(ValueError):
+        ProductATerm()

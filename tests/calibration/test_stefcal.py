@@ -137,3 +137,42 @@ def test_selfcal_loop_with_idg(small_idg, small_obs, small_baselines,
     ))
     peak = image[round(m0 / dl) + g // 2, round(l0 / dl) + g // 2]
     assert peak == pytest.approx(flux, rel=0.02)
+
+
+@pytest.mark.parametrize("dropped", [1, 3, 5])
+def test_dropped_station_reports_unconstrained(dropped):
+    """Regression corpus: a station absent from every baseline used to keep
+    a silent 0/0 row in the normal matrices.  It must come back as exactly
+    unit gain, flagged unconstrained, with the interval not converged."""
+    n_stations = 6
+    full = np.array(
+        [(p, q) for p in range(n_stations) for q in range(p + 1, n_stations)]
+    )
+    keep = (full[:, 0] != dropped) & (full[:, 1] != dropped)
+    baselines = full[keep]
+    rng = np.random.default_rng(7)
+    shape = (len(baselines), 4, 2, 2, 2)
+    model = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    truth = random_gains(n_stations, seed=5)
+    data = corrupt_with_gains(model, truth, baselines)
+
+    result = stefcal(data, model, baselines, n_stations=n_stations)
+    assert result.gains.shape == (1, n_stations)
+    assert result.gains[0, dropped] == 1.0 + 0.0j
+    assert not result.converged[0]
+    expected_constrained = np.ones(n_stations, dtype=bool)
+    expected_constrained[dropped] = False
+    np.testing.assert_array_equal(result.constrained[0], expected_constrained)
+    # the constrained stations are still solved to the truth
+    others = np.flatnonzero(expected_constrained)
+    err = np.abs(result.gains[0, others] - truth[others]).max()
+    assert err < 1e-6
+
+
+def test_all_stations_constrained_flag(small_obs, small_baselines,
+                                       single_source_vis):
+    result = stefcal(
+        single_source_vis, single_source_vis, small_baselines,
+        n_stations=small_obs.array.n_stations,
+    )
+    assert result.constrained.all()

@@ -100,3 +100,37 @@ def test_end_to_end_restored_flux(small_idg, small_obs, small_baselines,
     row, col = round(m0 / dl) + g // 2, round(l0 / dl) + g // 2
     # the restored peak reads ~the flux (model is compact vs the beam)
     assert restored[row, col] == pytest.approx(flux, rel=0.1)
+
+
+def test_restore_broad_beam_on_small_grid():
+    """Regression: a fitted beam kernel larger than the image used to slice
+    ``padded`` with negative bounds, wrapping/corrupting the output.  The
+    kernel must be cropped to the grid instead."""
+    g = 16
+    model = np.zeros((g, g))
+    model[g // 2, g // 2] = 5.0
+    beam = BeamFit(fwhm_major_px=20.0, fwhm_minor_px=20.0,
+                   position_angle_rad=0.0)  # ~51 px kernel >> 16 px grid
+    restored, _ = restore_image(model, np.zeros((g, g)), beam=beam)
+    # unit-peak kernel: the component's pixel still reads its flux
+    assert restored[g // 2, g // 2] == pytest.approx(5.0, rel=1e-6)
+    # the restored beam is a single central blob — the peak sits on the
+    # component and the corners are strictly dimmer (no wrapped kernel)
+    r, c = np.unravel_index(np.argmax(restored), restored.shape)
+    assert (r, c) == (g // 2, g // 2)
+    assert restored[0, 0] < restored[g // 2, g // 2]
+    # a broad positive Gaussian cannot produce negative pixels (FFT roundoff
+    # aside) — wrapped kernel corners used to inject O(1) negative ghosts
+    assert restored.min() >= -1e-9
+
+
+def test_restore_offcentre_component_with_broad_beam():
+    """The cropped-kernel path must stay a *centred* convolution: an
+    off-centre component reads its flux at its own pixel."""
+    g = 16
+    model = np.zeros((g, g))
+    model[4, 11] = 2.0
+    beam = BeamFit(fwhm_major_px=18.0, fwhm_minor_px=18.0,
+                   position_angle_rad=0.0)
+    restored, _ = restore_image(model, np.zeros((g, g)), beam=beam)
+    assert restored[4, 11] == pytest.approx(2.0, rel=1e-6)

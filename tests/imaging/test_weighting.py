@@ -158,3 +158,78 @@ def test_uniform_weighting_lowers_psf_sidelobes(small_idg, small_obs,
         return inner.max()
 
     assert peak_sidelobe(psf_uni) < peak_sidelobe(psf_nat)
+
+
+def test_briggs_empty_grid_raises_typed_error():
+    """Regression: all samples off-grid used to give 0/0 -> NaN weights."""
+    from repro.gridspec import GridSpec
+    from repro.imaging.weighting import WeightingError, briggs_weights
+
+    uvw = np.zeros((1, 1, 3))
+    uvw[0, 0] = [1e9, 0.0, 0.0]  # far outside any grid
+    gs = GridSpec(grid_size=64, image_size=0.01)
+    with pytest.raises(WeightingError):
+        briggs_weights(uvw, np.array([150e6]), gs, robust=0.0)
+    # WeightingError is a ValueError, so generic handlers still catch it
+    assert issubclass(WeightingError, ValueError)
+
+
+def test_briggs_all_flagged_raises_typed_error():
+    from repro.gridspec import GridSpec
+    from repro.imaging.weighting import WeightingError, briggs_weights
+
+    uvw = np.zeros((1, 1, 3))
+    uvw[0, 0] = [1000.0, 2000.0, 0.0]
+    gs = GridSpec(grid_size=64, image_size=0.01)
+    flags = np.ones((1, 1, 1), dtype=bool)
+    with pytest.raises(WeightingError):
+        briggs_weights(uvw, np.array([150e6]), gs, flags=flags)
+
+
+def test_uniform_weights_respect_flags():
+    """A flagged visibility must not inflate its cell's count (regression:
+    flags used to be ignored, halving the live sample's weight here)."""
+    from repro.gridspec import GridSpec
+
+    uvw = np.zeros((2, 1, 3))
+    uvw[0, 0] = [1000.0, 2000.0, 0.0]
+    uvw[1, 0] = [1000.0, 2000.0, 0.0]  # same cell
+    gs = GridSpec(grid_size=64, image_size=0.01)
+    flags = np.zeros((2, 1, 1), dtype=bool)
+    flags[1] = True
+    w = uniform_weights(uvw, np.array([150e6]), gs, flags=flags)
+    assert w[0, 0, 0] == pytest.approx(1.0)  # alone in its cell once flagged
+    assert w[1, 0, 0] == 0.0  # flagged sample gets no weight
+
+
+def test_briggs_weights_respect_flags(small_obs, small_gridspec):
+    """Flagging a block of samples must reproduce the weights computed on
+    the reduced set (flags equivalent to removal, not zero-weighting)."""
+    from repro.imaging.weighting import briggs_weights
+
+    flags = np.zeros(
+        (small_obs.n_baselines, small_obs.n_times, small_obs.n_channels),
+        dtype=bool,
+    )
+    flags[:, : small_obs.n_times // 2] = True
+    w_flagged = briggs_weights(
+        small_obs.uvw_m, small_obs.frequencies_hz, small_gridspec, flags=flags
+    )
+    half = small_obs.n_times // 2
+    w_reduced = briggs_weights(
+        small_obs.uvw_m[:, half:], small_obs.frequencies_hz, small_gridspec
+    )
+    assert np.all(w_flagged[:, :half] == 0.0)
+    np.testing.assert_allclose(w_flagged[:, half:], w_reduced)
+
+
+def test_weighting_flags_shape_validation(small_obs, small_gridspec):
+    from repro.imaging.weighting import briggs_weights
+
+    bad = np.zeros((1, 2, 3), dtype=bool)
+    with pytest.raises(ValueError):
+        uniform_weights(small_obs.uvw_m, small_obs.frequencies_hz,
+                        small_gridspec, flags=bad)
+    with pytest.raises(ValueError):
+        briggs_weights(small_obs.uvw_m, small_obs.frequencies_hz,
+                       small_gridspec, flags=bad)

@@ -1,0 +1,66 @@
+"""Executor conformance for the FTProcessor pipeline.
+
+The PR 8 corpus pins bit-identical grids/predictions across the four
+executors for the raw IDG surface; this extends the guarantee one layer up:
+a full pipeline invert/predict (including w-stacking and faceting, whose
+post-processing is plain numpy) is ``np.array_equal`` across executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import IDG, IDGConfig
+from repro.imaging.pipeline import EXECUTORS, ImagingContext, make_ftprocessor
+from repro.sky.model import SkyModel
+from repro.sky.simulate import predict_visibilities
+from repro.telescope.observation import ska1_low_observation
+
+GRID = 64
+KINDS = ("2d", "wstack", "facets", "wstack_facets")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    obs = ska1_low_observation(
+        n_stations=6, n_times=8, n_channels=1, integration_time_s=120.0,
+        max_radius_m=1500.0, seed=4,
+    )
+    gridspec = obs.fitting_gridspec(GRID, fill_factor=1.2)
+    idg = IDG(gridspec, IDGConfig(subgrid_size=16, kernel_support=6, time_max=8))
+    baselines = obs.array.baselines()
+    dl = gridspec.pixel_scale
+    sky = SkyModel.single(6 * dl, -5 * dl, flux=3.0)
+    vis = predict_visibilities(obs.uvw_m, obs.frequencies_hz, sky,
+                               baselines=baselines)
+    model = np.zeros((GRID, GRID))
+    model[GRID // 2 - 5, GRID // 2 + 6] = 3.0
+    return obs, idg, baselines, vis, model
+
+
+def _run(workload, executor: str, kind: str):
+    obs, idg, baselines, vis, model = workload
+    context = ImagingContext(
+        idg=idg, uvw_m=obs.uvw_m, frequencies_hz=obs.frequencies_hz,
+        baselines=baselines, executor=executor, executor_workers=2,
+        start_method="fork",
+    )
+    processor = make_ftprocessor(context, kind=kind)
+    return processor.invert(vis).image, processor.predict(model)
+
+
+@pytest.fixture(scope="module")
+def references(workload):
+    return {kind: _run(workload, "serial", kind) for kind in KINDS}
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("executor", [e for e in EXECUTORS if e != "serial"])
+def test_pipeline_bit_identical_across_executors(
+    workload, references, executor, kind
+):
+    image, predicted = _run(workload, executor, kind)
+    reference_image, reference_predicted = references[kind]
+    assert np.array_equal(image, reference_image)
+    assert np.array_equal(predicted, reference_predicted)

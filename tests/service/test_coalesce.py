@@ -188,3 +188,21 @@ def test_faulted_jobs_do_not_coalesce(small_idg, make_spec):
     # Both recovered via retries independently.
     assert r1.status is JobStatus.DONE and r2.status is JobStatus.DONE
     assert r1.retries >= 1 and r2.retries >= 1
+
+
+def test_selfcal_jobs_never_get_an_execution_key(
+    small_obs, small_baselines, small_gridspec, single_source_vis, small_idg
+):
+    """Iterative solves are excluded from coalescing by construction."""
+    spec = JobSpec(
+        kind=JobKind.SELFCAL,
+        tenant="t0",
+        uvw_m=small_obs.uvw_m,
+        frequencies_hz=small_obs.frequencies_hz,
+        baselines=small_baselines,
+        gridspec=small_gridspec,
+        visibilities=single_source_vis,
+        n_stations=12,
+    )
+    key = plan_key(spec, small_idg.config)
+    assert execution_key(spec, key, small_idg.config) is None

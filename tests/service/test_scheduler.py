@@ -208,3 +208,74 @@ def test_spec_validation(small_obs, small_baselines, small_gridspec):
             baselines=small_baselines,
             gridspec=small_gridspec,
         )
+
+
+# ----------------------------------------------------------------- selfcal
+
+
+def test_selfcal_job_end_to_end(small_idg):
+    """A SELFCAL job runs the whole loop in a worker and returns the gain
+    solutions with imaging telemetry in the metadata."""
+    from repro.calibration.gains import corrupt_with_gains, random_gains
+    from repro.calibration.selfcal import SelfCalConfig, gain_amplitude_error
+    from repro.sky.model import SkyModel
+    from repro.sky.simulate import predict_visibilities
+    from repro.telescope.observation import ska1_low_observation
+
+    obs = ska1_low_observation(
+        n_stations=8, n_times=16, n_channels=2, integration_time_s=120.0,
+        max_radius_m=2000.0, seed=1,
+    )
+    gridspec = obs.fitting_gridspec(64, fill_factor=1.2)
+    baselines = obs.array.baselines()
+    dl = gridspec.pixel_scale
+    sky = SkyModel.single(6 * dl, -5 * dl, flux=3.0)
+    vis = predict_visibilities(obs.uvw_m, obs.frequencies_hz, sky,
+                               baselines=baselines)
+    true_gains = random_gains(8, amplitude_rms=0.15, phase_rms_rad=0.5, seed=7)
+    true_gains = true_gains / np.abs(true_gains[0])
+    spec = JobSpec(
+        kind=JobKind.SELFCAL,
+        tenant="t0",
+        uvw_m=obs.uvw_m,
+        frequencies_hz=obs.frequencies_hz,
+        baselines=baselines,
+        gridspec=gridspec,
+        visibilities=corrupt_with_gains(vis, true_gains, baselines),
+        n_stations=8,
+        selfcal=SelfCalConfig(n_cycles=12),
+    )
+    with GriddingService(_service_config(small_idg)) as service:
+        result = service.submit(spec).result(timeout=300)
+    assert result.status is JobStatus.DONE
+    assert result.value.shape == (1, 8)
+    assert gain_amplitude_error(result.value, true_gains) < 0.01
+    for key in ("n_cycles", "converged", "residual_rms", "dynamic_range",
+                "model_image", "residual_image", "history"):
+        assert key in result.metadata
+    assert result.metadata["model_image"].shape == (64, 64)
+    assert len(result.metadata["history"]) == result.metadata["n_cycles"]
+
+
+def test_selfcal_spec_validation(small_obs, small_baselines, small_gridspec,
+                                 single_source_vis):
+    with pytest.raises(ValueError, match="n_stations"):
+        JobSpec(
+            kind=JobKind.SELFCAL,
+            tenant="t",
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+            visibilities=single_source_vis,
+        )
+    with pytest.raises(ValueError, match="visibilities"):
+        JobSpec(
+            kind=JobKind.SELFCAL,
+            tenant="t",
+            uvw_m=small_obs.uvw_m,
+            frequencies_hz=small_obs.frequencies_hz,
+            baselines=small_baselines,
+            gridspec=small_gridspec,
+            n_stations=12,
+        )
